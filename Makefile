@@ -1,0 +1,34 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test race bench figures paperscale fuzz clean
+
+all: build test
+
+build:
+	go build ./...
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+# Regenerate every table and figure at the default reduced scale.
+figures:
+	go run ./cmd/mrtfigures -exp all
+
+# Selected Figure 4 cells at the paper's full 200x50 workload.
+paperscale:
+	MOBWEB_PAPERSCALE=1 go test ./internal/sim -run TestPaperScaleSpotChecks -v
+
+fuzz:
+	go test -fuzz=FuzzParseHTML -fuzztime=30s ./internal/markup
+	go test -fuzz=FuzzParseXML -fuzztime=30s ./internal/markup
+	go test -fuzz=FuzzUnmarshal -fuzztime=30s ./internal/packet
+
+clean:
+	go clean ./...

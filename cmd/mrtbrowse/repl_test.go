@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mobweb/internal/corpus"
+)
+
+func TestREPLScriptedSession(t *testing.T) {
+	addr := startServer(t)
+	script := strings.Join([]string{
+		"help",
+		"search mobile web browsing",
+		"hits",
+		"skim 1",
+		"read 1",
+		"discard 2",
+		"profile",
+		"stats",
+		"quit",
+	}, "\n") + "\n"
+	var buf bytes.Buffer
+	err := run(&buf, []string{"-addr", addr, "-repl", "-think", "1"}, strings.NewReader(script))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		corpus.DraftName,      // search results
+		"skimmed to IC",       // skim output
+		"read ",               // read confirmation
+		"not what you wanted", // discard ack
+		"interests:",          // profile
+		"searches 1",          // stats
+		"bye",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("REPL output missing %q\n---\n%s", want, out)
+		}
+	}
+}
+
+func TestREPLHandlesErrorsGracefully(t *testing.T) {
+	addr := startServer(t)
+	script := strings.Join([]string{
+		"bogus command",
+		"skim 99",     // out of range before any search
+		"skim ghost",  // unknown doc
+		"search",      // missing argument
+		"search zzqx", // no hits
+		"quit",
+	}, "\n") + "\n"
+	var buf bytes.Buffer
+	err := run(&buf, []string{"-addr", addr, "-repl"}, strings.NewReader(script))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"unknown command", "out of range", "usage: search", "no documents match"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("REPL output missing %q", want)
+		}
+	}
+}
+
+func TestREPLEOFExitsCleanly(t *testing.T) {
+	addr := startServer(t)
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-addr", addr, "-repl"}, strings.NewReader("")); err != nil {
+		t.Fatalf("EOF should end the session cleanly: %v", err)
+	}
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunTable2(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-exp", "table2"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 2", "10240", "19.2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-exp", "table1"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "QIC") {
+		t.Error("Table 1 output missing QIC column")
+	}
+}
+
+func TestRunFig2And3(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-exp", "fig2"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "S = 99%") {
+		t.Error("fig2 missing the 99% panel")
+	}
+	buf.Reset()
+	if err := run(&buf, []string{"-exp", "fig3"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "redundancy ratio versus failure") {
+		t.Error("fig3 missing title")
+	}
+}
+
+func TestRunSimFigureSmallScale(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-exp", "fig4", "-docs", "5", "-reps", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Figure 4d") {
+		t.Error("fig4 missing panel d")
+	}
+}
+
+func TestRunExtension(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-exp", "ext-adaptive", "-docs", "5", "-reps", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "re-estimated") {
+		t.Error("ext-adaptive output missing")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-exp", "fig99"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-nonsense"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,150 @@
+// Command mrtserver serves a document collection with fault-tolerant
+// multi-resolution transmission over TCP, optionally emulating a lossy
+// wireless hop.
+//
+// Usage:
+//
+//	mrtserver -addr :8047                          # embedded corpus
+//	mrtserver -addr :8047 -dir ./docs -alpha 0.3   # extra documents, lossy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"mobweb/internal/channel"
+	"mobweb/internal/core"
+	"mobweb/internal/corpus"
+	"mobweb/internal/gateway"
+	"mobweb/internal/search"
+	"mobweb/internal/textproc"
+	"mobweb/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mrtserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mrtserver", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8047", "listen address")
+	httpAddr := fs.String("http", "", "also serve the HTTP gateway (e.g. 127.0.0.1:8080)")
+	dir := fs.String("dir", "", "directory of additional .xml/.html documents")
+	alpha := fs.Float64("alpha", 0, "emulated per-packet corruption probability")
+	seed := fs.Int64("seed", 1, "fault injection seed")
+	gamma := fs.Float64("gamma", core.DefaultGamma, "default redundancy ratio")
+	delay := fs.Duration("delay", 0, "per-packet pacing delay (e.g. 100ms emulates 19.2 kbps feel)")
+	noCorpus := fs.Bool("nocorpus", false, "skip the embedded corpus")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	engine := search.NewEngine(textproc.Options{})
+	if !*noCorpus {
+		docs, err := corpus.LoadAll()
+		if err != nil {
+			return err
+		}
+		for _, d := range docs {
+			if err := engine.Add(d); err != nil {
+				return fmt.Errorf("index %s: %w", d.Name, err)
+			}
+			fmt.Printf("indexed %s (%d bytes, %d units)\n", d.Name, d.Size(), len(d.Units()))
+		}
+	}
+	if *dir != "" {
+		if err := indexDir(engine, *dir); err != nil {
+			return err
+		}
+	}
+	if engine.Len() == 0 {
+		return fmt.Errorf("no documents to serve")
+	}
+
+	opts := transport.ServerOptions{
+		Defaults:    core.Config{Gamma: *gamma},
+		PacketDelay: *delay,
+	}
+	if *alpha > 0 {
+		model, err := channel.NewBernoulli(*alpha, *seed)
+		if err != nil {
+			return err
+		}
+		opts.Injector = transport.NewModelInjector(model)
+	}
+	srv, err := transport.NewServer(engine, opts)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+
+	var httpSrv *http.Server
+	if *httpAddr != "" {
+		gw, err := gateway.New(engine)
+		if err != nil {
+			return err
+		}
+		httpLn, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			return err
+		}
+		httpSrv = &http.Server{Handler: gw}
+		go func() {
+			if err := httpSrv.Serve(httpLn); err != nil && err != http.ErrServerClosed {
+				fmt.Printf("http gateway stopped: %v\n", err)
+			}
+		}()
+		fmt.Printf("http gateway on %s (/search, /sc/{name}, /doc/{name})\n", httpLn.Addr())
+		defer httpSrv.Close()
+	}
+	fmt.Printf("serving %d documents on %s (alpha=%.2f, gamma=%.2f, delay=%v)\n",
+		engine.Len(), ln.Addr(), *alpha, *gamma, *delay)
+	start := time.Now()
+	err = srv.Serve(ln)
+	fmt.Printf("server stopped after %v: %v\n", time.Since(start).Round(time.Second), err)
+	return nil
+}
+
+func indexDir(engine *search.Engine, dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		ext := strings.ToLower(filepath.Ext(name))
+		if ext != ".xml" && ext != ".html" && ext != ".htm" {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if ext == ".xml" {
+			err = engine.AddXML(name, data)
+		} else {
+			err = engine.AddHTML(name, data)
+		}
+		if err != nil {
+			fmt.Printf("skip %s: %v\n", name, err)
+			continue
+		}
+		fmt.Printf("indexed %s\n", name)
+	}
+	return nil
+}

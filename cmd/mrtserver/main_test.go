@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mobweb/internal/search"
+	"mobweb/internal/textproc"
+)
+
+func TestIndexDir(t *testing.T) {
+	dir := t.TempDir()
+	files := map[string]string{
+		"a.xml":    `<doc><title>A</title><section><paragraph>alpha beta</paragraph></section></doc>`,
+		"b.html":   `<html><body><h1>B</h1><p>gamma delta</p></body></html>`,
+		"skip.txt": "plain text ignored",
+		"bad.xml":  "", // unparseable; must be skipped, not fatal
+	}
+	for name, body := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.Mkdir(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	engine := search.NewEngine(textproc.Options{})
+	if err := indexDir(engine, dir); err != nil {
+		t.Fatal(err)
+	}
+	if engine.Len() != 2 {
+		t.Errorf("indexed %d documents, want 2", engine.Len())
+	}
+}
+
+func TestIndexDirMissing(t *testing.T) {
+	engine := search.NewEngine(textproc.Options{})
+	if err := indexDir(engine, "/nonexistent-dir"); err == nil {
+		t.Error("missing directory accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunNoDocuments(t *testing.T) {
+	if err := run([]string{"-nocorpus"}); err == nil {
+		t.Error("empty collection accepted")
+	}
+}
+
+func TestRunBadAlpha(t *testing.T) {
+	if err := run([]string{"-alpha", "1.5", "-addr", "127.0.0.1:0"}); err == nil {
+		t.Error("alpha > 1 accepted")
+	}
+}

@@ -1,0 +1,99 @@
+package mobweb_test
+
+import (
+	"fmt"
+
+	"mobweb"
+)
+
+// ExampleChooseCooked sizes the redundancy for the paper's default
+// document (M = 40 raw packets) on a channel corrupting 10% of packets,
+// targeting a 95% chance of single-round delivery.
+func ExampleChooseCooked() {
+	n, err := mobweb.ChooseCooked(40, 0.1, 0.95)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("M=40 α=0.1 S=95%% → N=%d (γ=%.2f)\n", n, float64(n)/40)
+	// Output: M=40 α=0.1 S=95% → N=48 (γ=1.20)
+}
+
+// ExampleAnalyze runs the five-stage pipeline on a small document and
+// prints the top-ranked unit for a query.
+func ExampleAnalyze() {
+	src := `<doc><title>T</title>
+	<section><title>Coding</title>
+	<paragraph>Vandermonde matrices disperse packets.</paragraph></section>
+	<section><title>Browsing</title>
+	<paragraph>Mobile web browsing needs mobile bandwidth care.</paragraph></section>
+	</doc>`
+	doc, err := mobweb.ParseXML([]byte(src), "t.xml")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	an, err := mobweb.Analyze(doc)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	plan, err := an.Plan("mobile web", mobweb.PlanConfig{
+		LOD:        mobweb.LODSection,
+		Notion:     mobweb.NotionQIC,
+		PacketSize: 32,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("top unit: %s\n", plan.Segments()[0].Unit.Title)
+	// Output: top unit: Browsing
+}
+
+// ExampleReceiver demonstrates loss tolerance: drop a third of the cooked
+// packets and still reconstruct.
+func ExampleReceiver() {
+	src := `<doc><section><paragraph>any M of N cooked packets reconstruct the document</paragraph></section></doc>`
+	doc, err := mobweb.ParseXML([]byte(src), "t.xml")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	an, err := mobweb.Analyze(doc)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	plan, err := an.Plan("", mobweb.PlanConfig{PacketSize: 8, Gamma: 1.5})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	rcv, err := mobweb.NewReceiver(plan)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for seq := 0; seq < plan.N(); seq++ {
+		if seq%3 == 0 {
+			continue // lost on the wireless hop
+		}
+		frame, err := plan.Frame(seq)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		if _, _, err := rcv.AddFrame(frame); err != nil {
+			fmt.Println(err)
+			return
+		}
+	}
+	body, err := rcv.Reconstruct()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("reconstructed %d bytes despite 33%% loss\n", len(body))
+	// Output: reconstructed 51 bytes despite 33% loss
+}

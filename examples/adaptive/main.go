@@ -1,0 +1,134 @@
+// Adaptive: §4.2 suggests choosing the redundancy ratio γ "as an adaptive
+// function of the observed summarized value of α, using perhaps a kind of
+// EWMA measure". This example walks a browsing session through a channel
+// whose corruption rate drifts (good cell → bad cell → good cell) and
+// compares a fixed γ = 1.5 against an EWMA-adaptive γ that re-targets a
+// 95% single-round success probability from the observed corruption rate.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"mobweb"
+)
+
+// phase is one segment of the drifting channel.
+type phase struct {
+	alpha float64
+	docs  int
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "adaptive:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	phases := []phase{
+		{alpha: 0.05, docs: 15},
+		{alpha: 0.45, docs: 15}, // hand-off into a degraded cell
+		{alpha: 0.10, docs: 15},
+	}
+	const m = 40 // raw packets per document (Table 2)
+
+	fixedStalls, fixedPackets := browse(phases, m, nil)
+	est, err := mobweb.NewAlphaEstimator(0.25)
+	if err != nil {
+		return err
+	}
+	adaptiveStalls, adaptivePackets := browse(phases, m, est)
+
+	fmt.Println("strategy   stalled-rounds  packets-sent")
+	fmt.Printf("fixed γ=1.5     %6d       %8d\n", fixedStalls, fixedPackets)
+	fmt.Printf("EWMA-adaptive   %6d       %8d\n", adaptiveStalls, adaptivePackets)
+	if adaptiveStalls > fixedStalls {
+		return fmt.Errorf("adaptation failed to reduce stalls (%d vs %d)", adaptiveStalls, fixedStalls)
+	}
+	fmt.Println("\nadaptive γ trace during the bad cell:")
+	// Re-run with verbose tracing of the chosen γ.
+	est2, err := mobweb.NewAlphaEstimator(0.25)
+	if err != nil {
+		return err
+	}
+	traceBrowse(phases, m, est2)
+	return nil
+}
+
+// browse simulates a session document by document. With a nil estimator
+// it uses fixed γ = 1.5; otherwise it chooses N from the EWMA estimate
+// targeting 95% success, and feeds each round's corruption counts back.
+func browse(phases []phase, m int, est *mobweb.AlphaEstimator) (stalls, packets int) {
+	rng := rand.New(rand.NewSource(42))
+	for _, ph := range phases {
+		for d := 0; d < ph.docs; d++ {
+			n := chooseN(m, est)
+			for round := 0; ; round++ {
+				intact, corrupted := transmitRound(rng, n, ph.alpha)
+				packets += n
+				if est != nil {
+					est.ObserveWindow(corrupted, n)
+				}
+				if intact >= m {
+					break
+				}
+				stalls++
+				// After a stall, re-choose N for the retransmission.
+				n = chooseN(m, est)
+			}
+		}
+	}
+	return stalls, packets
+}
+
+func traceBrowse(phases []phase, m int, est *mobweb.AlphaEstimator) {
+	rng := rand.New(rand.NewSource(42))
+	doc := 0
+	for _, ph := range phases {
+		for d := 0; d < ph.docs; d++ {
+			doc++
+			n := chooseN(m, est)
+			if doc%5 == 0 {
+				alphaHat := est.ValueOr(0.1)
+				fmt.Printf("  doc %2d: true α=%.2f, α̂=%.3f → N=%d (γ=%.2f)\n",
+					doc, ph.alpha, alphaHat, n, float64(n)/float64(m))
+			}
+			intact, corrupted := transmitRound(rng, n, ph.alpha)
+			est.ObserveWindow(corrupted, n)
+			_ = intact
+		}
+	}
+}
+
+// chooseN picks the cooked-packet count: fixed γ = 1.5 without an
+// estimator, else the negative-binomial optimum for the EWMA estimate.
+func chooseN(m int, est *mobweb.AlphaEstimator) int {
+	if est == nil {
+		return m * 3 / 2
+	}
+	alphaHat := est.ValueOr(0.1)
+	if alphaHat > 0.9 {
+		alphaHat = 0.9
+	}
+	n, err := mobweb.ChooseCooked(m, alphaHat, 0.95)
+	if err != nil || n < m {
+		return m * 3 / 2
+	}
+	return n
+}
+
+// transmitRound sends n cooked packets through a Bernoulli(alpha) channel
+// and reports intact and corrupted counts.
+func transmitRound(rng *rand.Rand, n int, alpha float64) (intact, corrupted int) {
+	for i := 0; i < n; i++ {
+		if rng.Float64() < alpha {
+			corrupted++
+		} else {
+			intact++
+		}
+	}
+	return intact, corrupted
+}

@@ -1,0 +1,149 @@
+// Personalized: user-profiling with relevance feedback (§6's extension).
+// A user repeatedly searches an ambiguous query; the profile learns from
+// which documents they read versus discard, re-ranks later searches, and
+// drives idle-time prefetching of the documents the user is most likely
+// to open next.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"mobweb"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "personalized:", err)
+		os.Exit(1)
+	}
+}
+
+// corpusDoc builds one small document on a topic.
+func corpusDoc(name, title string, paragraphs ...string) (*mobweb.Analysis, error) {
+	xml := "<document><title>" + title + "</title><section><title>" + title + "</title>"
+	for _, p := range paragraphs {
+		xml += "<paragraph>" + p + "</paragraph>"
+	}
+	xml += "</section></document>"
+	doc, err := mobweb.ParseXML([]byte(xml), name)
+	if err != nil {
+		return nil, err
+	}
+	return mobweb.Analyze(doc)
+}
+
+func run() error {
+	// A small collection where the query "caching" is ambiguous: CPU
+	// caches versus mobile web caching.
+	specs := []struct {
+		name, title string
+		paragraphs  []string
+	}{
+		{"cpu-cache.xml", "CPU Cache Hierarchies", []string{
+			"Processor caching hierarchies keep hot cache lines in small SRAM arrays.",
+			"Set associative caching reduces processor stalls on memory access.",
+		}},
+		{"web-cache.xml", "Caching for Mobile Web Browsing", []string{
+			"Caching intact packets lets a mobile client resume interrupted web transfers.",
+			"Wireless browsing benefits from caching documents in local storage.",
+		}},
+		{"db-cache.xml", "Database Buffer Caching", []string{
+			"Buffer pool caching holds database pages in memory between transactions.",
+			"Eviction policies decide which cached pages a database discards.",
+		}},
+	}
+	analyses := make(map[string]*mobweb.Analysis, len(specs))
+	engine := mobweb.NewEngine()
+	for _, s := range specs {
+		an, err := corpusDoc(s.name, s.title, s.paragraphs...)
+		if err != nil {
+			return err
+		}
+		analyses[s.name] = an
+		if err := engine.Add(an.Doc); err != nil {
+			return err
+		}
+	}
+
+	prof, err := mobweb.NewProfile(mobweb.ProfileConfig{})
+	if err != nil {
+		return err
+	}
+
+	rank := func(label string) ([]mobweb.Hit, error) {
+		hits := engine.Search("caching", 10)
+		// Blend search score with profile affinity (β = 0.6).
+		for i := range hits {
+			hits[i].Score = prof.Blend(hits[i].Score, hits[i].SC, 0.6)
+		}
+		for i := 0; i < len(hits); i++ {
+			for j := i + 1; j < len(hits); j++ {
+				if hits[j].Score > hits[i].Score {
+					hits[i], hits[j] = hits[j], hits[i]
+				}
+			}
+		}
+		fmt.Printf("%s:\n", label)
+		for i, h := range hits {
+			fmt.Printf("  %d. %-16s %.4f\n", i+1, h.Name, h.Score)
+		}
+		return hits, nil
+	}
+
+	if _, err := rank("before any feedback"); err != nil {
+		return err
+	}
+
+	// The user is a mobile-systems person: reads the web-caching paper in
+	// full, discards the CPU and database ones early.
+	fmt.Println("\nuser reads web-cache.xml fully; discards cpu-cache.xml and db-cache.xml at 20%")
+	feedback := []mobweb.ProfileFeedback{
+		{SC: analyses["web-cache.xml"].SC, Query: "caching mobile", Relevant: true},
+		{SC: analyses["cpu-cache.xml"].SC, Relevant: false, FractionRead: 0.2},
+		{SC: analyses["db-cache.xml"].SC, Relevant: false, FractionRead: 0.2},
+	}
+	for _, fb := range feedback {
+		if err := prof.Observe(fb); err != nil {
+			return err
+		}
+	}
+
+	hits, err := rank("\nafter feedback (profile-blended)")
+	if err != nil {
+		return err
+	}
+	if hits[0].Name != "web-cache.xml" {
+		return fmt.Errorf("personalization failed: top hit is %s", hits[0].Name)
+	}
+	fmt.Printf("\ntop interests: %v\n", prof.Terms()[:4])
+
+	// Idle-time prefetching: allocate a 10 s think-time budget across the
+	// re-ranked candidates, most likely first.
+	cands := make([]mobweb.PrefetchCandidate, len(hits))
+	for i, h := range hits {
+		plan, err := analyses[h.Name].Plan("caching", mobweb.PlanConfig{PacketSize: 64})
+		if err != nil {
+			return err
+		}
+		cands[i] = mobweb.PrefetchCandidate{
+			Name:          h.Name,
+			Score:         h.Score,
+			TotalPackets:  plan.N(),
+			UsefulPackets: plan.M(),
+		}
+	}
+	budget := mobweb.PrefetchBudget(10, 19200, 64+4)
+	allocs, err := mobweb.PlanPrefetch(cands, budget)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nidle 10 s at 19.2 kbps = %d packets; prefetch plan:\n", budget)
+	for _, a := range allocs {
+		fmt.Printf("  %-16s %d packets\n", a.Name, a.Packets)
+	}
+	if len(allocs) == 0 || allocs[0].Name != "web-cache.xml" {
+		return fmt.Errorf("prefetch did not prioritize the profiled favourite")
+	}
+	return nil
+}

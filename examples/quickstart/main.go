@@ -1,0 +1,124 @@
+// Quickstart: parse a structured document, compute its information
+// content, build a fault-tolerant multi-resolution transmission plan, run
+// it through an in-process lossy channel, and reconstruct — the whole
+// pipeline in one file, no network required.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"mobweb"
+)
+
+const paper = `<research-paper>
+<title>A Tiny Paper on Weakly-Connected Browsing</title>
+<abstract>
+  <paragraph>Mobile web browsing over weak wireless channels wastes
+  bandwidth when documents turn out to be irrelevant. We transmit the
+  highest content-bearing units first and protect them with an erasure
+  code.</paragraph>
+</abstract>
+<section><title>Introduction</title>
+  <paragraph>Mobile clients browse web documents over channels that
+  corrupt packets. Retransmitting whole documents is expensive, so the
+  transmission must tolerate faults.</paragraph>
+  <paragraph>Multi-resolution transmission ranks organizational units by
+  information content so a user judges relevance early.</paragraph>
+</section>
+<section><title>Encoding</title>
+  <paragraph>Raw packets become cooked packets through a systematic
+  Vandermonde dispersal matrix; any M intact cooked packets reconstruct
+  the document.</paragraph>
+</section>
+</research-paper>`
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// 1. Parse and analyze: five-stage pipeline → structural
+	// characteristic with per-unit information content.
+	doc, err := mobweb.ParseXML([]byte(paper), "tiny.xml")
+	if err != nil {
+		return err
+	}
+	an, err := mobweb.Analyze(doc)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("parsed %q: %d bytes, %d units, %d paragraphs\n",
+		doc.Title, doc.Size(), len(doc.Units()), len(doc.Paragraphs()))
+
+	// 2. Plan: rank paragraphs by query-based information content and
+	// expand M raw packets into N cooked ones (γ = 1.5).
+	plan, err := an.Plan("mobile web browsing", mobweb.PlanConfig{
+		LOD:        mobweb.LODParagraph,
+		Notion:     mobweb.NotionQIC,
+		PacketSize: 64,
+		Gamma:      1.5,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("plan: M=%d raw → N=%d cooked packets; transmission order:\n", plan.M(), plan.N())
+	for i, seg := range plan.Segments() {
+		fmt.Printf("  %d. unit %-6s score %.4f (%d bytes)\n", i+1, seg.Unit.Label, seg.Score, seg.Length)
+	}
+
+	// 3. Transmit over a lossy channel: corrupt ~30% of frames; the CRC
+	// catches every corruption. A round that ends short of M intact
+	// packets is a stall; intact packets stay cached (the paper's
+	// Caching strategy) and the next round fills the gaps.
+	rcv, err := mobweb.NewReceiver(plan)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(7))
+	corrupted, sent := 0, 0
+rounds:
+	for round := 1; round <= 10; round++ {
+		for seq := 0; seq < plan.N(); seq++ {
+			if rcv.Held(seq) {
+				continue // selective retransmission: skip cached packets
+			}
+			frame, err := plan.Frame(seq)
+			if err != nil {
+				return err
+			}
+			sent++
+			if rng.Float64() < 0.3 {
+				frame[len(frame)-1] ^= 0xFF // wireless burst
+				corrupted++
+			}
+			if _, intact, err := rcv.AddFrame(frame); err != nil {
+				return err
+			} else if intact && rcv.Reconstructible() {
+				fmt.Printf("reconstructible after %d frames (%d corrupted) in round %d\n",
+					sent, corrupted, round)
+				break rounds
+			}
+		}
+		fmt.Printf("round %d stalled with %d/%d intact; retransmitting missing packets\n",
+			round, rcv.IntactCount(), plan.M())
+	}
+
+	// 4. Reconstruct and verify.
+	body, err := rcv.Reconstruct()
+	if err != nil {
+		return fmt.Errorf("still stalled after retransmissions: %w", err)
+	}
+	fmt.Printf("reconstructed %d bytes, info content %.3f\n", len(body), rcv.InfoContent())
+
+	// 5. Progressive view: what a client could already render from clear
+	// text alone, highest content first.
+	for _, u := range rcv.Render() {
+		fmt.Printf("  unit %-6s %.60q\n", u.Segment.Label, u.Text)
+	}
+	return nil
+}

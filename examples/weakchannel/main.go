@@ -1,0 +1,111 @@
+// Weakchannel: the full client/server prototype over a loopback TCP
+// connection with an emulated lossy wireless hop. The server streams the
+// embedded draft manuscript QIC-ordered and erasure-coded; the client
+// renders units progressively, stalls, caches intact packets, and
+// completes via selective retransmission — the paper's Caching strategy
+// live on the wire.
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"strings"
+
+	"mobweb"
+	"mobweb/internal/corpus"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "weakchannel:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// Server side: index the embedded corpus, inject 40% corruption —
+	// a badly degraded wireless cell.
+	engine := mobweb.NewEngine()
+	docs, err := corpus.LoadAll()
+	if err != nil {
+		return err
+	}
+	for _, d := range docs {
+		if err := engine.Add(d); err != nil {
+			return err
+		}
+	}
+	injector, err := mobweb.BernoulliInjector(0.4, 2)
+	if err != nil {
+		return err
+	}
+	srv, err := mobweb.NewServer(engine, mobweb.ServerOptions{Injector: injector})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	serveDone := make(chan struct{})
+	go func() {
+		defer close(serveDone)
+		srv.Serve(ln)
+	}()
+	defer func() {
+		srv.Close()
+		<-serveDone
+	}()
+	fmt.Printf("server up on %s with alpha=0.4 wireless emulation\n", ln.Addr())
+
+	// Client side: search, then fetch with caching.
+	client, err := mobweb.Dial(ln.Addr().String())
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	hits, err := client.Search("mobile web browsing", 5)
+	if err != nil {
+		return err
+	}
+	fmt.Println("search results:")
+	for i, h := range hits {
+		fmt.Printf("  %d. %-20s %.4f  %s\n", i+1, h.Name, h.Score, h.Title)
+	}
+
+	rendered := 0
+	res, err := client.Fetch(mobweb.FetchOptions{
+		Doc:       hits[0].Name,
+		Query:     "mobile web browsing",
+		Notion:    mobweb.NotionQIC,
+		LOD:       mobweb.LODSection,
+		Caching:   true,
+		MaxRounds: 30,
+		OnProgress: func(p mobweb.Progress) {
+			for _, u := range p.NewUnits {
+				rendered++
+				fmt.Printf("  [IC %.3f] rendered unit %-8s %.60q\n",
+					p.InfoContent, u.Segment.Label, firstLine(u.Text))
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ndone: %d rounds, %d packets received, %d corrupted, stalled=%v\n",
+		res.Rounds, res.PacketsReceived, res.PacketsCorrupted, res.Stalled)
+	if res.Body == nil {
+		return fmt.Errorf("document not reconstructed")
+	}
+	fmt.Printf("document reconstructed: %d bytes after %d progressive units\n", len(res.Body), rendered)
+	return nil
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

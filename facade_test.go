@@ -1,0 +1,123 @@
+package mobweb
+
+import (
+	"testing"
+)
+
+func TestQueryVectorFacade(t *testing.T) {
+	qv := QueryVector("mobile mobile web")
+	if qv["mobile"] != 2 || qv["web"] != 1 {
+		t.Errorf("QueryVector = %v", qv)
+	}
+}
+
+func TestSimImprovementFacade(t *testing.T) {
+	p := DefaultSimParams()
+	p.Documents = 10
+	p.Repetitions = 1
+	p.Caching = true
+	p.Irrelevant = 1
+	p.Threshold = 0.2
+	imp, err := SimImprovement(p, LODParagraph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp <= 0.8 {
+		t.Errorf("improvement = %v, implausible", imp)
+	}
+}
+
+func TestPrefetchFacade(t *testing.T) {
+	budget := PrefetchBudget(10, 19200, 260)
+	if budget != 92 {
+		t.Errorf("budget = %d, want 92", budget)
+	}
+	allocs, err := PlanPrefetch([]PrefetchCandidate{
+		{Name: "a", Score: 1, TotalPackets: 60},
+		{Name: "b", Score: 0.5, TotalPackets: 60},
+	}, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(allocs) != 2 || allocs[0].Name != "a" || allocs[0].Packets != 60 {
+		t.Errorf("allocs = %+v", allocs)
+	}
+}
+
+func TestAlphaEstimatorFacade(t *testing.T) {
+	est, err := NewAlphaEstimator(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est.ObserveWindow(3, 10)
+	if got := est.ValueOr(0); got != 0.3 {
+		t.Errorf("estimate = %v, want 0.3", got)
+	}
+	if _, err := NewAlphaEstimator(2); err == nil {
+		t.Error("bad weight accepted")
+	}
+}
+
+func TestClusterFacade(t *testing.T) {
+	c, err := NewCluster("site", "a.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	docA, err := ParseXML([]byte(`<doc><title>A</title><section><paragraph>mobile link hub</paragraph></section></doc>`), "a.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	docB, err := ParseXML([]byte(`<doc><title>B</title><section><paragraph>mobile web browsing details here</paragraph></section></doc>`), "b.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddPage(docA, []string{"b.xml"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddPage(docB, nil); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := c.Scores(QueryVector("mobile web"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 2 {
+		t.Fatalf("scores = %v", scores)
+	}
+	composed, err := c.Compose(QueryVector("mobile web"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := Analyze(composed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := an.Plan("mobile web", PlanConfig{LOD: LODSection, PacketSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.N() < plan.M() {
+		t.Error("implausible plan shape")
+	}
+}
+
+func TestProfileFacadeObserve(t *testing.T) {
+	doc, err := ParseXML([]byte(`<doc><title>W</title><section><paragraph>wireless erasure coding for mobile packets</paragraph></section></doc>`), "w.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := Analyze(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := NewProfile(ProfileConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prof.Observe(ProfileFeedback{SC: an.SC, Relevant: true, Query: "wireless"}); err != nil {
+		t.Fatal(err)
+	}
+	if prof.Score(an.SC) <= 0 {
+		t.Error("profile did not learn")
+	}
+}

@@ -1,0 +1,3 @@
+module mobweb
+
+go 1.22

@@ -1,0 +1,228 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"mobweb/internal/channel"
+	"mobweb/internal/corpus"
+)
+
+// testBody returns a realistic text body (the draft manuscript) so
+// deflate compression behaves like it would on real documents.
+func testBody(t testing.TB) []byte {
+	t.Helper()
+	doc, err := corpus.Load(corpus.DraftName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc.Body()
+}
+
+func cleanChannel(t testing.TB) *channel.Channel {
+	t.Helper()
+	model, err := channel.NewBernoulli(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := channel.New(channel.Config{Model: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ch
+}
+
+func lossyChannel(t testing.TB, alpha float64, seed int64) *channel.Channel {
+	t.Helper()
+	model, err := channel.NewBernoulli(alpha, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := channel.New(channel.Config{Model: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ch
+}
+
+func TestSequentialCleanChannel(t *testing.T) {
+	body := testBody(t)
+	out, err := Sequential{}.Transfer(cleanChannel(t), body, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Completed {
+		t.Fatal("clean transfer incomplete")
+	}
+	wantPackets := (len(body) + 255) / 256
+	if out.PacketsSent != wantPackets {
+		t.Errorf("packets = %d, want %d", out.PacketsSent, wantPackets)
+	}
+}
+
+func TestSequentialReloadsOnCorruption(t *testing.T) {
+	body := testBody(t)
+	out, err := Sequential{}.Transfer(lossyChannel(t, 0.1, 7), body, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := (len(body) + 255) / 256
+	if out.PacketsSent <= m {
+		t.Errorf("no reloads at α=0.1 over %d packets (sent %d)", m, out.PacketsSent)
+	}
+}
+
+func TestSequentialGivesUp(t *testing.T) {
+	body := testBody(t)
+	out, err := Sequential{MaxAttempts: 3}.Transfer(lossyChannel(t, 0.9, 7), body, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Completed {
+		t.Error("α=0.9 sequential transfer claimed completion")
+	}
+	m := (len(body) + 255) / 256
+	if out.PacketsSent != 3*m {
+		t.Errorf("packets = %d, want exactly 3 attempts × %d", out.PacketsSent, m)
+	}
+}
+
+func TestARQCompletesWithFewRetransmissions(t *testing.T) {
+	body := testBody(t)
+	out, err := ARQ{}.Transfer(lossyChannel(t, 0.3, 7), body, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Completed {
+		t.Fatal("ARQ incomplete at α=0.3")
+	}
+	m := (len(body) + 255) / 256
+	// Expected total sends ≈ m/(1-α) ≈ 1.43m; allow slack.
+	if out.PacketsSent > 2*m {
+		t.Errorf("ARQ sent %d packets for %d-packet document", out.PacketsSent, m)
+	}
+}
+
+func TestARQChargesRTT(t *testing.T) {
+	body := testBody(t)
+	fast, err := ARQ{RTT: time.Millisecond}.Transfer(lossyChannel(t, 0.3, 9), body, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := ARQ{RTT: 2 * time.Second}.Transfer(lossyChannel(t, 0.3, 9), body, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Elapsed <= fast.Elapsed {
+		t.Errorf("2s-RTT ARQ (%v) not slower than 1ms-RTT (%v)", slow.Elapsed, fast.Elapsed)
+	}
+}
+
+func TestCompressedShrinksTransfer(t *testing.T) {
+	body := testBody(t)
+	plain, err := Sequential{}.Transfer(cleanChannel(t), body, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zipped, err := Compressed{}.Transfer(cleanChannel(t), body, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zipped.PacketsSent >= plain.PacketsSent {
+		t.Errorf("deflate did not shrink: %d vs %d packets", zipped.PacketsSent, plain.PacketsSent)
+	}
+}
+
+func TestFTMRTBeatsSequentialAtModerateLoss(t *testing.T) {
+	body := testBody(t)
+	seq, err := Sequential{}.Transfer(lossyChannel(t, 0.2, 11), body, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mrt, err := FTMRT{}.Transfer(lossyChannel(t, 0.2, 11), body, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mrt.Completed {
+		t.Fatal("FT-MRT incomplete at α=0.2")
+	}
+	if mrt.Elapsed >= seq.Elapsed {
+		t.Errorf("FT-MRT (%v) not faster than sequential reload (%v) at α=0.2", mrt.Elapsed, seq.Elapsed)
+	}
+}
+
+func TestCompressedFTMRT(t *testing.T) {
+	body := testBody(t)
+	stacked, err := CompressedFTMRT{}.Transfer(lossyChannel(t, 0.2, 13), body, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stacked.Completed {
+		t.Fatal("deflate+ft-mrt incomplete")
+	}
+	bare, err := FTMRT{}.Transfer(lossyChannel(t, 0.2, 13), body, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stacked.PacketsSent >= bare.PacketsSent {
+		t.Errorf("compression did not reduce FT-MRT packets: %d vs %d", stacked.PacketsSent, bare.PacketsSent)
+	}
+}
+
+func TestOpaqueDocumentSize(t *testing.T) {
+	body := make([]byte, 1000)
+	rand.New(rand.NewSource(1)).Read(body)
+	doc, err := opaqueDocument(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Size() != 1000 {
+		t.Errorf("opaque size = %d, want 1000", doc.Size())
+	}
+	if _, err := opaqueDocument([]byte{1}); err == nil {
+		t.Error("1-byte body accepted")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	body := testBody(t)
+	strategies := []Strategy{
+		Sequential{},
+		ARQ{},
+		Compressed{},
+		FTMRT{},
+		CompressedFTMRT{},
+	}
+	results, err := Compare(strategies, body, 256, 0.2, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(strategies) {
+		t.Fatalf("got %d results, want %d", len(results), len(strategies))
+	}
+	byName := make(map[string]Comparison, len(results))
+	for _, r := range results {
+		byName[r.Strategy] = r
+	}
+	// At α=0.2 every scheme except plain sequential should complete all
+	// trials, and FT-MRT should beat sequential on time.
+	if byName["ft-mrt"].CompletionRate != 1 {
+		t.Errorf("ft-mrt completion %v, want 1", byName["ft-mrt"].CompletionRate)
+	}
+	if byName["ft-mrt"].MeanSeconds >= byName["sequential-reload"].MeanSeconds {
+		t.Errorf("ft-mrt %v s not below sequential %v s",
+			byName["ft-mrt"].MeanSeconds, byName["sequential-reload"].MeanSeconds)
+	}
+	// Compression must reduce on-air packets versus its uncompressed
+	// counterpart.
+	if byName["deflate+sequential-reload"].MeanPackets >= byName["sequential-reload"].MeanPackets {
+		t.Error("deflate did not reduce sequential packets")
+	}
+}
+
+func TestCompareValidation(t *testing.T) {
+	if _, err := Compare(nil, testBody(t), 256, 0.1, 0, 1); err == nil {
+		t.Error("zero trials accepted")
+	}
+}

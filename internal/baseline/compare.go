@@ -1,0 +1,64 @@
+package baseline
+
+import (
+	"fmt"
+	"time"
+
+	"mobweb/internal/channel"
+)
+
+// Comparison is one strategy's aggregate performance over repeated
+// transfers.
+type Comparison struct {
+	// Strategy is the scheme's name.
+	Strategy string
+	// MeanSeconds is the mean transfer time.
+	MeanSeconds float64
+	// MeanPackets is the mean frames on the air.
+	MeanPackets float64
+	// CompletionRate is the fraction of transfers delivered within the
+	// retry budget.
+	CompletionRate float64
+}
+
+// Compare transfers body once per trial with every strategy over
+// identically-seeded channels and aggregates the outcomes. It is the
+// engine behind the strategy-comparison table (an extension experiment;
+// §6 mentions ongoing throughput comparison against the traditional
+// paradigm).
+func Compare(strategies []Strategy, body []byte, sp int, alpha float64, trials int, seed int64) ([]Comparison, error) {
+	if trials < 1 {
+		return nil, fmt.Errorf("baseline: trials %d, want >= 1", trials)
+	}
+	out := make([]Comparison, 0, len(strategies))
+	for _, s := range strategies {
+		var total time.Duration
+		var packets, completed int
+		for trial := 0; trial < trials; trial++ {
+			model, err := channel.NewBernoulli(alpha, seed+int64(trial)*6151)
+			if err != nil {
+				return nil, err
+			}
+			ch, err := channel.New(channel.Config{Model: model})
+			if err != nil {
+				return nil, err
+			}
+			res, err := s.Transfer(ch, body, sp)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", s.Name(), err)
+			}
+			total += res.Elapsed
+			packets += res.PacketsSent
+			if res.Completed {
+				completed++
+			}
+		}
+		out = append(out, Comparison{
+			Strategy:       s.Name(),
+			MeanSeconds:    (total / time.Duration(trials)).Seconds(),
+			MeanPackets:    float64(packets) / float64(trials),
+			CompletionRate: float64(completed) / float64(trials),
+		})
+	}
+	return out, nil
+}

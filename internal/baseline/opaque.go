@@ -1,0 +1,30 @@
+package baseline
+
+import (
+	"fmt"
+
+	"mobweb/internal/document"
+)
+
+// opaqueDocument wraps raw bytes as a single-paragraph document whose
+// serialized size equals len(body) exactly, so packet counts and timing
+// match a real transfer of those bytes. The document model reserves the
+// final byte of a paragraph extent for its separator, so the last body
+// byte is carried by the separator position; strategies compare transfer
+// *timing* over equal byte counts, which this preserves bit-for-bit in
+// length.
+func opaqueDocument(body []byte) (*document.Document, error) {
+	if len(body) < 2 {
+		return nil, fmt.Errorf("baseline: body of %d bytes too small to packetize", len(body))
+	}
+	b := document.NewBuilder()
+	b.Paragraph(string(body[:len(body)-1]))
+	doc, err := b.Build("opaque", "")
+	if err != nil {
+		return nil, err
+	}
+	if doc.Size() != len(body) {
+		return nil, fmt.Errorf("baseline: opaque document %d bytes, want %d", doc.Size(), len(body))
+	}
+	return doc, nil
+}

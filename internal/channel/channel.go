@@ -1,0 +1,284 @@
+// Package channel simulates the weakly-connected wireless link of the
+// paper's evaluation model (§5): a FIFO, low-bandwidth channel whose
+// packets arrive either intact or corrupted-with-detectable-error.
+//
+// The simulation runs on a virtual clock: each Send advances time by the
+// serialization delay frameBits/bandwidth (19.2 kbps by default, Table 2)
+// plus a fixed propagation latency. Corruption is drawn from a pluggable
+// ErrorModel: the paper's i.i.d. Bernoulli(α) model, a Gilbert-Elliott
+// burst extension, or a scripted disconnection model.
+package channel
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// DefaultBandwidthBPS is the paper's wireless bandwidth, 19.2 kbps,
+// in bits per second.
+const DefaultBandwidthBPS = 19200
+
+// Outcome classifies how a packet traversed the channel.
+type Outcome int
+
+// Outcomes start at 1 so the zero value is invalid and cannot be mistaken
+// for a successful delivery.
+const (
+	// Intact means the packet arrived unmodified.
+	Intact Outcome = iota + 1
+	// Corrupted means the packet arrived but fails its CRC check.
+	Corrupted
+	// Lost means the packet never arrived; the receiver infers it from a
+	// sequence-number gap.
+	Lost
+)
+
+// String returns the outcome name for logs and test failures.
+func (o Outcome) String() string {
+	switch o {
+	case Intact:
+		return "intact"
+	case Corrupted:
+		return "corrupted"
+	case Lost:
+		return "lost"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// ErrorModel decides the fate of each transmitted packet, in FIFO order.
+type ErrorModel interface {
+	// Next returns the outcome of the next packet transmission.
+	Next() Outcome
+}
+
+// Bernoulli is the paper's error model: each packet is independently
+// corrupted with probability Alpha.
+type Bernoulli struct {
+	alpha float64
+	rng   *rand.Rand
+}
+
+var _ ErrorModel = (*Bernoulli)(nil)
+
+// NewBernoulli returns the i.i.d. corruption model with probability alpha,
+// driven by the given seed for reproducibility.
+func NewBernoulli(alpha float64, seed int64) (*Bernoulli, error) {
+	if alpha < 0 || alpha > 1 {
+		return nil, fmt.Errorf("channel: alpha %v outside [0, 1]", alpha)
+	}
+	return &Bernoulli{alpha: alpha, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Next implements ErrorModel.
+func (b *Bernoulli) Next() Outcome {
+	if b.rng.Float64() < b.alpha {
+		return Corrupted
+	}
+	return Intact
+}
+
+// Alpha returns the configured corruption probability.
+func (b *Bernoulli) Alpha() float64 { return b.alpha }
+
+// GilbertElliott is a two-state Markov burst-error model: a good state
+// with low corruption and a bad state with high corruption, switching with
+// the given transition probabilities. It extends the paper's i.i.d. model
+// to bursty wireless fading; with PGoodToBad = 1-PBadToGood it degenerates
+// to Bernoulli.
+type GilbertElliott struct {
+	pGB, pBG            float64 // state transition probabilities
+	alphaGood, alphaBad float64
+	inBad               bool
+	rng                 *rand.Rand
+}
+
+var _ ErrorModel = (*GilbertElliott)(nil)
+
+// NewGilbertElliott constructs the burst model. All probabilities must lie
+// in [0, 1].
+func NewGilbertElliott(pGoodToBad, pBadToGood, alphaGood, alphaBad float64, seed int64) (*GilbertElliott, error) {
+	for _, p := range []float64{pGoodToBad, pBadToGood, alphaGood, alphaBad} {
+		if p < 0 || p > 1 {
+			return nil, fmt.Errorf("channel: probability %v outside [0, 1]", p)
+		}
+	}
+	return &GilbertElliott{
+		pGB:       pGoodToBad,
+		pBG:       pBadToGood,
+		alphaGood: alphaGood,
+		alphaBad:  alphaBad,
+		rng:       rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Next implements ErrorModel: advance the Markov state, then draw.
+func (g *GilbertElliott) Next() Outcome {
+	if g.inBad {
+		if g.rng.Float64() < g.pBG {
+			g.inBad = false
+		}
+	} else {
+		if g.rng.Float64() < g.pGB {
+			g.inBad = true
+		}
+	}
+	alpha := g.alphaGood
+	if g.inBad {
+		alpha = g.alphaBad
+	}
+	if g.rng.Float64() < alpha {
+		return Corrupted
+	}
+	return Intact
+}
+
+// SteadyStateAlpha returns the long-run corruption probability of the
+// chain, useful for calibrating burst experiments against the i.i.d.
+// baseline.
+func (g *GilbertElliott) SteadyStateAlpha() float64 {
+	denom := g.pGB + g.pBG
+	if denom == 0 {
+		if g.inBad {
+			return g.alphaBad
+		}
+		return g.alphaGood
+	}
+	piBad := g.pGB / denom
+	return piBad*g.alphaBad + (1-piBad)*g.alphaGood
+}
+
+// Disconnecting wraps another model with scripted disconnection windows:
+// every packet sent while disconnected is Lost. It models the "occasional
+// disconnection during transmission" the paper highlights.
+type Disconnecting struct {
+	inner       ErrorModel
+	sentCount   int
+	everyN      int // a disconnection starts every everyN packets...
+	burstLength int // ...and swallows burstLength packets
+}
+
+var _ ErrorModel = (*Disconnecting)(nil)
+
+// NewDisconnecting returns a model that, on top of inner's corruption,
+// drops burstLength consecutive packets out of every everyN.
+func NewDisconnecting(inner ErrorModel, everyN, burstLength int) (*Disconnecting, error) {
+	if everyN < 1 || burstLength < 0 || burstLength >= everyN {
+		return nil, fmt.Errorf("channel: disconnection window %d/%d infeasible", burstLength, everyN)
+	}
+	return &Disconnecting{inner: inner, everyN: everyN, burstLength: burstLength}, nil
+}
+
+// Next implements ErrorModel.
+func (d *Disconnecting) Next() Outcome {
+	pos := d.sentCount % d.everyN
+	d.sentCount++
+	// Consume the inner model's draw even while disconnected so that the
+	// underlying random sequence stays aligned with the packet count.
+	o := d.inner.Next()
+	if pos < d.burstLength {
+		return Lost
+	}
+	return o
+}
+
+// Channel is the virtual-time link. It is not safe for concurrent use;
+// the simulator drives it from a single goroutine, matching the FIFO
+// semantics of the modeled link.
+type Channel struct {
+	model        ErrorModel
+	bandwidthBPS float64
+	latency      time.Duration
+	now          time.Duration
+	sent         int
+	corrupted    int
+}
+
+// Config parameterizes a Channel.
+type Config struct {
+	// Model decides packet fates; required.
+	Model ErrorModel
+	// BandwidthBPS is the link speed in bits per second; defaults to
+	// DefaultBandwidthBPS when zero.
+	BandwidthBPS float64
+	// Latency is a fixed one-way propagation delay added to each packet's
+	// arrival time; zero is valid and matches the paper's model.
+	Latency time.Duration
+}
+
+// New constructs a Channel.
+func New(cfg Config) (*Channel, error) {
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("channel: nil error model")
+	}
+	bw := cfg.BandwidthBPS
+	if bw == 0 {
+		bw = DefaultBandwidthBPS
+	}
+	if bw < 0 {
+		return nil, fmt.Errorf("channel: negative bandwidth %v", bw)
+	}
+	if cfg.Latency < 0 {
+		return nil, fmt.Errorf("channel: negative latency %v", cfg.Latency)
+	}
+	return &Channel{model: cfg.Model, bandwidthBPS: bw, latency: cfg.Latency}, nil
+}
+
+// Delivery describes one packet's passage through the channel.
+type Delivery struct {
+	// Outcome is the packet's fate.
+	Outcome Outcome
+	// ArrivalTime is the virtual time at which the packet (or the
+	// knowledge of its loss) reaches the receiver.
+	ArrivalTime time.Duration
+}
+
+// Send transmits one frame of frameBytes bytes, advancing the virtual
+// clock by its serialization time, and returns the delivery result.
+func (c *Channel) Send(frameBytes int) Delivery {
+	if frameBytes < 0 {
+		panic("channel: negative frame size")
+	}
+	serialization := c.TransmissionTime(frameBytes)
+	c.now += serialization
+	outcome := c.model.Next()
+	c.sent++
+	if outcome != Intact {
+		c.corrupted++
+	}
+	return Delivery{Outcome: outcome, ArrivalTime: c.now + c.latency}
+}
+
+// TransmissionTime returns the serialization delay of a frame without
+// sending it.
+func (c *Channel) TransmissionTime(frameBytes int) time.Duration {
+	seconds := float64(frameBytes*8) / c.bandwidthBPS
+	return time.Duration(seconds * float64(time.Second))
+}
+
+// Now returns the current virtual time.
+func (c *Channel) Now() time.Duration { return c.now }
+
+// AdvanceTo moves the virtual clock forward to t (e.g. to account for a
+// think-time gap between documents). Moving backwards is a programming
+// error and panics.
+func (c *Channel) AdvanceTo(t time.Duration) {
+	if t < c.now {
+		panic(fmt.Sprintf("channel: AdvanceTo(%v) would move time backwards from %v", t, c.now))
+	}
+	c.now = t
+}
+
+// Advance moves the clock forward by d.
+func (c *Channel) Advance(d time.Duration) {
+	if d < 0 {
+		panic("channel: negative advance")
+	}
+	c.now += d
+}
+
+// Stats reports how many packets were sent and how many were not intact,
+// which feeds the EWMA α estimator.
+func (c *Channel) Stats() (sent, notIntact int) { return c.sent, c.corrupted }

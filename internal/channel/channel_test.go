@@ -1,0 +1,300 @@
+package channel
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestBernoulliValidation(t *testing.T) {
+	if _, err := NewBernoulli(-0.1, 1); err == nil {
+		t.Error("negative alpha accepted")
+	}
+	if _, err := NewBernoulli(1.1, 1); err == nil {
+		t.Error("alpha > 1 accepted")
+	}
+	if _, err := NewBernoulli(0.5, 1); err != nil {
+		t.Errorf("valid alpha rejected: %v", err)
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	for _, alpha := range []float64{0, 0.1, 0.5, 1} {
+		m, err := NewBernoulli(alpha, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 50000
+		bad := 0
+		for i := 0; i < n; i++ {
+			if m.Next() != Intact {
+				bad++
+			}
+		}
+		got := float64(bad) / n
+		if math.Abs(got-alpha) > 0.01 {
+			t.Errorf("alpha=%v: empirical corruption rate %v", alpha, got)
+		}
+	}
+}
+
+func TestBernoulliDeterministic(t *testing.T) {
+	a, err := NewBernoulli(0.3, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBernoulli(0.3, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestGilbertElliottValidation(t *testing.T) {
+	if _, err := NewGilbertElliott(-0.1, 0.5, 0, 1, 1); err == nil {
+		t.Error("negative probability accepted")
+	}
+	if _, err := NewGilbertElliott(0.1, 1.5, 0, 1, 1); err == nil {
+		t.Error("probability > 1 accepted")
+	}
+}
+
+func TestGilbertElliottSteadyState(t *testing.T) {
+	g, err := NewGilbertElliott(0.1, 0.3, 0.05, 0.6, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := g.SteadyStateAlpha()
+	const n = 200000
+	bad := 0
+	for i := 0; i < n; i++ {
+		if g.Next() != Intact {
+			bad++
+		}
+	}
+	got := float64(bad) / n
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("empirical rate %v vs steady state %v", got, want)
+	}
+}
+
+func TestGilbertElliottBursty(t *testing.T) {
+	// With sticky states, corrupted packets must cluster: the conditional
+	// probability of corruption after a corruption should exceed the
+	// marginal rate.
+	g, err := NewGilbertElliott(0.02, 0.1, 0.01, 0.7, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200000
+	prev := false
+	bad, badAfterBad, badPairsDenominator := 0, 0, 0
+	for i := 0; i < n; i++ {
+		cur := g.Next() != Intact
+		if cur {
+			bad++
+		}
+		if prev {
+			badPairsDenominator++
+			if cur {
+				badAfterBad++
+			}
+		}
+		prev = cur
+	}
+	marginal := float64(bad) / n
+	conditional := float64(badAfterBad) / float64(badPairsDenominator)
+	if conditional < marginal*1.5 {
+		t.Errorf("no burstiness: P(bad|bad)=%v vs marginal %v", conditional, marginal)
+	}
+}
+
+func TestGilbertElliottDegenerateNoTransitions(t *testing.T) {
+	g, err := NewGilbertElliott(0, 0, 0.2, 0.9, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.SteadyStateAlpha(); got != 0.2 {
+		t.Errorf("stuck-in-good steady state = %v, want 0.2", got)
+	}
+}
+
+func TestDisconnectingValidation(t *testing.T) {
+	inner, err := NewBernoulli(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDisconnecting(inner, 0, 0); err == nil {
+		t.Error("everyN = 0 accepted")
+	}
+	if _, err := NewDisconnecting(inner, 5, 5); err == nil {
+		t.Error("burst covering whole period accepted")
+	}
+}
+
+func TestDisconnectingWindows(t *testing.T) {
+	inner, err := NewBernoulli(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDisconnecting(inner, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		got := d.Next()
+		want := Intact
+		if i%10 < 3 {
+			want = Lost
+		}
+		if got != want {
+			t.Fatalf("packet %d: outcome %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestChannelValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("nil model accepted")
+	}
+	m, err := NewBernoulli(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Model: m, BandwidthBPS: -1}); err == nil {
+		t.Error("negative bandwidth accepted")
+	}
+	if _, err := New(Config{Model: m, Latency: -time.Second}); err == nil {
+		t.Error("negative latency accepted")
+	}
+}
+
+func TestTransmissionTimeMatchesPaper(t *testing.T) {
+	m, err := NewBernoulli(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := New(Config{Model: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 260-byte cooked packet over 19.2 kbps: 2080 bits / 19200 bps =
+	// 108.33 ms.
+	got := ch.TransmissionTime(260)
+	if math.Abs(got.Seconds()-0.108333) > 1e-4 {
+		t.Errorf("TransmissionTime(260) = %v s, want ~0.10833 s", got.Seconds())
+	}
+}
+
+func TestSendAdvancesClockFIFO(t *testing.T) {
+	m, err := NewBernoulli(0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := New(Config{Model: m, Latency: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prevArrival time.Duration
+	for i := 0; i < 100; i++ {
+		d := ch.Send(260)
+		if d.ArrivalTime <= prevArrival {
+			t.Fatalf("packet %d arrival %v not after previous %v; FIFO violated", i, d.ArrivalTime, prevArrival)
+		}
+		prevArrival = d.ArrivalTime
+	}
+	sent, _ := ch.Stats()
+	if sent != 100 {
+		t.Errorf("sent = %d, want 100", sent)
+	}
+}
+
+func TestFullDocumentTransmissionTime(t *testing.T) {
+	// 60 cooked packets of 260 bytes at 19.2 kbps is 6.5 s of air time —
+	// the scale of the response times in Figure 4.
+	m, err := NewBernoulli(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := New(Config{Model: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		ch.Send(260)
+	}
+	if got := ch.Now().Seconds(); math.Abs(got-6.5) > 0.01 {
+		t.Errorf("60-packet document air time = %v s, want ~6.5 s", got)
+	}
+}
+
+func TestAdvance(t *testing.T) {
+	m, err := NewBernoulli(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := New(Config{Model: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch.Advance(time.Second)
+	if ch.Now() != time.Second {
+		t.Errorf("Now = %v, want 1s", ch.Now())
+	}
+	ch.AdvanceTo(2 * time.Second)
+	if ch.Now() != 2*time.Second {
+		t.Errorf("Now = %v, want 2s", ch.Now())
+	}
+	assertPanics(t, "AdvanceTo backwards", func() { ch.AdvanceTo(time.Second) })
+	assertPanics(t, "negative Advance", func() { ch.Advance(-time.Second) })
+	assertPanics(t, "negative frame", func() { ch.Send(-1) })
+}
+
+func TestStatsCountsNonIntact(t *testing.T) {
+	m, err := NewBernoulli(1, 1) // everything corrupted
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := New(Config{Model: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		ch.Send(100)
+	}
+	sent, bad := ch.Stats()
+	if sent != 10 || bad != 10 {
+		t.Errorf("Stats = (%d, %d), want (10, 10)", sent, bad)
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	tests := []struct {
+		o    Outcome
+		want string
+	}{
+		{Intact, "intact"},
+		{Corrupted, "corrupted"},
+		{Lost, "lost"},
+		{Outcome(0), "Outcome(0)"},
+	}
+	for _, tt := range tests {
+		if got := tt.o.String(); got != tt.want {
+			t.Errorf("%d.String() = %q, want %q", int(tt.o), got, tt.want)
+		}
+	}
+}
+
+func assertPanics(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", name)
+		}
+	}()
+	fn()
+}

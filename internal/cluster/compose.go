@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"fmt"
+
+	"mobweb/internal/document"
+)
+
+// Compose flattens the cluster into one super-document, realizing the
+// paper's "collection of hierarchically linked related pages, composing a
+// larger document" literally: each page becomes a section titled with the
+// page title, holding the page's paragraph text. The pages appear in the
+// content-first reading order for the given query, so even the composed
+// document's *document-order* is already multi-resolution at the page
+// granularity; unit-level FT-MRT machinery (plans, QIC ranking,
+// erasure transmission) then applies unchanged to the whole cluster.
+func (c *Cluster) Compose(queryVec map[string]int) (*document.Document, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := c.ReadingOrder(queryVec)
+	if err != nil {
+		return nil, err
+	}
+	root := &document.Unit{Level: document.LODDocument}
+	for _, name := range order {
+		page := c.pages[name]
+		sec := &document.Unit{
+			Level: document.LODSection,
+			Title: page.Doc.Title,
+		}
+		// Graft the page's paragraph leaves under the section. The
+		// page's own internal sections become subsections to preserve
+		// one extra structural level where present.
+		for _, child := range page.Doc.Root.Children {
+			sec.Children = append(sec.Children, demote(child))
+		}
+		root.Children = append(root.Children, sec)
+	}
+	relabelComposed(root)
+	title := c.name
+	if rootPage, ok := c.pages[c.root]; ok && rootPage.Doc.Title != "" {
+		title = rootPage.Doc.Title
+	}
+	return document.New("cluster:"+c.name, title, root)
+}
+
+// demote deep-copies a unit subtree one structural level finer, flooring
+// at the paragraph level.
+func demote(u *document.Unit) *document.Unit {
+	level := u.Level
+	switch level {
+	case document.LODSection:
+		level = document.LODSubsection
+	case document.LODSubsection:
+		level = document.LODSubsubsection
+	case document.LODSubsubsection, document.LODParagraph:
+		level = document.LODParagraph
+	}
+	out := &document.Unit{
+		Level:      level,
+		Title:      u.Title,
+		Text:       u.Text,
+		Emphasized: append([]string(nil), u.Emphasized...),
+	}
+	if level == document.LODParagraph {
+		// Paragraphs cannot hold children; splice descendants' text.
+		if text := u.OwnAndDescendantText(); text != "" {
+			out.Text = text
+		}
+		return out
+	}
+	for _, child := range u.Children {
+		out.Children = append(out.Children, demote(child))
+	}
+	return out
+}
+
+// relabelComposed assigns hierarchical labels to the composed tree.
+func relabelComposed(root *document.Unit) {
+	var walk func(u *document.Unit)
+	walk = func(u *document.Unit) {
+		for i, c := range u.Children {
+			if u.Level == document.LODDocument {
+				c.Label = fmt.Sprintf("%d", i)
+			} else {
+				c.Label = fmt.Sprintf("%s.%d", u.Label, i)
+			}
+			walk(c)
+		}
+	}
+	walk(root)
+}

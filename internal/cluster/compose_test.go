@@ -1,0 +1,158 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"mobweb/internal/content"
+	"mobweb/internal/core"
+	"mobweb/internal/document"
+	"mobweb/internal/textproc"
+)
+
+func TestComposeStructure(t *testing.T) {
+	c := paperCluster(t)
+	q := map[string]int{"mobile": 1}
+	doc, err := c.Compose(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := doc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	secs, err := doc.UnitsAt(document.LODSection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(secs) != 3 {
+		t.Fatalf("composed document has %d sections, want one per page", len(secs))
+	}
+	// Pages appear in reading order: root first, then the query-relevant
+	// details page.
+	if secs[0].Title != "index.xml" {
+		t.Errorf("first section %q, want the root page", secs[0].Title)
+	}
+	if secs[1].Title != "details.xml" {
+		t.Errorf("second section %q, want the relevant page", secs[1].Title)
+	}
+}
+
+func TestComposeCarriesAllText(t *testing.T) {
+	c := paperCluster(t)
+	doc, err := c.Compose(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(doc.Body())
+	for _, fragment := range []string{"site map", "General overview", "wireless mobile transmission"} {
+		if !strings.Contains(body, fragment) {
+			t.Errorf("composed body missing %q", fragment)
+		}
+	}
+}
+
+func TestComposeInvalidCluster(t *testing.T) {
+	c, err := New("broken", "missing.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddPage(makeDoc(t, "page.xml", "text"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Compose(nil); err == nil {
+		t.Error("invalid cluster composed")
+	}
+}
+
+func TestComposeDemotesInternalStructure(t *testing.T) {
+	// A page with its own section must become subsection-level inside
+	// the composed super-document.
+	c, err := New("deep", "root.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := document.NewBuilder()
+	b.Open(document.LODSection, "", "Inner Section")
+	b.Paragraph("inner paragraph text")
+	inner, err := b.Build("root.xml", "Root Page")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddPage(inner, nil); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := c.Compose(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found *document.Unit
+	doc.Root.Walk(func(u *document.Unit) bool {
+		if u.Title == "Inner Section" {
+			found = u
+			return false
+		}
+		return true
+	})
+	if found == nil {
+		t.Fatal("inner section lost")
+	}
+	if found.Level != document.LODSubsection {
+		t.Errorf("inner section level %v, want subsection", found.Level)
+	}
+}
+
+func TestComposedClusterTransmitsEndToEnd(t *testing.T) {
+	// The headline property: a whole linked site rides the FT-MRT
+	// machinery as one document.
+	c := paperCluster(t)
+	qv := textproc.QueryVector("mobile browsing")
+	doc, err := c.Compose(qv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := textproc.BuildIndex(doc, textproc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := content.Build(doc, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := core.NewPlan(sc, qv, core.Config{
+		LOD:        document.LODSection, // page granularity
+		Notion:     content.NotionQIC,
+		PacketSize: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcv, err := core.NewReceiver(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := 0; seq < plan.N(); seq++ {
+		frame, err := plan.Frame(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := rcv.AddFrame(frame); err != nil {
+			t.Fatal(err)
+		}
+		if rcv.Reconstructible() {
+			break
+		}
+	}
+	body, err := rcv.Reconstruct()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "wireless mobile transmission") {
+		t.Error("cluster content lost in transmission")
+	}
+	// The top-ranked section of the plan must be the query-relevant
+	// page, ahead of the index page.
+	top := plan.Segments()[0]
+	if top.Unit.Title != "details.xml" {
+		t.Errorf("top-ranked page %q, want details.xml", top.Unit.Title)
+	}
+}

@@ -1,0 +1,263 @@
+// Package content computes the information-content notions of §3.1–3.2:
+//
+//   - IC: static information content p_i of an organizational unit, a
+//     keyword-weighted mass normalized so the document sums to one;
+//   - QIC: query-based information content q_i^Q, re-weighting keywords by
+//     the querying words (product combination);
+//   - MQIC: modified QIC q̃_i^Q, the scaled-sum combination that avoids
+//     zeroing units that miss every querying word.
+//
+// Keyword weights use the paper's logarithmic form
+// ω_a = 1 − log₂(|a_D| / ‖V_D‖) with the infinity norm ‖V_D‖∞ = max|v_i|,
+// chosen so weights need no human calibration. All three notions obey the
+// additive rule: a unit's score equals the sum of its sub-units' scores,
+// and the document totals 1 (when its denominator is non-zero).
+package content
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mobweb/internal/document"
+	"mobweb/internal/textproc"
+)
+
+// Notion selects which information-content definition ranks units.
+type Notion int
+
+// The three notions of the paper. They start at 1 so the zero value is
+// invalid.
+const (
+	// NotionIC is the static, query-independent content of §3.1.
+	NotionIC Notion = iota + 1
+	// NotionQIC is the query-based content of §3.2 (product weights).
+	NotionQIC
+	// NotionMQIC is the modified query-based content (scaled sum).
+	NotionMQIC
+)
+
+// String names the notion as used in Table 1's column headers.
+func (n Notion) String() string {
+	switch n {
+	case NotionIC:
+		return "IC"
+	case NotionQIC:
+		return "QIC"
+	case NotionMQIC:
+		return "MQIC"
+	default:
+		return fmt.Sprintf("Notion(%d)", int(n))
+	}
+}
+
+// SC is the structural characteristic: the unit tree plus the logical
+// keyword index and derived keyword weights. It is immutable after Build
+// and safe for concurrent use.
+type SC struct {
+	doc     *document.Document
+	index   *textproc.Index
+	weights map[string]float64 // ω_a per keyword
+	denomIC float64            // Σ_d |d_D|·ω_d
+	ic      map[int]float64    // cached static IC per unit
+}
+
+// Build derives the SC from a document and its keyword index.
+func Build(doc *document.Document, index *textproc.Index) (*SC, error) {
+	if doc == nil || index == nil {
+		return nil, fmt.Errorf("content: nil document or index")
+	}
+	sc := &SC{
+		doc:     doc,
+		index:   index,
+		weights: Weights(index.Doc),
+	}
+	for w, c := range index.Doc {
+		sc.denomIC += float64(c) * sc.weights[w]
+	}
+	sc.ic = make(map[int]float64, len(index.Units))
+	for unitID, counts := range index.Units {
+		num := 0.0
+		for w, c := range counts {
+			num += float64(c) * sc.weights[w]
+		}
+		sc.ic[unitID] = safeDiv(num, sc.denomIC)
+	}
+	return sc, nil
+}
+
+// Weights computes ω_a = 1 − log₂(|a_D| / ‖V_D‖∞) for every keyword in
+// an occurrence vector. The most frequent keyword gets weight exactly 1;
+// rarer keywords get larger weights. An empty vector yields an empty map.
+func Weights(occurrences map[string]int) map[string]float64 {
+	norm := InfinityNorm(occurrences)
+	w := make(map[string]float64, len(occurrences))
+	if norm == 0 {
+		return w
+	}
+	for a, c := range occurrences {
+		if c <= 0 {
+			continue
+		}
+		w[a] = 1 - math.Log2(float64(c)/float64(norm))
+	}
+	return w
+}
+
+// WeightsL2 is the alternative using the Euclidean norm, kept for the
+// norm-choice ablation (DESIGN.md §5). The paper chooses the infinity
+// norm; with L2 the most frequent keyword's weight exceeds 1 and the
+// relative spread between rare and frequent words narrows.
+func WeightsL2(occurrences map[string]int) map[string]float64 {
+	var sumSq float64
+	for _, c := range occurrences {
+		sumSq += float64(c) * float64(c)
+	}
+	norm := math.Sqrt(sumSq)
+	w := make(map[string]float64, len(occurrences))
+	if norm == 0 {
+		return w
+	}
+	for a, c := range occurrences {
+		if c <= 0 {
+			continue
+		}
+		w[a] = 1 - math.Log2(float64(c)/norm)
+	}
+	return w
+}
+
+// InfinityNorm returns max |v_i| of an occurrence vector.
+func InfinityNorm(occurrences map[string]int) int {
+	m := 0
+	for _, c := range occurrences {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// Doc returns the underlying document.
+func (sc *SC) Doc() *document.Document { return sc.doc }
+
+// Index returns the underlying keyword index.
+func (sc *SC) Index() *textproc.Index { return sc.index }
+
+// Weight returns ω_a for a keyword (zero when absent).
+func (sc *SC) Weight(keyword string) float64 { return sc.weights[keyword] }
+
+// IC returns the static information content p_i of a unit.
+func (sc *SC) IC(unitID int) float64 { return sc.ic[unitID] }
+
+// Scores holds all three notions evaluated per unit for one query.
+type Scores struct {
+	// IC, QIC and MQIC map unit ID → score.
+	IC, QIC, MQIC map[int]float64
+}
+
+// Get returns the score for the requested notion.
+func (s *Scores) Get(n Notion, unitID int) float64 {
+	switch n {
+	case NotionIC:
+		return s.IC[unitID]
+	case NotionQIC:
+		return s.QIC[unitID]
+	case NotionMQIC:
+		return s.MQIC[unitID]
+	default:
+		return 0
+	}
+}
+
+// Evaluate computes IC, QIC and MQIC for every unit against a query
+// occurrence vector V_Q (from textproc.QueryVector). A nil or empty query
+// yields QIC = MQIC = 0 everywhere except MQIC degenerates to IC scaled
+// weights with λ undefined; we define the empty-query MQIC as IC itself,
+// the natural limit as the query vanishes.
+func (sc *SC) Evaluate(queryVec map[string]int) *Scores {
+	s := &Scores{
+		IC:   make(map[int]float64, len(sc.ic)),
+		QIC:  make(map[int]float64, len(sc.ic)),
+		MQIC: make(map[int]float64, len(sc.ic)),
+	}
+	for id, v := range sc.ic {
+		s.IC[id] = v
+	}
+	if len(queryVec) == 0 {
+		for id, v := range sc.ic {
+			s.QIC[id] = 0
+			s.MQIC[id] = v
+		}
+		return s
+	}
+
+	qWeights := Weights(queryVec) // ω_a^Q, zero when |a_Q| = 0 by absence
+
+	// QIC denominator: Σ_{d ∈ D∩Q} |d_D|·ω_d·ω_d^Q.
+	var denomQ float64
+	for w, c := range sc.index.Doc {
+		if qw, ok := qWeights[w]; ok {
+			denomQ += float64(c) * sc.weights[w] * qw
+		}
+	}
+
+	// MQIC scaling factor λ = Σ|a_D| / Σ|a_Q| and denominator
+	// Σ_d |d_D|·(ω_d + λ·ω_d^Q).
+	var totalQ float64
+	for _, c := range queryVec {
+		totalQ += float64(c)
+	}
+	lambda := 0.0
+	if totalQ > 0 {
+		lambda = float64(sc.index.TotalDoc) / totalQ
+	}
+	var denomM float64
+	for w, c := range sc.index.Doc {
+		denomM += float64(c) * (sc.weights[w] + lambda*qWeights[w])
+	}
+
+	for unitID, counts := range sc.index.Units {
+		var numQ, numM float64
+		for w, c := range counts {
+			qw := qWeights[w]
+			numM += float64(c) * (sc.weights[w] + lambda*qw)
+			if qw != 0 {
+				numQ += float64(c) * sc.weights[w] * qw
+			}
+		}
+		s.QIC[unitID] = safeDiv(numQ, denomQ)
+		s.MQIC[unitID] = safeDiv(numM, denomM)
+	}
+	return s
+}
+
+// Ranked pairs a unit with its score for ordering.
+type Ranked struct {
+	Unit  *document.Unit
+	Score float64
+}
+
+// RankUnits orders the document's units at the given LOD by descending
+// score under the chosen notion, breaking ties by document order (stable),
+// which is the transmission order ⟨n_j1, …, n_jm⟩ of §4.2.
+func (sc *SC) RankUnits(lod document.LOD, notion Notion, queryVec map[string]int) ([]Ranked, error) {
+	units, err := sc.doc.UnitsAt(lod)
+	if err != nil {
+		return nil, err
+	}
+	scores := sc.Evaluate(queryVec)
+	out := make([]Ranked, len(units))
+	for i, u := range units {
+		out[i] = Ranked{Unit: u, Score: scores.Get(notion, u.ID)}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	return out, nil
+}
+
+func safeDiv(num, denom float64) float64 {
+	if denom == 0 {
+		return 0
+	}
+	return num / denom
+}

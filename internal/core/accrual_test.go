@@ -1,0 +1,113 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mobweb/internal/document"
+)
+
+func TestDocumentLODStillAccruesParagraphIC(t *testing.T) {
+	// Even under the conventional document-LOD paradigm, §5's model lets
+	// a client discard a document once F information content arrived —
+	// accrual must therefore run at paragraph granularity.
+	doc, scores := paperShapedDoc(t)
+	plan, err := NewPlanWithScores(doc, scores, Config{LOD: document.LODDocument})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Segments()) != 1 {
+		t.Fatalf("document LOD has %d ranked segments, want 1", len(plan.Segments()))
+	}
+	if len(plan.AccrualSegments()) != 20 {
+		t.Fatalf("accrual segments = %d, want 20 paragraphs", len(plan.AccrualSegments()))
+	}
+	rcv, err := NewReceiver(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At document LOD the stream is in document order; the first two
+	// clear packets complete the FIRST paragraph (which has the LOWEST
+	// score in this fixture), so IC must become exactly that score.
+	for seq := 0; seq < 2; seq++ {
+		payload, err := plan.CookedPayload(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rcv.Add(seq, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first := plan.AccrualSegments()[0]
+	if got := rcv.InfoContent(); math.Abs(got-first.Score) > 1e-9 {
+		t.Errorf("IC = %v, want first paragraph's score %v", got, first.Score)
+	}
+	if first.Score >= plan.AccrualSegments()[19].Score {
+		t.Error("fixture expectation broken: document order should start with the low-score paragraph")
+	}
+}
+
+func TestParagraphLODFrontLoadsIC(t *testing.T) {
+	// The multi-resolution claim: at paragraph LOD, the same number of
+	// intact clear-text packets yields strictly more information content
+	// than at document LOD (for a skewed document).
+	doc, scores := paperShapedDoc(t)
+	icAfter := func(lod document.LOD, packets int) float64 {
+		plan, err := NewPlanWithScores(doc, scores, Config{LOD: lod})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rcv, err := NewReceiver(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seq := 0; seq < packets; seq++ {
+			payload, err := plan.CookedPayload(seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := rcv.Add(seq, payload); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return rcv.InfoContent()
+	}
+	for _, packets := range []int{4, 10, 20} {
+		icDoc := icAfter(document.LODDocument, packets)
+		icPara := icAfter(document.LODParagraph, packets)
+		if icPara <= icDoc {
+			t.Errorf("%d packets: paragraph-LOD IC %v not above document-LOD IC %v", packets, icPara, icDoc)
+		}
+	}
+}
+
+func TestAccrualScoresSumToOne(t *testing.T) {
+	doc, scores := paperShapedDoc(t)
+	for _, lod := range document.AllLODs() {
+		plan, err := NewPlanWithScores(doc, scores, Config{LOD: lod})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for _, seg := range plan.AccrualSegments() {
+			sum += seg.Score
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%v: accrual scores sum to %v, want 1", lod, sum)
+		}
+	}
+}
+
+func TestZeroScoresFallBackToUniform(t *testing.T) {
+	doc, _ := paperShapedDoc(t)
+	plan, err := NewPlanWithScores(doc, map[int]float64{}, Config{LOD: document.LODParagraph})
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := plan.AccrualSegments()
+	for _, seg := range segs {
+		if math.Abs(seg.Score-1.0/float64(len(segs))) > 1e-9 {
+			t.Fatalf("zero-score fallback gave %v, want uniform %v", seg.Score, 1.0/float64(len(segs)))
+		}
+	}
+}

@@ -1,0 +1,139 @@
+// Package core implements the paper's contribution: fault-tolerant
+// multi-resolution transmission (FT-MRT) of structured web documents over
+// weakly-connected channels.
+//
+// A Plan is built from a document and per-unit information-content
+// scores: the organizational units at the chosen LOD are ranked by
+// descending score (§4.2's permuted sequence ⟨n_j1, …, n_jm⟩), their byte
+// extents are concatenated into the permuted stream, the stream is cut
+// into M raw packets of sp bytes, and the packets are expanded into
+// N = ⌈γM⌉ cooked packets with the systematic information-dispersal code.
+// Documents too large for a single dispersal group are segmented into
+// generations encoded independently.
+//
+// A Receiver consumes intact cooked packets and exposes the three
+// termination conditions of §4.2: enough packets to reconstruct, all
+// packets seen, or accrued information content past the relevance
+// threshold. Keeping a Receiver across retransmission rounds is the
+// paper's Caching strategy; resetting it per round is NoCaching.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"mobweb/internal/content"
+	"mobweb/internal/document"
+	"mobweb/internal/erasure"
+	"mobweb/internal/nbinom"
+	"mobweb/internal/packet"
+)
+
+// Default parameter values from Table 2 of the paper.
+const (
+	// DefaultPacketSize is the raw packet payload size sp = 256 bytes.
+	DefaultPacketSize = 256
+	// DefaultGamma is the redundancy ratio γ = N/M = 1.5.
+	DefaultGamma = 1.5
+)
+
+// ErrNotReconstructible is returned by Reconstruct before enough intact
+// packets have arrived — the "stalled" state of §4.2.
+var ErrNotReconstructible = errors.New("core: not enough intact packets to reconstruct")
+
+// Config parameterizes plan construction.
+type Config struct {
+	// PacketSize is the raw packet payload size sp; defaults to
+	// DefaultPacketSize when zero.
+	PacketSize int
+	// LOD is the level of detail whose units are ranked and permuted;
+	// defaults to LODDocument (the conventional paradigm) when zero.
+	LOD document.LOD
+	// Notion selects the information-content definition for ranking;
+	// defaults to NotionIC when zero.
+	Notion content.Notion
+	// Gamma is the redundancy ratio γ; N = ⌈γ·M⌉ per generation.
+	// Defaults to DefaultGamma when zero. Gamma below 1 is rejected.
+	Gamma float64
+	// MaxGeneration caps the raw packets per dispersal group; zero means
+	// the largest feasible group for the configured Gamma
+	// (⌊MaxCooked/γ⌋). Larger documents are split into generations.
+	MaxGeneration int
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.PacketSize == 0 {
+		c.PacketSize = DefaultPacketSize
+	}
+	if c.PacketSize < 1 {
+		return c, fmt.Errorf("core: packet size %d, want >= 1", c.PacketSize)
+	}
+	if c.LOD == 0 {
+		c.LOD = document.LODDocument
+	}
+	if !c.LOD.Valid() {
+		return c, fmt.Errorf("core: invalid LOD %d", int(c.LOD))
+	}
+	if c.Notion == 0 {
+		c.Notion = content.NotionIC
+	}
+	if c.Gamma == 0 {
+		c.Gamma = DefaultGamma
+	}
+	if c.Gamma < 1 {
+		return c, fmt.Errorf("core: gamma %v, want >= 1", c.Gamma)
+	}
+	maxGen := int(float64(erasure.MaxCooked) / c.Gamma)
+	if maxGen < 1 {
+		maxGen = 1
+	}
+	if c.MaxGeneration == 0 || c.MaxGeneration > maxGen {
+		c.MaxGeneration = maxGen
+	}
+	return c, nil
+}
+
+// cookedFor returns N for a generation of m raw packets.
+func (c Config) cookedFor(m int) int {
+	n := int(float64(m)*c.Gamma + 0.999999)
+	if n < m {
+		n = m
+	}
+	if n > erasure.MaxCooked {
+		n = erasure.MaxCooked
+	}
+	return n
+}
+
+// ChooseCooked picks N for M raw packets from an estimated channel
+// failure probability and a target success probability, per the
+// negative-binomial analysis of §4.1 (Figure 2's "judicial choice").
+func ChooseCooked(m int, alpha, successProb float64) (int, error) {
+	n, err := nbinom.MinCooked(m, alpha, successProb)
+	if err != nil {
+		return 0, err
+	}
+	if n > erasure.MaxCooked {
+		return 0, fmt.Errorf("core: required N = %d exceeds dispersal limit %d; reduce M or alpha", n, erasure.MaxCooked)
+	}
+	return n, nil
+}
+
+// GammaFor returns the redundancy ratio γ = N/M for the optimal N, the
+// quantity plotted in Figure 3.
+func GammaFor(m int, alpha, successProb float64) (float64, error) {
+	n, err := ChooseCooked(m, alpha, successProb)
+	if err != nil {
+		return 0, err
+	}
+	return float64(n) / float64(m), nil
+}
+
+// FrameSize returns the on-air frame size for the config's packets.
+func (c Config) FrameSize() int {
+	size := c.PacketSize
+	if size == 0 {
+		size = DefaultPacketSize
+	}
+	return packet.FrameSize(size)
+}

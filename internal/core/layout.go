@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+
+	"mobweb/internal/document"
+	"mobweb/internal/erasure"
+)
+
+// SegmentMeta is the serializable description of one plan segment — what
+// a client needs to track reception without holding the document.
+type SegmentMeta struct {
+	// Label is the unit's hierarchical label (e.g. "3.2.1").
+	Label string `json:"label"`
+	// Title is the unit's heading, empty for paragraphs.
+	Title string `json:"title,omitempty"`
+	// Level is the unit's LOD.
+	Level document.LOD `json:"level"`
+	// Score is the unit's normalized information content.
+	Score float64 `json:"score"`
+	// PermutedOff is the byte offset in the permuted stream.
+	PermutedOff int `json:"permutedOff"`
+	// OrigOff is the byte offset in the original body.
+	OrigOff int `json:"origOff"`
+	// Length is the extent length in bytes.
+	Length int `json:"length"`
+}
+
+// GenerationShape is the dispersal shape of one encoding group. The
+// dispersal matrix is a pure function of (M, N), so shape alone lets a
+// remote client rebuild the decoder.
+type GenerationShape struct {
+	// M and N are the raw and cooked packet counts of the group.
+	M int `json:"m"`
+	N int `json:"n"`
+}
+
+// Layout is the complete serializable transmission geometry of a plan:
+// everything a receiver needs, nothing the sender must keep secret. It is
+// the header the document transmitter sends before the packet stream.
+type Layout struct {
+	// PacketSize is the raw packet payload size sp.
+	PacketSize int `json:"packetSize"`
+	// BodySize is the original document body size in bytes.
+	BodySize int `json:"bodySize"`
+	// Shapes lists the dispersal groups in stream order.
+	Shapes []GenerationShape `json:"shapes"`
+	// Ranked lists the transmission-ordered unit segments.
+	Ranked []SegmentMeta `json:"ranked"`
+	// Accrual lists the paragraph-level accounting segments.
+	Accrual []SegmentMeta `json:"accrual"`
+}
+
+// Layout extracts the plan's transmission geometry.
+func (p *Plan) Layout() Layout {
+	l := Layout{
+		PacketSize: p.cfg.PacketSize,
+		BodySize:   len(p.body),
+		Shapes:     make([]GenerationShape, len(p.gens)),
+		Ranked:     make([]SegmentMeta, len(p.segments)),
+		Accrual:    make([]SegmentMeta, len(p.accrual)),
+	}
+	for i, g := range p.gens {
+		l.Shapes[i] = GenerationShape{M: g.coder.M(), N: g.coder.N()}
+	}
+	for i, s := range p.segments {
+		l.Ranked[i] = segmentMeta(s)
+	}
+	for i, s := range p.accrual {
+		l.Accrual[i] = segmentMeta(s)
+	}
+	return l
+}
+
+func segmentMeta(s UnitSegment) SegmentMeta {
+	return SegmentMeta{
+		Label:       s.Unit.Label,
+		Title:       s.Unit.Title,
+		Level:       s.Unit.Level,
+		Score:       s.Score,
+		PermutedOff: s.PermutedOff,
+		OrigOff:     s.OrigOff,
+		Length:      s.Length,
+	}
+}
+
+// Validate checks internal consistency: positive packet size, feasible
+// shapes, segments within the body.
+func (l Layout) Validate() error {
+	if l.PacketSize < 1 {
+		return fmt.Errorf("core: layout packet size %d", l.PacketSize)
+	}
+	if l.BodySize < 0 {
+		return fmt.Errorf("core: layout body size %d", l.BodySize)
+	}
+	if len(l.Shapes) == 0 {
+		return fmt.Errorf("core: layout has no dispersal groups")
+	}
+	m := 0
+	for i, s := range l.Shapes {
+		if s.M < 1 || s.N < s.M || s.N > erasure.MaxCooked {
+			return fmt.Errorf("core: layout shape %d = (%d, %d) infeasible", i, s.M, s.N)
+		}
+		m += s.M
+	}
+	if m*l.PacketSize < l.BodySize {
+		return fmt.Errorf("core: layout raw capacity %d below body size %d", m*l.PacketSize, l.BodySize)
+	}
+	for _, seg := range l.Ranked {
+		if seg.PermutedOff < 0 || seg.Length < 0 || seg.PermutedOff+seg.Length > l.BodySize ||
+			seg.OrigOff < 0 || seg.OrigOff+seg.Length > l.BodySize {
+			return fmt.Errorf("core: layout segment %q out of bounds", seg.Label)
+		}
+	}
+	accrualTotal := 0.0
+	for _, seg := range l.Accrual {
+		if seg.PermutedOff < 0 || seg.Length < 0 || seg.PermutedOff+seg.Length > l.BodySize ||
+			seg.OrigOff < 0 || seg.OrigOff+seg.Length > l.BodySize {
+			return fmt.Errorf("core: layout accrual segment %q out of bounds", seg.Label)
+		}
+		if seg.Score < 0 {
+			return fmt.Errorf("core: layout accrual segment %q has negative score", seg.Label)
+		}
+		accrualTotal += seg.Score
+	}
+	// A hostile or buggy server must not be able to convince the client
+	// it has more content than exists: accrual mass is capped at 1.
+	if accrualTotal > 1+1e-6 {
+		return fmt.Errorf("core: layout accrual scores sum to %v > 1", accrualTotal)
+	}
+	return nil
+}
+
+// M returns the total raw packets across groups.
+func (l Layout) M() int {
+	m := 0
+	for _, s := range l.Shapes {
+		m += s.M
+	}
+	return m
+}
+
+// N returns the total cooked packets across groups.
+func (l Layout) N() int {
+	n := 0
+	for _, s := range l.Shapes {
+		n += s.N
+	}
+	return n
+}
+
+// genBounds returns the generation index plus its raw and cooked offsets
+// for a global cooked sequence number.
+func (l Layout) genBounds(seq int) (gen, rawOff, cookedOff int, err error) {
+	if seq < 0 {
+		return 0, 0, 0, fmt.Errorf("core: seq %d negative", seq)
+	}
+	for g, s := range l.Shapes {
+		if seq < cookedOff+s.N {
+			return g, rawOff, cookedOff, nil
+		}
+		rawOff += s.M
+		cookedOff += s.N
+	}
+	return 0, 0, 0, fmt.Errorf("core: seq %d outside [0, %d)", seq, l.N())
+}
+
+// clearRawIndex returns the global raw index carried in clear text by
+// cooked seq, or -1 for redundancy packets.
+func (l Layout) clearRawIndex(seq int) int {
+	g, rawOff, cookedOff, err := l.genBounds(seq)
+	if err != nil {
+		return -1
+	}
+	idx := seq - cookedOff
+	if idx < l.Shapes[g].M {
+		return rawOff + idx
+	}
+	return -1
+}

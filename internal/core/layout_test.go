@@ -1,0 +1,181 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"mobweb/internal/document"
+)
+
+func TestLayoutJSONRoundTrip(t *testing.T) {
+	doc, scores := paperShapedDoc(t)
+	plan, err := NewPlanWithScores(doc, scores, Config{LOD: document.LODParagraph})
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := plan.Layout()
+	data, err := json.Marshal(layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Layout
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.M() != layout.M() || back.N() != layout.N() || back.BodySize != layout.BodySize {
+		t.Errorf("round-trip changed geometry: %+v vs %+v", back, layout)
+	}
+	if len(back.Ranked) != len(layout.Ranked) || len(back.Accrual) != len(layout.Accrual) {
+		t.Error("round-trip changed segment counts")
+	}
+	if err := back.Validate(); err != nil {
+		t.Errorf("round-tripped layout invalid: %v", err)
+	}
+}
+
+func TestReceiverFromLayoutDecodesRemoteStream(t *testing.T) {
+	// The client-side scenario: a receiver built from serialized geometry
+	// alone must decode the server's frames.
+	doc, scores := paperShapedDoc(t)
+	plan, err := NewPlanWithScores(doc, scores, Config{LOD: document.LODParagraph})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(plan.Layout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var layout Layout
+	if err := json.Unmarshal(data, &layout); err != nil {
+		t.Fatal(err)
+	}
+	rcv, err := NewReceiverFromLayout(layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deliver only redundancy + a spread of clear packets: 15 clear
+	// skipped, decode required.
+	delivered := 0
+	for seq := plan.N() - 1; seq >= 0 && delivered < plan.M(); seq -= 1 {
+		if seq%3 == 0 {
+			continue // pretend every third packet was corrupted
+		}
+		frame, err := plan.Frame(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, intact, err := rcv.AddFrame(frame); err != nil || !intact {
+			t.Fatalf("AddFrame(%d) = (%v, %v)", seq, intact, err)
+		}
+		delivered++
+	}
+	if !rcv.Reconstructible() {
+		t.Fatalf("receiver not reconstructible after %d packets", delivered)
+	}
+	body, err := rcv.Reconstruct()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, doc.Body()) {
+		t.Error("remote reconstruction differs from original body")
+	}
+}
+
+func TestLayoutValidate(t *testing.T) {
+	doc, scores := paperShapedDoc(t)
+	plan, err := NewPlanWithScores(doc, scores, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := plan.Layout()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid layout rejected: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Layout)
+	}{
+		{"zero packet size", func(l *Layout) { l.PacketSize = 0 }},
+		{"negative body", func(l *Layout) { l.BodySize = -1 }},
+		{"no shapes", func(l *Layout) { l.Shapes = nil }},
+		{"bad shape", func(l *Layout) { l.Shapes = []GenerationShape{{M: 5, N: 3}} }},
+		{"capacity too small", func(l *Layout) { l.Shapes = []GenerationShape{{M: 1, N: 2}} }},
+		{"segment out of bounds", func(l *Layout) {
+			l.Ranked = append([]SegmentMeta(nil), l.Ranked...)
+			l.Ranked[0].Length = l.BodySize + 1
+		}},
+		{"accrual out of bounds", func(l *Layout) {
+			l.Accrual = append([]SegmentMeta(nil), l.Accrual...)
+			l.Accrual[0].OrigOff = -1
+		}},
+		{"negative accrual score", func(l *Layout) {
+			l.Accrual = append([]SegmentMeta(nil), l.Accrual...)
+			l.Accrual[0].Score = -0.5
+		}},
+		{"hostile accrual mass", func(l *Layout) {
+			l.Accrual = append([]SegmentMeta(nil), l.Accrual...)
+			l.Accrual[0].Score = 5
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			bad := plan.Layout()
+			tt.mutate(&bad)
+			if err := bad.Validate(); err == nil {
+				t.Error("invalid layout accepted")
+			}
+			if _, err := NewReceiverFromLayout(bad); err == nil {
+				t.Error("receiver accepted invalid layout")
+			}
+		})
+	}
+}
+
+func TestLayoutClearRawIndex(t *testing.T) {
+	doc, scores := paperShapedDoc(t)
+	plan, err := NewPlanWithScores(doc, scores, Config{MaxGeneration: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := plan.Layout()
+	// Generation g spans cooked [g*12, g*12+12); the first 8 are clear
+	// and map to raw g*8+i.
+	for g := 0; g < 5; g++ {
+		for i := 0; i < 12; i++ {
+			seq := g*12 + i
+			want := -1
+			if i < 8 {
+				want = g*8 + i
+			}
+			if got := l.clearRawIndex(seq); got != want {
+				t.Errorf("clearRawIndex(%d) = %d, want %d", seq, got, want)
+			}
+		}
+	}
+	if got := l.clearRawIndex(-1); got != -1 {
+		t.Errorf("clearRawIndex(-1) = %d, want -1", got)
+	}
+	if got := l.clearRawIndex(l.N()); got != -1 {
+		t.Errorf("clearRawIndex(N) = %d, want -1", got)
+	}
+}
+
+func TestReceiverHeld(t *testing.T) {
+	doc, scores := paperShapedDoc(t)
+	plan, err := NewPlanWithScores(doc, scores, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcv, err := NewReceiver(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, _ := plan.CookedPayload(7)
+	if err := rcv.Add(7, payload); err != nil {
+		t.Fatal(err)
+	}
+	if !rcv.Held(7) || rcv.Held(8) {
+		t.Error("Held misreports packet possession")
+	}
+}

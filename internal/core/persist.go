@@ -1,0 +1,61 @@
+package core
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// receiverState is the serialized form of a receiver: the transmission
+// geometry plus every intact packet. It realizes §4.2's suggestion that
+// "the local storage of the client could be utilized to store the partial
+// document so as to increase the chance of getting the M intact cooked
+// packets" — a stalled download survives process restarts and
+// disconnections, resuming from disk.
+type receiverState struct {
+	Layout Layout `json:"layout"`
+	// Packets maps cooked sequence number → base64 payload.
+	Packets map[string]string `json:"packets"`
+}
+
+// Save writes the receiver's layout and intact packets as JSON.
+func (r *Receiver) Save(w io.Writer) error {
+	state := receiverState{
+		Layout:  r.layout,
+		Packets: make(map[string]string, len(r.intact)),
+	}
+	for seq, payload := range r.intact {
+		state.Packets[fmt.Sprint(seq)] = base64.StdEncoding.EncodeToString(payload)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(state)
+}
+
+// LoadReceiver restores a receiver saved with Save. The layout is
+// re-validated and every packet re-checked for shape, so a tampered or
+// truncated cache file is rejected rather than trusted.
+func LoadReceiver(rd io.Reader) (*Receiver, error) {
+	var state receiverState
+	if err := json.NewDecoder(rd).Decode(&state); err != nil {
+		return nil, fmt.Errorf("core: load receiver: %w", err)
+	}
+	rcv, err := NewReceiverFromLayout(state.Layout)
+	if err != nil {
+		return nil, fmt.Errorf("core: load receiver: %w", err)
+	}
+	for seqStr, b64 := range state.Packets {
+		var seq int
+		if _, err := fmt.Sscanf(seqStr, "%d", &seq); err != nil {
+			return nil, fmt.Errorf("core: load receiver: bad sequence %q", seqStr)
+		}
+		payload, err := base64.StdEncoding.DecodeString(b64)
+		if err != nil {
+			return nil, fmt.Errorf("core: load receiver: packet %d: %w", seq, err)
+		}
+		if err := rcv.Add(seq, payload); err != nil {
+			return nil, fmt.Errorf("core: load receiver: %w", err)
+		}
+	}
+	return rcv, nil
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mobweb/internal/document"
+)
+
+func TestSaveLoadReceiverRoundTrip(t *testing.T) {
+	doc, scores := paperShapedDoc(t)
+	plan, err := NewPlanWithScores(doc, scores, Config{LOD: document.LODParagraph})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcv, err := NewReceiver(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A stalled partial download: 25 of 40 needed packets.
+	for seq := 0; seq < 25; seq++ {
+		payload, err := plan.CookedPayload(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rcv.Add(seq, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	icBefore := rcv.InfoContent()
+
+	var buf bytes.Buffer
+	if err := rcv.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := LoadReceiver(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.IntactCount() != 25 {
+		t.Errorf("restored %d packets, want 25", restored.IntactCount())
+	}
+	if got := restored.InfoContent(); got != icBefore {
+		t.Errorf("restored IC %v, want %v", got, icBefore)
+	}
+	// Resume: deliver the rest and reconstruct — the "retransmission
+	// after restart" path.
+	for seq := 25; seq < plan.M(); seq++ {
+		payload, err := plan.CookedPayload(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := restored.Add(seq, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	body, err := restored.Reconstruct()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, doc.Body()) {
+		t.Error("resumed reconstruction differs")
+	}
+}
+
+func TestLoadReceiverRejectsGarbage(t *testing.T) {
+	if _, err := LoadReceiver(strings.NewReader("{bad json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := LoadReceiver(strings.NewReader(`{"layout":{},"packets":{}}`)); err == nil {
+		t.Error("invalid layout accepted")
+	}
+}
+
+func TestLoadReceiverRejectsTamperedPackets(t *testing.T) {
+	doc, scores := paperShapedDoc(t)
+	plan, err := NewPlanWithScores(doc, scores, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcv, err := NewReceiver(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := plan.CookedPayload(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rcv.Add(0, payload); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rcv.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the base64 payload.
+	tampered := strings.Replace(buf.String(), `"0":"`, `"0":"!!!`, 1)
+	if _, err := LoadReceiver(strings.NewReader(tampered)); err == nil {
+		t.Error("tampered packet accepted")
+	}
+	// Out-of-range sequence numbers are rejected too.
+	badSeq := strings.Replace(buf.String(), `"0":`, `"99999":`, 1)
+	if _, err := LoadReceiver(strings.NewReader(badSeq)); err == nil {
+		t.Error("out-of-range sequence accepted")
+	}
+}

@@ -1,0 +1,291 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"mobweb/internal/content"
+	"mobweb/internal/document"
+	"mobweb/internal/erasure"
+	"mobweb/internal/packet"
+)
+
+// UnitSegment records where one ranked organizational unit lives in the
+// permuted transmission stream.
+type UnitSegment struct {
+	// Unit is the organizational unit.
+	Unit *document.Unit
+	// Score is the unit's information content under the plan's notion,
+	// normalized so all segments sum to 1 (when any score is positive).
+	Score float64
+	// PermutedOff is the unit's byte offset in the permuted stream.
+	PermutedOff int
+	// OrigOff is the unit's byte offset in the original document body.
+	OrigOff int
+	// Length is the unit's extent length in bytes.
+	Length int
+}
+
+// generation is one independently-encoded dispersal group.
+type generation struct {
+	coder     *erasure.Coder
+	rawOff    int // first raw packet index (global)
+	cookedOff int // first cooked sequence number (global)
+	cooked    [][]byte
+}
+
+// Plan is an immutable transmission plan for one document: the ranked
+// unit permutation, the packetized permuted stream, and the cooked
+// packets of every generation. Plans are safe for concurrent use.
+type Plan struct {
+	doc      *document.Document
+	cfg      Config
+	segments []UnitSegment // ranked units at cfg.LOD (transmission order)
+	accrual  []UnitSegment // paragraph-level segments for IC accounting
+	body     []byte        // original document body
+	permuted []byte        // ranked concatenation of unit extents
+	m        int           // total raw packets
+	n        int           // total cooked packets
+	gens     []generation
+}
+
+// NewPlan ranks the document's units by the SC's scores for the query and
+// builds the transmission plan.
+func NewPlan(sc *content.SC, queryVec map[string]int, cfg Config) (*Plan, error) {
+	if sc == nil {
+		return nil, fmt.Errorf("core: nil SC")
+	}
+	full, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	evaluated := sc.Evaluate(queryVec)
+	scores := make(map[int]float64, len(sc.Doc().Units()))
+	for _, u := range sc.Doc().Units() {
+		scores[u.ID] = evaluated.Get(full.Notion, u.ID)
+	}
+	ranked, err := sc.RankUnits(full.LOD, full.Notion, queryVec)
+	if err != nil {
+		return nil, err
+	}
+	units := make([]*document.Unit, len(ranked))
+	for i, r := range ranked {
+		units[i] = r.Unit
+	}
+	return newPlan(sc.Doc(), units, scores, full)
+}
+
+// NewPlanWithScores builds a plan from explicit per-unit scores (unit ID →
+// score), ranking the units at cfg.LOD by descending score. It serves the
+// simulator, whose synthetic documents carry modeled information content
+// rather than keyword-derived scores.
+func NewPlanWithScores(doc *document.Document, scores map[int]float64, cfg Config) (*Plan, error) {
+	if doc == nil {
+		return nil, fmt.Errorf("core: nil document")
+	}
+	full, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	units, err := doc.UnitsAt(full.LOD)
+	if err != nil {
+		return nil, err
+	}
+	ordered := make([]*document.Unit, len(units))
+	copy(ordered, units)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		return scores[ordered[i].ID] > scores[ordered[j].ID]
+	})
+	return newPlan(doc, ordered, scores, full)
+}
+
+func newPlan(doc *document.Document, ranked []*document.Unit, scores map[int]float64, cfg Config) (*Plan, error) {
+	body := doc.Body()
+	p := &Plan{doc: doc, cfg: cfg, body: body}
+
+	// Build the permuted stream and the segment map.
+	p.permuted = make([]byte, 0, len(body))
+	total := 0.0
+	for _, u := range ranked {
+		total += scores[u.ID]
+	}
+	for _, u := range ranked {
+		score := scores[u.ID]
+		if total > 0 {
+			score /= total
+		}
+		p.segments = append(p.segments, UnitSegment{
+			Unit:        u,
+			Score:       score,
+			PermutedOff: len(p.permuted),
+			OrigOff:     u.Start,
+			Length:      u.Span(),
+		})
+		p.permuted = append(p.permuted, body[u.Start:u.End]...)
+	}
+	if len(p.permuted) != len(body) {
+		return nil, fmt.Errorf("core: ranked units cover %d of %d body bytes; not a partition", len(p.permuted), len(body))
+	}
+
+	// Information content accrues at paragraph granularity regardless of
+	// the ranked LOD: §5's model discards a document once the received
+	// content passes F even under conventional document-LOD transmission,
+	// which requires accounting finer than the transmission units.
+	paragraphs := doc.Paragraphs()
+	accrualTotal := 0.0
+	for _, leaf := range paragraphs {
+		accrualTotal += scores[leaf.ID]
+	}
+	for _, leaf := range paragraphs {
+		seg, ok := p.segmentContaining(leaf)
+		if !ok {
+			return nil, fmt.Errorf("core: paragraph %q outside every ranked unit", leaf.Label)
+		}
+		score := scores[leaf.ID]
+		if accrualTotal > 0 {
+			score /= accrualTotal
+		} else if len(paragraphs) > 0 {
+			// Uniform fallback so a document with no scored keywords
+			// still reaches IC = 1 when complete.
+			score = 1 / float64(len(paragraphs))
+		}
+		p.accrual = append(p.accrual, UnitSegment{
+			Unit:        leaf,
+			Score:       score,
+			PermutedOff: seg.PermutedOff + (leaf.Start - seg.Unit.Start),
+			OrigOff:     leaf.Start,
+			Length:      leaf.Span(),
+		})
+	}
+	sort.Slice(p.accrual, func(i, j int) bool {
+		return p.accrual[i].PermutedOff < p.accrual[j].PermutedOff
+	})
+
+	// Packetize into generations.
+	p.m = erasure.PacketsFor(len(p.permuted), cfg.PacketSize)
+	raw, err := erasure.Split(p.permuted, p.m, cfg.PacketSize)
+	if err != nil {
+		return nil, err
+	}
+	cookedSeq := 0
+	for rawOff := 0; rawOff < p.m; rawOff += cfg.MaxGeneration {
+		end := rawOff + cfg.MaxGeneration
+		if end > p.m {
+			end = p.m
+		}
+		mb := end - rawOff
+		nb := cfg.cookedFor(mb)
+		coder, err := erasure.Shared(mb, nb)
+		if err != nil {
+			return nil, fmt.Errorf("generation at raw %d: %w", rawOff, err)
+		}
+		cooked, err := coder.Encode(raw[rawOff:end])
+		if err != nil {
+			return nil, fmt.Errorf("generation at raw %d: %w", rawOff, err)
+		}
+		p.gens = append(p.gens, generation{
+			coder:     coder,
+			rawOff:    rawOff,
+			cookedOff: cookedSeq,
+			cooked:    cooked,
+		})
+		cookedSeq += nb
+	}
+	p.n = cookedSeq
+	return p, nil
+}
+
+// Doc returns the planned document.
+func (p *Plan) Doc() *document.Document { return p.doc }
+
+// M returns the total number of raw packets.
+func (p *Plan) M() int { return p.m }
+
+// N returns the total number of cooked packets.
+func (p *Plan) N() int { return p.n }
+
+// Generations returns the number of dispersal groups.
+func (p *Plan) Generations() int { return len(p.gens) }
+
+// Config returns the resolved configuration (defaults applied).
+func (p *Plan) Config() Config { return p.cfg }
+
+// Segments returns the ranked unit segments in transmission order. The
+// returned slice is shared; callers must not modify it.
+func (p *Plan) Segments() []UnitSegment { return p.segments }
+
+// AccrualSegments returns the paragraph-level segments against which
+// information content accrues, in transmission order. The returned slice
+// is shared; callers must not modify it.
+func (p *Plan) AccrualSegments() []UnitSegment { return p.accrual }
+
+// segmentContaining returns the ranked segment whose unit extent covers
+// the leaf.
+func (p *Plan) segmentContaining(leaf *document.Unit) (UnitSegment, bool) {
+	for _, seg := range p.segments {
+		if leaf.Start >= seg.Unit.Start && leaf.End <= seg.Unit.End {
+			return seg, true
+		}
+	}
+	return UnitSegment{}, false
+}
+
+// CookedPayload returns the cooked packet payload for a global sequence
+// number.
+func (p *Plan) CookedPayload(seq int) ([]byte, error) {
+	g, idx, err := p.locate(seq)
+	if err != nil {
+		return nil, err
+	}
+	return p.gens[g].cooked[idx], nil
+}
+
+// Frame marshals the cooked packet at seq into its wire frame
+// (sequence number + CRC + payload).
+func (p *Plan) Frame(seq int) ([]byte, error) {
+	payload, err := p.CookedPayload(seq)
+	if err != nil {
+		return nil, err
+	}
+	return packet.Packet{Seq: seq, Payload: payload}.Marshal()
+}
+
+// locate maps a global cooked sequence number to (generation, index).
+func (p *Plan) locate(seq int) (genIdx, idx int, err error) {
+	if seq < 0 || seq >= p.n {
+		return 0, 0, fmt.Errorf("core: cooked seq %d outside [0, %d)", seq, p.n)
+	}
+	for g := range p.gens {
+		off := p.gens[g].cookedOff
+		if seq < off+p.gens[g].coder.N() {
+			return g, seq - off, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("core: cooked seq %d unmapped", seq)
+}
+
+// clearRawIndex returns the global raw packet index carried in clear text
+// by cooked seq, or -1 if seq is a redundancy packet.
+func (p *Plan) clearRawIndex(seq int) int {
+	g, idx, err := p.locate(seq)
+	if err != nil {
+		return -1
+	}
+	if idx < p.gens[g].coder.M() {
+		return p.gens[g].rawOff + idx
+	}
+	return -1
+}
+
+// permutedToOriginal copies the permuted stream back into original
+// document order.
+func (p *Plan) permutedToOriginal(permuted []byte) []byte {
+	out := make([]byte, len(p.body))
+	for _, seg := range p.segments {
+		copy(out[seg.OrigOff:seg.OrigOff+seg.Length], permuted[seg.PermutedOff:seg.PermutedOff+seg.Length])
+	}
+	return out
+}
+
+// BodySize returns the original document body size in bytes.
+func (p *Plan) BodySize() int { return len(p.body) }

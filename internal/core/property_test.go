@@ -1,0 +1,166 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mobweb/internal/document"
+	"mobweb/internal/trace"
+)
+
+// TestEndToEndProperty drives the whole plan/receive machinery with
+// random documents, random configurations and random loss patterns,
+// checking the §4.2 invariants:
+//
+//  1. whenever at least M distinct cooked packets of every generation
+//     survive, the document reconstructs byte-exactly;
+//  2. accrued information content is monotone in the packet set and
+//     reaches exactly 1 on reconstructibility;
+//  3. the clear-text prefix renders units without any decode.
+func TestEndToEndProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		spec := trace.DocSpec{
+			Sections:                1 + rng.Intn(4),
+			SubsectionsPerSection:   1 + rng.Intn(3),
+			ParagraphsPerSubsection: 1 + rng.Intn(3),
+			Skew:                    1 + rng.Float64()*4,
+		}
+		spec.SizeBytes = spec.Paragraphs() * (16 + rng.Intn(512))
+		doc, scores, err := trace.Generate(spec, rng)
+		if err != nil {
+			t.Logf("generate: %v", err)
+			return false
+		}
+		lods := document.AllLODs()
+		cfg := Config{
+			PacketSize: 8 << rng.Intn(6), // 8..256
+			LOD:        lods[rng.Intn(len(lods))],
+			Gamma:      1 + rng.Float64()*1.5,
+		}
+		plan, err := NewPlanWithScores(doc, scores, cfg)
+		if err != nil {
+			t.Logf("plan: %v", err)
+			return false
+		}
+		rcv, err := NewReceiver(plan)
+		if err != nil {
+			t.Logf("receiver: %v", err)
+			return false
+		}
+
+		// Deliver packets in random order with random loss until
+		// reconstructible, tracking IC monotonicity.
+		prevIC := 0.0
+		for _, seq := range rng.Perm(plan.N()) {
+			if rng.Float64() < 0.3 {
+				continue // lost
+			}
+			payload, err := plan.CookedPayload(seq)
+			if err != nil {
+				t.Logf("payload: %v", err)
+				return false
+			}
+			if err := rcv.Add(seq, payload); err != nil {
+				t.Logf("add: %v", err)
+				return false
+			}
+			ic := rcv.InfoContent()
+			if ic+1e-9 < prevIC {
+				t.Logf("IC decreased: %v -> %v", prevIC, ic)
+				return false
+			}
+			prevIC = ic
+		}
+		if !rcv.Reconstructible() {
+			// 70% delivery of γ≥1 packets occasionally misses a
+			// generation; deliver the remainder deterministically.
+			for seq := 0; seq < plan.N(); seq++ {
+				payload, err := plan.CookedPayload(seq)
+				if err != nil {
+					return false
+				}
+				if err := rcv.Add(seq, payload); err != nil {
+					return false
+				}
+			}
+		}
+		if !rcv.Reconstructible() {
+			t.Log("not reconstructible with all packets")
+			return false
+		}
+		if ic := rcv.InfoContent(); ic < 1-1e-9 || ic > 1+1e-9 {
+			t.Logf("IC at completion = %v", ic)
+			return false
+		}
+		body, err := rcv.Reconstruct()
+		if err != nil {
+			t.Logf("reconstruct: %v", err)
+			return false
+		}
+		if !bytes.Equal(body, doc.Body()) {
+			t.Log("body mismatch")
+			return false
+		}
+		// Rendered units must equal the number of paragraphs and carry
+		// their exact bytes.
+		rendered := rcv.Render()
+		if len(rendered) != len(doc.Paragraphs()) {
+			t.Logf("rendered %d of %d paragraphs", len(rendered), len(doc.Paragraphs()))
+			return false
+		}
+		for _, u := range rendered {
+			want := string(body[u.Segment.OrigOff : u.Segment.OrigOff+u.Segment.Length])
+			if u.Text != want {
+				t.Log("rendered text mismatch")
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestClearTextRenderWithoutDecode verifies invariant 3 explicitly: with
+// only the clear prefix of the FIRST generation delivered, every unit
+// whose bytes lie in those packets renders, and none that needs decoding
+// does.
+func TestClearTextRenderWithoutDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	doc, scores, err := trace.Generate(trace.Default(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := NewPlanWithScores(doc, scores, Config{LOD: document.LODParagraph})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcv, err := NewReceiver(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := plan.M() / 2
+	for seq := 0; seq < half; seq++ {
+		payload, err := plan.CookedPayload(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rcv.Add(seq, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sp := plan.Config().PacketSize
+	availableBytes := half * sp
+	for _, seg := range plan.Layout().Accrual {
+		_, ok := rcv.UnitText(seg)
+		within := seg.PermutedOff+seg.Length <= availableBytes
+		if within != ok {
+			t.Errorf("unit at permuted %d len %d: renderable=%v, want %v",
+				seg.PermutedOff, seg.Length, ok, within)
+		}
+	}
+}

@@ -1,0 +1,355 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"mobweb/internal/erasure"
+	"mobweb/internal/packet"
+)
+
+// Receiver accumulates intact cooked packets for one transmission layout
+// and answers the client-side questions of §4.2: how much information
+// content has arrived, is the document reconstructible, and what can be
+// rendered already. It needs only the Layout — the serializable geometry
+// a server sends ahead of the packet stream — because the dispersal
+// matrices are pure functions of each generation's (M, N).
+//
+// A Receiver that persists across retransmission rounds realizes the
+// paper's Caching strategy ("cache the intact cooked packets received and
+// use them to reconstruct the document when a retransmission occurs");
+// calling Reset between rounds realizes NoCaching.
+//
+// Receiver is not safe for concurrent use; the transport layer owns it
+// from a single goroutine.
+type Receiver struct {
+	layout Layout
+	coders []*erasure.Coder
+	intact map[int][]byte // global cooked seq → payload
+	// perGen counts intact packets per generation for O(1) stall checks.
+	perGen []int
+}
+
+// NewReceiver returns an empty receiver for the plan's layout.
+func NewReceiver(plan *Plan) (*Receiver, error) {
+	if plan == nil {
+		return nil, fmt.Errorf("core: nil plan")
+	}
+	return NewReceiverFromLayout(plan.Layout())
+}
+
+// NewReceiverFromLayout builds a receiver from transmission geometry
+// alone, the client side of the live transport.
+func NewReceiverFromLayout(layout Layout) (*Receiver, error) {
+	if err := layout.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Receiver{
+		layout: layout,
+		coders: make([]*erasure.Coder, len(layout.Shapes)),
+		intact: make(map[int][]byte),
+		perGen: make([]int, len(layout.Shapes)),
+	}
+	for i, s := range layout.Shapes {
+		coder, err := erasure.Shared(s.M, s.N)
+		if err != nil {
+			return nil, fmt.Errorf("generation %d: %w", i, err)
+		}
+		r.coders[i] = coder
+	}
+	return r, nil
+}
+
+// Layout returns the receiver's transmission geometry.
+func (r *Receiver) Layout() Layout { return r.layout }
+
+// Add records an intact cooked packet by global sequence number.
+// Duplicates are ignored. The payload is copied.
+func (r *Receiver) Add(seq int, payload []byte) error {
+	if seq < 0 || seq >= r.layout.N() {
+		return fmt.Errorf("core: seq %d outside [0, %d)", seq, r.layout.N())
+	}
+	if len(payload) != r.layout.PacketSize {
+		return fmt.Errorf("core: payload %d bytes, want %d", len(payload), r.layout.PacketSize)
+	}
+	if _, dup := r.intact[seq]; dup {
+		return nil
+	}
+	g, _, _, err := r.layout.genBounds(seq)
+	if err != nil {
+		return err
+	}
+	r.intact[seq] = append([]byte(nil), payload...)
+	r.perGen[g]++
+	return nil
+}
+
+// AddFrame parses a wire frame, verifies its CRC, and records it when
+// intact. It returns the (claimed) sequence number and whether the packet
+// was intact. Truncated frames return an error.
+func (r *Receiver) AddFrame(frame []byte) (seq int, intact bool, err error) {
+	p, err := packet.Unmarshal(frame)
+	if errors.Is(err, packet.ErrCorrupt) {
+		return p.Seq, false, nil
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	if err := r.Add(p.Seq, p.Payload); err != nil {
+		return p.Seq, false, err
+	}
+	return p.Seq, true, nil
+}
+
+// IntactCount returns the number of distinct intact packets held.
+func (r *Receiver) IntactCount() int { return len(r.intact) }
+
+// Held reports whether the packet with the given sequence number is held
+// intact; the transport uses it to request selective retransmission.
+func (r *Receiver) Held(seq int) bool {
+	_, ok := r.intact[seq]
+	return ok
+}
+
+// Reset discards all cached packets — the NoCaching behaviour between
+// retransmission rounds (stock HTTP reload).
+func (r *Receiver) Reset() {
+	r.intact = make(map[int][]byte)
+	for i := range r.perGen {
+		r.perGen[i] = 0
+	}
+}
+
+// GenerationReconstructible reports whether dispersal group g holds at
+// least M_g intact packets.
+func (r *Receiver) GenerationReconstructible(g int) bool {
+	if g < 0 || g >= len(r.perGen) {
+		return false
+	}
+	return r.perGen[g] >= r.layout.Shapes[g].M
+}
+
+// Reconstructible reports whether every generation can be decoded — the
+// first termination condition of §4.2.
+func (r *Receiver) Reconstructible() bool {
+	for g := range r.perGen {
+		if r.perGen[g] < r.layout.Shapes[g].M {
+			return false
+		}
+	}
+	return true
+}
+
+// generationIntact returns the intact packets belonging to generation g
+// as local-index erasure.Received values.
+func (r *Receiver) generationIntact(g int) []erasure.Received {
+	_, _, cookedOff := r.genOffsets(g)
+	shape := r.layout.Shapes[g]
+	out := make([]erasure.Received, 0, shape.M)
+	for seq, payload := range r.intact {
+		if seq >= cookedOff && seq < cookedOff+shape.N {
+			out = append(out, erasure.Received{Index: seq - cookedOff, Data: payload})
+		}
+	}
+	return out
+}
+
+// genOffsets returns (gen, rawOff, cookedOff) cumulative offsets for
+// generation g.
+func (r *Receiver) genOffsets(g int) (gen, rawOff, cookedOff int) {
+	for i := 0; i < g; i++ {
+		rawOff += r.layout.Shapes[i].M
+		cookedOff += r.layout.Shapes[i].N
+	}
+	return g, rawOff, cookedOff
+}
+
+// Reconstruct decodes all generations and returns the document body in
+// original order. It returns ErrNotReconstructible while packets are
+// still missing.
+func (r *Receiver) Reconstruct() ([]byte, error) {
+	if !r.Reconstructible() {
+		return nil, ErrNotReconstructible
+	}
+	permuted := make([]byte, 0, r.layout.M()*r.layout.PacketSize)
+	for g := range r.layout.Shapes {
+		raw, err := r.coders[g].Decode(r.generationIntact(g))
+		if err != nil {
+			return nil, fmt.Errorf("generation %d: %w", g, err)
+		}
+		for _, pkt := range raw {
+			permuted = append(permuted, pkt...)
+		}
+	}
+	permuted = permuted[:r.layout.BodySize]
+	out := make([]byte, r.layout.BodySize)
+	for _, seg := range r.layout.Ranked {
+		copy(out[seg.OrigOff:seg.OrigOff+seg.Length], permuted[seg.PermutedOff:seg.PermutedOff+seg.Length])
+	}
+	return out, nil
+}
+
+// rawAvailable computes, per raw packet, whether its bytes are usable:
+// either the packet arrived in clear text, or its whole generation is
+// reconstructible.
+func (r *Receiver) rawAvailable() []bool {
+	avail := make([]bool, r.layout.M())
+	rawOff := 0
+	for g, shape := range r.layout.Shapes {
+		if r.GenerationReconstructible(g) {
+			for i := 0; i < shape.M; i++ {
+				avail[rawOff+i] = true
+			}
+		}
+		rawOff += shape.M
+	}
+	for seq := range r.intact {
+		if rawIdx := r.layout.clearRawIndex(seq); rawIdx >= 0 {
+			avail[rawIdx] = true
+		}
+	}
+	return avail
+}
+
+// segAvailable reports whether every raw packet covering the segment is
+// available.
+func segAvailable(seg SegmentMeta, avail []bool, sp int) bool {
+	if seg.Length == 0 {
+		return true
+	}
+	first := seg.PermutedOff / sp
+	last := (seg.PermutedOff + seg.Length - 1) / sp
+	for pkt := first; pkt <= last; pkt++ {
+		if pkt >= len(avail) || !avail[pkt] {
+			return false
+		}
+	}
+	return true
+}
+
+// InfoContent returns the accrued information content: the score sum of
+// all paragraph-level units whose bytes are fully available. Once every
+// generation is reconstructible this is 1 (the document is complete).
+func (r *Receiver) InfoContent() float64 {
+	avail := r.rawAvailable()
+	sp := r.layout.PacketSize
+	total := 0.0
+	for _, seg := range r.layout.Accrual {
+		if segAvailable(seg, avail, sp) {
+			total += seg.Score
+		}
+	}
+	return total
+}
+
+// AvailableUnits returns the paragraph segments whose content is fully
+// available, in transmission order — exactly what the rendering manager
+// can already display.
+func (r *Receiver) AvailableUnits() []SegmentMeta {
+	avail := r.rawAvailable()
+	sp := r.layout.PacketSize
+	var out []SegmentMeta
+	for _, seg := range r.layout.Accrual {
+		if segAvailable(seg, avail, sp) {
+			out = append(out, seg)
+		}
+	}
+	return out
+}
+
+// UnitText extracts a segment's text from available packets. It returns
+// ok=false when the segment is not yet fully available.
+func (r *Receiver) UnitText(seg SegmentMeta) (string, bool) {
+	avail := r.rawAvailable()
+	sp := r.layout.PacketSize
+	if !segAvailable(seg, avail, sp) {
+		return "", false
+	}
+	buf := make([]byte, seg.Length)
+	for off := 0; off < seg.Length; {
+		pos := seg.PermutedOff + off
+		rawIdx := pos / sp
+		within := pos % sp
+		chunk := sp - within
+		if chunk > seg.Length-off {
+			chunk = seg.Length - off
+		}
+		data, ok := r.rawBytes(rawIdx)
+		if !ok {
+			return "", false
+		}
+		copy(buf[off:off+chunk], data[within:within+chunk])
+		off += chunk
+	}
+	return string(buf), true
+}
+
+// rawBytes returns raw packet rawIdx's bytes from clear text or a decoded
+// generation.
+func (r *Receiver) rawBytes(rawIdx int) ([]byte, bool) {
+	rawOff, cookedOff := 0, 0
+	for g, shape := range r.layout.Shapes {
+		if rawIdx >= rawOff+shape.M {
+			rawOff += shape.M
+			cookedOff += shape.N
+			continue
+		}
+		seq := cookedOff + (rawIdx - rawOff)
+		if payload, ok := r.intact[seq]; ok {
+			return payload, true
+		}
+		if !r.GenerationReconstructible(g) {
+			return nil, false
+		}
+		raw, err := r.coders[g].Decode(r.generationIntact(g))
+		if err != nil {
+			return nil, false
+		}
+		return raw[rawIdx-rawOff], true
+	}
+	return nil, false
+}
+
+// RenderedUnit pairs an available unit with its text, for progressive
+// rendering by a client ("the client renders each organizational unit
+// incrementally at the proper position in the browsing window", §3.3).
+type RenderedUnit struct {
+	// Segment is the unit's layout segment.
+	Segment SegmentMeta
+	// Text is the unit's body text.
+	Text string
+}
+
+// Render returns every fully-available unit with its text, in
+// transmission order.
+func (r *Receiver) Render() []RenderedUnit {
+	var out []RenderedUnit
+	for _, seg := range r.AvailableUnits() {
+		text, ok := r.UnitText(seg)
+		if !ok {
+			continue
+		}
+		out = append(out, RenderedUnit{Segment: seg, Text: text})
+	}
+	return out
+}
+
+// Missing returns the sequence numbers not yet held intact, which a
+// client reports when requesting a selective retransmission.
+func (r *Receiver) Missing() []int {
+	var out []int
+	for seq := 0; seq < r.layout.N(); seq++ {
+		if _, ok := r.intact[seq]; !ok {
+			out = append(out, seq)
+		}
+	}
+	return out
+}
+
+var _ fmt.Stringer = (*Receiver)(nil)
+
+// String summarizes receiver progress for logs.
+func (r *Receiver) String() string {
+	return fmt.Sprintf("receiver{intact %d/%d, IC %.3f, reconstructible %v}",
+		r.IntactCount(), r.layout.N(), r.InfoContent(), r.Reconstructible())
+}

@@ -1,0 +1,138 @@
+package corpus
+
+import (
+	"math"
+	"testing"
+
+	"mobweb/internal/content"
+	"mobweb/internal/document"
+	"mobweb/internal/textproc"
+)
+
+func TestNamesIncludesDraft(t *testing.T) {
+	names := Names()
+	found := false
+	for _, n := range names {
+		if n == DraftName {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("draft.xml missing from corpus: %v", names)
+	}
+}
+
+func TestLoadDraftStructure(t *testing.T) {
+	d, err := Load(DraftName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	secs, err := d.UnitsAt(document.LODSection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Abstract + Introduction + Related Work + MRT + FT + Evaluation +
+	// Discussion = 7 sections, mirroring the paper's own structure.
+	if len(secs) != 7 {
+		t.Fatalf("draft has %d sections, want 7", len(secs))
+	}
+	if secs[0].Title != "Abstract" {
+		t.Errorf("section 0 = %q, want Abstract", secs[0].Title)
+	}
+	if len(d.Paragraphs()) < 15 {
+		t.Errorf("draft has %d paragraphs, suspiciously few", len(d.Paragraphs()))
+	}
+}
+
+func TestDraftTable1Reproduction(t *testing.T) {
+	// Regenerate Table 1's computation on the reconstructed draft with
+	// the paper's query Q = {browsing, mobile, web} and check its
+	// signature properties.
+	d, err := Load(DraftName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := textproc.BuildIndex(d, textproc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := content.Build(d, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := textproc.QueryVector("browsing mobile web")
+	s := sc.Evaluate(q)
+
+	// Document-level scores are all 1.
+	for _, notion := range []content.Notion{content.NotionIC, content.NotionQIC, content.NotionMQIC} {
+		if got := s.Get(notion, d.Root.ID); math.Abs(got-1) > 1e-9 {
+			t.Errorf("%v(document) = %v, want 1", notion, got)
+		}
+	}
+
+	secs, err := d.UnitsAt(document.LODSection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The introduction (mobile/web/browsing-heavy) must gain share under
+	// QIC relative to IC, like section 1 in Table 1 (0.118 → 0.332).
+	intro := secs[1]
+	if s.QIC[intro.ID] <= s.IC[intro.ID] {
+		t.Errorf("QIC(intro) = %v not above IC = %v", s.QIC[intro.ID], s.IC[intro.ID])
+	}
+	// At least one unit somewhere must have QIC == 0 but MQIC > 0 — the
+	// Table 1 signature of units missing every querying word.
+	signature := false
+	for _, u := range d.Units() {
+		if s.QIC[u.ID] == 0 && s.MQIC[u.ID] > 0 {
+			signature = true
+			break
+		}
+	}
+	if !signature {
+		t.Error("no unit exhibits QIC=0 with MQIC>0; Table 1 signature missing")
+	}
+}
+
+func TestLoadHTML(t *testing.T) {
+	d, err := Load("mobile-survey.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Paragraphs()) < 5 {
+		t.Errorf("survey page has %d paragraphs, want >= 5", len(d.Paragraphs()))
+	}
+}
+
+func TestLoadAll(t *testing.T) {
+	docs, err := LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) < 2 {
+		t.Fatalf("corpus has %d documents, want >= 2", len(docs))
+	}
+	for _, d := range docs {
+		if d.Size() == 0 {
+			t.Errorf("document %s has zero size", d.Name)
+		}
+	}
+}
+
+func TestLoadUnknownExtension(t *testing.T) {
+	if _, err := Load("nope.txt"); err == nil {
+		t.Error("unknown extension accepted")
+	}
+}
+
+func TestRawMissing(t *testing.T) {
+	if _, err := Raw("missing.xml"); err == nil {
+		t.Error("missing file accepted")
+	}
+}

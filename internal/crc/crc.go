@@ -1,0 +1,54 @@
+// Package crc implements the CRC-16/CCITT-FALSE cyclic redundancy check
+// the packet layer uses to detect corruption ("low computational cost and
+// high error coverage", §4.1 of the paper).
+//
+// Parameters: width=16, poly=0x1021, init=0xFFFF, no reflection, no final
+// XOR. A 16-bit CRC detects all single-bit errors, all double-bit errors
+// within the code length, all odd-weight errors (the polynomial has the
+// (x+1) factor absorbed via the init value's behaviour on short frames is
+// still covered by the burst guarantee), and every burst of length <= 16.
+package crc
+
+// Poly is the CCITT generator polynomial x^16 + x^12 + x^5 + 1.
+const Poly = 0x1021
+
+// Init is the initial shift-register value for CCITT-FALSE.
+const Init = 0xFFFF
+
+// table is the byte-at-a-time lookup table for Poly.
+var _table = genTable()
+
+func genTable() [256]uint16 {
+	var t [256]uint16
+	for i := 0; i < 256; i++ {
+		crc := uint16(i) << 8
+		for bit := 0; bit < 8; bit++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ Poly
+			} else {
+				crc <<= 1
+			}
+		}
+		t[i] = crc
+	}
+	return t
+}
+
+// Checksum returns the CRC-16/CCITT-FALSE of data.
+func Checksum(data []byte) uint16 {
+	return Update(Init, data)
+}
+
+// Update extends a running CRC with more data, enabling incremental
+// computation across header and payload without concatenation.
+func Update(crc uint16, data []byte) uint16 {
+	for _, b := range data {
+		crc = crc<<8 ^ _table[byte(crc>>8)^b]
+	}
+	return crc
+}
+
+// Verify reports whether data matches the expected checksum.
+func Verify(data []byte, sum uint16) bool {
+	return Checksum(data) == sum
+}

@@ -1,0 +1,61 @@
+package document
+
+import "fmt"
+
+// Builder assembles a unit tree fluently; it is used by the markup parser,
+// the synthetic workload generator, and tests. The zero value is not
+// usable; construct with NewBuilder.
+type Builder struct {
+	root  *Unit
+	stack []*Unit // open units, root first
+}
+
+// NewBuilder starts a document-level unit.
+func NewBuilder() *Builder {
+	root := &Unit{Level: LODDocument, Label: ""}
+	return &Builder{root: root, stack: []*Unit{root}}
+}
+
+// Open begins a nested unit at the given level under the innermost open
+// unit whose level is coarser; it closes any open units at the same or a
+// finer level first, the way a section heading implicitly closes the
+// previous section.
+func (b *Builder) Open(level LOD, label, title string) *Builder {
+	for len(b.stack) > 1 && b.top().Level >= level {
+		b.stack = b.stack[:len(b.stack)-1]
+	}
+	u := &Unit{Level: level, Label: label, Title: title}
+	parent := b.top()
+	parent.Children = append(parent.Children, u)
+	b.stack = append(b.stack, u)
+	return b
+}
+
+// Paragraph appends a paragraph leaf to the innermost open unit. The
+// paragraph's label extends its parent's with its ordinal, matching
+// Table 1's "Sect./Subsect./Para." numbering.
+func (b *Builder) Paragraph(text string, emphasized ...string) *Builder {
+	parent := b.top()
+	label := fmt.Sprintf("%s.%d", parent.Label, len(parent.Children))
+	if parent.Label == "" {
+		label = fmt.Sprintf("%d", len(parent.Children))
+	}
+	p := &Unit{Level: LODParagraph, Label: label, Text: text, Emphasized: emphasized}
+	parent.Children = append(parent.Children, p)
+	return b
+}
+
+// Close ends the innermost open unit.
+func (b *Builder) Close() *Builder {
+	if len(b.stack) > 1 {
+		b.stack = b.stack[:len(b.stack)-1]
+	}
+	return b
+}
+
+// Build finalizes the document, assigning IDs and extents.
+func (b *Builder) Build(name, title string) (*Document, error) {
+	return New(name, title, b.root)
+}
+
+func (b *Builder) top() *Unit { return b.stack[len(b.stack)-1] }

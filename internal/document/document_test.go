@@ -1,0 +1,283 @@
+package document
+
+import (
+	"strings"
+	"testing"
+)
+
+// sample builds a small paper-like document:
+//
+//	section 0 (abstract): 1 paragraph
+//	section 1: 2 paragraphs, subsection 1.0 with 2 paragraphs
+//	section 2: subsection 2.0 with 1 paragraph
+func sample(t *testing.T) *Document {
+	t.Helper()
+	b := NewBuilder()
+	b.Open(LODSection, "0", "Abstract")
+	b.Paragraph("mobile web browsing over weak channels")
+	b.Open(LODSection, "1", "Introduction")
+	b.Paragraph("wireless bandwidth is scarce")
+	b.Paragraph("documents keep growing")
+	b.Open(LODSubsection, "1.0", "Motivation")
+	b.Paragraph("irrelevant documents waste energy")
+	b.Paragraph("retransmission is expensive")
+	b.Open(LODSection, "2", "Approach")
+	b.Open(LODSubsection, "2.0", "Encoding")
+	b.Paragraph("vandermonde dispersal matrices")
+	d, err := b.Build("sample.xml", "Sample Paper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestLODString(t *testing.T) {
+	tests := []struct {
+		l    LOD
+		want string
+	}{
+		{LODDocument, "document"},
+		{LODSection, "section"},
+		{LODSubsection, "subsection"},
+		{LODSubsubsection, "subsubsection"},
+		{LODParagraph, "paragraph"},
+		{LOD(0), "LOD(0)"},
+	}
+	for _, tt := range tests {
+		if got := tt.l.String(); got != tt.want {
+			t.Errorf("LOD(%d).String() = %q, want %q", int(tt.l), got, tt.want)
+		}
+	}
+}
+
+func TestParseLOD(t *testing.T) {
+	for _, l := range AllLODs() {
+		got, err := ParseLOD(l.String())
+		if err != nil || got != l {
+			t.Errorf("ParseLOD(%q) = (%v, %v), want %v", l.String(), got, err, l)
+		}
+	}
+	if _, err := ParseLOD("chapter"); err == nil {
+		t.Error("ParseLOD accepted unknown level")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("x", "", nil); err == nil {
+		t.Error("nil root accepted")
+	}
+	if _, err := New("x", "", &Unit{Level: LODSection}); err == nil {
+		t.Error("non-document root accepted")
+	}
+	badChild := &Unit{Level: LODDocument, Children: []*Unit{{Level: LODDocument}}}
+	if _, err := New("x", "", badChild); err == nil {
+		t.Error("child at same level as parent accepted")
+	}
+	invalidLevel := &Unit{Level: LODDocument, Children: []*Unit{{Level: LOD(9)}}}
+	if _, err := New("x", "", invalidLevel); err == nil {
+		t.Error("invalid child level accepted")
+	}
+}
+
+func TestIDsPreOrderDense(t *testing.T) {
+	d := sample(t)
+	units := d.Units()
+	for i, u := range units {
+		if u.ID != i {
+			t.Errorf("unit %d has ID %d; want pre-order dense IDs", i, u.ID)
+		}
+		got, ok := d.UnitByID(u.ID)
+		if !ok || got != u {
+			t.Errorf("UnitByID(%d) lookup failed", u.ID)
+		}
+	}
+	if _, ok := d.UnitByID(len(units)); ok {
+		t.Error("UnitByID returned a unit for an out-of-range ID")
+	}
+}
+
+func TestExtentsNested(t *testing.T) {
+	d := sample(t)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Root.Start != 0 || d.Root.End != d.Size() {
+		t.Errorf("root extent [%d, %d), want [0, %d)", d.Root.Start, d.Root.End, d.Size())
+	}
+}
+
+func TestParagraphExtentsPartition(t *testing.T) {
+	d := sample(t)
+	paras := d.Paragraphs()
+	if len(paras) != 6 {
+		t.Fatalf("got %d paragraphs, want 6", len(paras))
+	}
+	for i := 1; i < len(paras); i++ {
+		if paras[i].Start < paras[i-1].End {
+			t.Errorf("paragraph %d overlaps predecessor", i)
+		}
+	}
+}
+
+func TestUnitsAtSection(t *testing.T) {
+	d := sample(t)
+	secs, err := d.UnitsAt(LODSection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(secs) != 3 {
+		t.Fatalf("got %d sections, want 3", len(secs))
+	}
+	for i, want := range []string{"0", "1", "2"} {
+		if secs[i].Label != want {
+			t.Errorf("section %d label %q, want %q", i, secs[i].Label, want)
+		}
+	}
+}
+
+func TestUnitsAtSubsectionMixesLevels(t *testing.T) {
+	// Section 0 has no subsections; at subsection LOD its paragraphs
+	// stand in (leaf fallback) so coverage stays total.
+	d := sample(t)
+	units, err := d.UnitsAt(LODSubsection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := 0
+	for _, u := range units {
+		covered += u.Span()
+	}
+	// Extent coverage may exclude structural units' own bytes (titles
+	// have no text in this sample), but must be close to the full size
+	// and strictly ordered.
+	for i := 1; i < len(units); i++ {
+		if units[i].Start < units[i-1].End {
+			t.Errorf("unit %d (%q) overlaps predecessor", i, units[i].Label)
+		}
+	}
+	if covered == 0 {
+		t.Error("subsection partition covers nothing")
+	}
+}
+
+func TestUnitsAtDocument(t *testing.T) {
+	d := sample(t)
+	units, err := d.UnitsAt(LODDocument)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) != 1 || units[0] != d.Root {
+		t.Error("document LOD must return exactly the root")
+	}
+}
+
+func TestUnitsAtInvalid(t *testing.T) {
+	d := sample(t)
+	if _, err := d.UnitsAt(LOD(0)); err == nil {
+		t.Error("invalid LOD accepted")
+	}
+}
+
+func TestBodyMatchesExtents(t *testing.T) {
+	d := sample(t)
+	body := d.Body()
+	if len(body) != d.Size() {
+		t.Fatalf("body length %d, want %d", len(body), d.Size())
+	}
+	for _, u := range d.Paragraphs() {
+		got := string(body[u.Start : u.Start+len(u.Text)])
+		if got != u.Text {
+			t.Errorf("paragraph %q: body slice %q != text %q", u.Label, got, u.Text)
+		}
+	}
+}
+
+func TestOwnAndDescendantText(t *testing.T) {
+	d := sample(t)
+	secs, err := d.UnitsAt(LODSection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := secs[1].OwnAndDescendantText()
+	for _, want := range []string{"wireless bandwidth", "irrelevant documents", "retransmission"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("section 1 text missing %q", want)
+		}
+	}
+	if strings.Contains(text, "vandermonde") {
+		t.Error("section 1 text leaked section 2 content")
+	}
+}
+
+func TestWalkEarlyStop(t *testing.T) {
+	d := sample(t)
+	count := 0
+	d.Root.Walk(func(u *Unit) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Errorf("walk visited %d units after early stop, want 3", count)
+	}
+}
+
+func TestBuilderImplicitClose(t *testing.T) {
+	// Opening a section while another is open must close the first, like
+	// consecutive <section> headings.
+	b := NewBuilder()
+	b.Open(LODSection, "0", "A")
+	b.Paragraph("one")
+	b.Open(LODSection, "1", "B")
+	b.Paragraph("two")
+	d, err := b.Build("t", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	secs, err := d.UnitsAt(LODSection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(secs) != 2 {
+		t.Fatalf("got %d sections, want 2", len(secs))
+	}
+	if len(secs[0].Children) != 1 || len(secs[1].Children) != 1 {
+		t.Error("paragraphs attached to the wrong sections")
+	}
+}
+
+func TestBuilderCloseUnderflowSafe(t *testing.T) {
+	b := NewBuilder()
+	b.Close().Close() // must not panic or pop the root
+	b.Paragraph("root paragraph")
+	d, err := b.Build("t", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Root.Children) != 1 {
+		t.Error("paragraph lost after redundant Close calls")
+	}
+}
+
+func TestEmptyDocumentHasNonZeroSize(t *testing.T) {
+	d, err := NewBuilder().Build("empty", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() < 1 {
+		t.Errorf("empty document size %d, want >= 1", d.Size())
+	}
+	if err := d.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParagraphLabels(t *testing.T) {
+	d := sample(t)
+	paras := d.Paragraphs()
+	if paras[0].Label != "0.0" {
+		t.Errorf("abstract paragraph label %q, want 0.0", paras[0].Label)
+	}
+	if paras[3].Label != "1.0.0" {
+		t.Errorf("paragraph label %q, want 1.0.0", paras[3].Label)
+	}
+}

@@ -1,0 +1,288 @@
+// Package erasure implements the systematic information-dispersal codec
+// at the heart of fault-tolerant multi-resolution transmission (§4.1 of
+// the paper).
+//
+// A payload is split into M raw packets of equal size. A Coder expands
+// them into N >= M "cooked" packets that are GF(2^8)-linear combinations
+// of the raw packets, using a Vandermonde dispersal matrix brought into
+// systematic form:
+//
+//   - the first M cooked packets are byte-identical to the raw packets
+//     ("clear text"), so a receiver can consume content before collecting
+//     all of M packets, and
+//   - ANY M intact cooked packets reconstruct all M raw packets, by
+//     inverting the corresponding M×M submatrix (Rabin's IDA, JACM 1989,
+//     with the Vandermonde modification the paper describes).
+package erasure
+
+import (
+	"errors"
+	"fmt"
+
+	"mobweb/internal/matrix"
+)
+
+// Limits imposed by the GF(2^8) Vandermonde construction: the dispersal
+// matrix needs N distinct evaluation points among the 255 non-zero field
+// elements.
+const (
+	// MaxCooked is the largest supported number of cooked packets.
+	MaxCooked = 255
+)
+
+// Errors reported by the codec. They are exported so transmission-layer
+// callers can distinguish "not yet reconstructible" from hard failures.
+var (
+	// ErrShortSet signals fewer than M packets were supplied to Decode.
+	ErrShortSet = errors.New("erasure: fewer than M packets available")
+	// ErrDuplicateIndex signals the same cooked index appeared twice.
+	ErrDuplicateIndex = errors.New("erasure: duplicate cooked packet index")
+)
+
+// Coder encodes M raw packets into N cooked packets and decodes any M of
+// them back. A Coder is immutable after construction and safe for
+// concurrent use.
+type Coder struct {
+	m, n       int
+	dispersal  *matrix.Matrix // n×m systematic dispersal matrix
+	packetSize int            // 0 means "set per call"
+}
+
+// NewCoder constructs a systematic (m, n) coder. It returns an error when
+// the shape is infeasible: m < 1, n < m, or n > MaxCooked.
+func NewCoder(m, n int) (*Coder, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("erasure: m = %d, want >= 1", m)
+	}
+	if n < m {
+		return nil, fmt.Errorf("erasure: n = %d < m = %d", n, m)
+	}
+	if n > MaxCooked {
+		return nil, fmt.Errorf("erasure: n = %d exceeds %d", n, MaxCooked)
+	}
+	v, err := matrix.Vandermonde(n, m)
+	if err != nil {
+		return nil, fmt.Errorf("dispersal matrix: %w", err)
+	}
+	sys, err := v.Systematic()
+	if err != nil {
+		return nil, fmt.Errorf("dispersal matrix: %w", err)
+	}
+	return &Coder{m: m, n: n, dispersal: sys}, nil
+}
+
+// M returns the number of raw packets.
+func (c *Coder) M() int { return c.m }
+
+// N returns the number of cooked packets.
+func (c *Coder) N() int { return c.n }
+
+// Ratio returns the redundancy ratio γ = N/M.
+func (c *Coder) Ratio() float64 { return float64(c.n) / float64(c.m) }
+
+// Encode expands raw into cooked packets. Every raw packet must have the
+// same length. The returned slice holds n freshly allocated packets; the
+// first m are copies of the raw packets (systematic property).
+func (c *Coder) Encode(raw [][]byte) ([][]byte, error) {
+	if len(raw) != c.m {
+		return nil, fmt.Errorf("erasure: got %d raw packets, want %d", len(raw), c.m)
+	}
+	size := -1
+	for i, p := range raw {
+		if size == -1 {
+			size = len(p)
+		} else if len(p) != size {
+			return nil, fmt.Errorf("erasure: raw packet %d has %d bytes, want %d", i, len(p), size)
+		}
+	}
+	cooked := make([][]byte, c.n)
+	for i := 0; i < c.n; i++ {
+		cooked[i] = make([]byte, size)
+		row := c.dispersal.Row(i)
+		accumulateRow(cooked[i], row, raw)
+	}
+	return cooked, nil
+}
+
+// EncodeInto is the allocation-free variant of Encode for hot transmission
+// loops: cooked must contain n slices of the raw packet size.
+func (c *Coder) EncodeInto(cooked, raw [][]byte) error {
+	if len(raw) != c.m {
+		return fmt.Errorf("erasure: got %d raw packets, want %d", len(raw), c.m)
+	}
+	if len(cooked) != c.n {
+		return fmt.Errorf("erasure: got %d cooked buffers, want %d", len(cooked), c.n)
+	}
+	size := len(raw[0])
+	for i, p := range raw {
+		if len(p) != size {
+			return fmt.Errorf("erasure: raw packet %d has %d bytes, want %d", i, len(p), size)
+		}
+	}
+	for i := 0; i < c.n; i++ {
+		if len(cooked[i]) != size {
+			return fmt.Errorf("erasure: cooked buffer %d has %d bytes, want %d", i, len(cooked[i]), size)
+		}
+		for j := range cooked[i] {
+			cooked[i][j] = 0
+		}
+		accumulateRow(cooked[i], c.dispersal.Row(i), raw)
+	}
+	return nil
+}
+
+func accumulateRow(dst, row []byte, raw [][]byte) {
+	for j, coeff := range row {
+		if coeff == 0 {
+			continue
+		}
+		mulAdd(coeff, dst, raw[j])
+	}
+}
+
+// Received is one intact cooked packet tagged with its index in the cooked
+// sequence (0-based). Corrupted packets must simply not be presented.
+type Received struct {
+	Index int
+	Data  []byte
+}
+
+// Decode reconstructs the m raw packets from any m (or more) intact cooked
+// packets. Extra packets beyond m are ignored; which m are used is an
+// implementation detail. Decode prefers clear-text packets (index < m)
+// because they require no matrix work — the "saving recovering effort"
+// property of the systematic construction.
+func (c *Coder) Decode(received []Received) ([][]byte, error) {
+	if len(received) < c.m {
+		return nil, fmt.Errorf("%w: have %d, need %d", ErrShortSet, len(received), c.m)
+	}
+	size := -1
+	seen := make(map[int]bool, len(received))
+	// Partition into clear-text and redundant packets, preferring clear.
+	chosen := make([]Received, 0, c.m)
+	var redundant []Received
+	for _, r := range received {
+		if r.Index < 0 || r.Index >= c.n {
+			return nil, fmt.Errorf("erasure: cooked index %d out of [0, %d)", r.Index, c.n)
+		}
+		if seen[r.Index] {
+			return nil, fmt.Errorf("%w: index %d", ErrDuplicateIndex, r.Index)
+		}
+		seen[r.Index] = true
+		if size == -1 {
+			size = len(r.Data)
+		} else if len(r.Data) != size {
+			return nil, fmt.Errorf("erasure: packet %d has %d bytes, want %d", r.Index, len(r.Data), size)
+		}
+		if r.Index < c.m {
+			chosen = append(chosen, r)
+		} else {
+			redundant = append(redundant, r)
+		}
+	}
+	for _, r := range redundant {
+		if len(chosen) == c.m {
+			break
+		}
+		chosen = append(chosen, r)
+	}
+	if len(chosen) > c.m {
+		chosen = chosen[:c.m]
+	}
+	if len(chosen) < c.m {
+		return nil, fmt.Errorf("%w: only %d distinct indices", ErrShortSet, len(chosen))
+	}
+
+	raw := make([][]byte, c.m)
+	// Fast path: all chosen packets are clear text.
+	allClear := true
+	for _, r := range chosen {
+		if r.Index >= c.m {
+			allClear = false
+			break
+		}
+	}
+	if allClear {
+		for _, r := range chosen {
+			raw[r.Index] = append([]byte(nil), r.Data...)
+		}
+		return raw, nil
+	}
+
+	rows := make([]int, c.m)
+	for i, r := range chosen {
+		rows[i] = r.Index
+	}
+	sub, err := c.dispersal.SubMatrix(rows)
+	if err != nil {
+		return nil, err
+	}
+	inv, err := sub.Invert()
+	if err != nil {
+		return nil, fmt.Errorf("erasure: reconstruct: %w", err)
+	}
+	for i := 0; i < c.m; i++ {
+		raw[i] = make([]byte, size)
+		row := inv.Row(i)
+		for j, coeff := range row {
+			if coeff == 0 {
+				continue
+			}
+			mulAdd(coeff, raw[i], chosen[j].Data)
+		}
+	}
+	return raw, nil
+}
+
+// Split cuts payload into m packets of packetSize bytes, zero-padding the
+// final packet. It returns an error when the payload does not fit.
+func Split(payload []byte, m, packetSize int) ([][]byte, error) {
+	if m < 1 || packetSize < 1 {
+		return nil, fmt.Errorf("erasure: split needs m >= 1 and packetSize >= 1, got m=%d size=%d", m, packetSize)
+	}
+	if len(payload) > m*packetSize {
+		return nil, fmt.Errorf("erasure: payload %d bytes exceeds %d packets × %d bytes", len(payload), m, packetSize)
+	}
+	raw := make([][]byte, m)
+	for i := 0; i < m; i++ {
+		raw[i] = make([]byte, packetSize)
+		lo := i * packetSize
+		if lo < len(payload) {
+			hi := lo + packetSize
+			if hi > len(payload) {
+				hi = len(payload)
+			}
+			copy(raw[i], payload[lo:hi])
+		}
+	}
+	return raw, nil
+}
+
+// Join is the inverse of Split: it concatenates raw packets and trims the
+// result to originalLen bytes.
+func Join(raw [][]byte, originalLen int) ([]byte, error) {
+	total := 0
+	for _, p := range raw {
+		total += len(p)
+	}
+	if originalLen < 0 || originalLen > total {
+		return nil, fmt.Errorf("erasure: original length %d outside [0, %d]", originalLen, total)
+	}
+	out := make([]byte, 0, total)
+	for _, p := range raw {
+		out = append(out, p...)
+	}
+	return out[:originalLen], nil
+}
+
+// PacketsFor returns the number of raw packets M = ceil(docSize/packetSize),
+// the ⌈sD/sp⌉ of §4.2.
+func PacketsFor(docSize, packetSize int) int {
+	if packetSize <= 0 {
+		panic("erasure: non-positive packet size")
+	}
+	if docSize <= 0 {
+		return 1
+	}
+	return (docSize + packetSize - 1) / packetSize
+}

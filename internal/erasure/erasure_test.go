@@ -1,0 +1,432 @@
+package erasure
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewCoderValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		m, n int
+		ok   bool
+	}{
+		{"m zero", 0, 5, false},
+		{"n below m", 5, 4, false},
+		{"n equals m", 5, 5, true},
+		{"typical paper shape", 40, 60, true},
+		{"n too large", 3, 256, false},
+		{"max n", 3, 255, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewCoder(tt.m, tt.n)
+			if (err == nil) != tt.ok {
+				t.Fatalf("NewCoder(%d, %d) err = %v, want ok=%v", tt.m, tt.n, err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestSystematicPrefix(t *testing.T) {
+	c, err := NewCoder(4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := randomPackets(rand.New(rand.NewSource(1)), 4, 32)
+	cooked, err := c.Encode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cooked) != 9 {
+		t.Fatalf("len(cooked) = %d, want 9", len(cooked))
+	}
+	for i := 0; i < 4; i++ {
+		if !bytes.Equal(cooked[i], raw[i]) {
+			t.Errorf("cooked[%d] differs from raw[%d]; systematic prefix violated", i, i)
+		}
+	}
+}
+
+func TestDecodeAllSubsets(t *testing.T) {
+	// Exhaustively verify the "any M of N" property for a small code.
+	const m, n = 3, 6
+	c, err := NewCoder(m, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := randomPackets(rand.New(rand.NewSource(2)), m, 16)
+	cooked, err := c.Encode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			for d := b + 1; d < n; d++ {
+				rec := []Received{
+					{Index: a, Data: cooked[a]},
+					{Index: b, Data: cooked[b]},
+					{Index: d, Data: cooked[d]},
+				}
+				got, err := c.Decode(rec)
+				if err != nil {
+					t.Fatalf("subset {%d,%d,%d}: %v", a, b, d, err)
+				}
+				for i := range raw {
+					if !bytes.Equal(got[i], raw[i]) {
+						t.Fatalf("subset {%d,%d,%d}: raw[%d] mismatch", a, b, d, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDecodePaperShape(t *testing.T) {
+	// The paper's default: M=40, N=60. Drop 20 random packets and recover.
+	c, err := NewCoder(40, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	raw := randomPackets(rng, 40, 256)
+	cooked, err := c.Encode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := rng.Perm(60)
+	rec := make([]Received, 0, 40)
+	for _, idx := range perm[:40] {
+		rec = append(rec, Received{Index: idx, Data: cooked[idx]})
+	}
+	got, err := c.Decode(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range raw {
+		if !bytes.Equal(got[i], raw[i]) {
+			t.Fatalf("raw[%d] mismatch after 33%% loss", i)
+		}
+	}
+}
+
+func TestDecodeShortSet(t *testing.T) {
+	c, err := NewCoder(3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := randomPackets(rand.New(rand.NewSource(4)), 3, 8)
+	cooked, err := c.Encode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Decode([]Received{{Index: 0, Data: cooked[0]}, {Index: 4, Data: cooked[4]}})
+	if !errors.Is(err, ErrShortSet) {
+		t.Fatalf("err = %v, want ErrShortSet", err)
+	}
+}
+
+func TestDecodeDuplicateIndex(t *testing.T) {
+	c, err := NewCoder(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := randomPackets(rand.New(rand.NewSource(5)), 2, 8)
+	cooked, err := c.Encode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Decode([]Received{
+		{Index: 3, Data: cooked[3]},
+		{Index: 3, Data: cooked[3]},
+	})
+	if !errors.Is(err, ErrDuplicateIndex) {
+		t.Fatalf("err = %v, want ErrDuplicateIndex", err)
+	}
+}
+
+func TestDecodeIndexOutOfRange(t *testing.T) {
+	c, err := NewCoder(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Decode([]Received{
+		{Index: 4, Data: make([]byte, 8)},
+		{Index: 0, Data: make([]byte, 8)},
+	})
+	if err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+}
+
+func TestDecodeMismatchedSizes(t *testing.T) {
+	c, err := NewCoder(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Decode([]Received{
+		{Index: 0, Data: make([]byte, 8)},
+		{Index: 1, Data: make([]byte, 9)},
+	})
+	if err == nil {
+		t.Fatal("mismatched packet sizes accepted")
+	}
+}
+
+func TestDecodePrefersClearText(t *testing.T) {
+	// With all clear-text packets present the decode must be a pure copy
+	// (no matrix inversion), observable through exact data recovery even
+	// when extra redundant packets are supplied in front.
+	c, err := NewCoder(3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := randomPackets(rand.New(rand.NewSource(6)), 3, 8)
+	cooked, err := c.Encode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := []Received{
+		{Index: 5, Data: cooked[5]},
+		{Index: 0, Data: cooked[0]},
+		{Index: 1, Data: cooked[1]},
+		{Index: 2, Data: cooked[2]},
+	}
+	got, err := c.Decode(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range raw {
+		if !bytes.Equal(got[i], raw[i]) {
+			t.Fatalf("raw[%d] mismatch", i)
+		}
+	}
+}
+
+func TestEncodeInto(t *testing.T) {
+	c, err := NewCoder(4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := randomPackets(rand.New(rand.NewSource(7)), 4, 64)
+	want, err := c.Encode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cooked := make([][]byte, 7)
+	for i := range cooked {
+		cooked[i] = make([]byte, 64)
+		cooked[i][0] = 0xFF // stale data that EncodeInto must clear
+	}
+	if err := c.EncodeInto(cooked, raw); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !bytes.Equal(cooked[i], want[i]) {
+			t.Errorf("EncodeInto packet %d differs from Encode", i)
+		}
+	}
+}
+
+func TestEncodeIntoValidation(t *testing.T) {
+	c, err := NewCoder(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := randomPackets(rand.New(rand.NewSource(8)), 2, 8)
+	if err := c.EncodeInto(make([][]byte, 2), raw); err == nil {
+		t.Error("wrong cooked count accepted")
+	}
+	bad := [][]byte{make([]byte, 8), make([]byte, 8), make([]byte, 7)}
+	if err := c.EncodeInto(bad, raw); err == nil {
+		t.Error("wrong cooked size accepted")
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	c, err := NewCoder(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Encode([][]byte{make([]byte, 4)}); err == nil {
+		t.Error("wrong raw count accepted")
+	}
+	if _, err := c.Encode([][]byte{make([]byte, 4), make([]byte, 5)}); err == nil {
+		t.Error("ragged raw packets accepted")
+	}
+}
+
+func TestSplitJoinRoundTrip(t *testing.T) {
+	f := func(payload []byte) bool {
+		if len(payload) == 0 {
+			return true
+		}
+		const sp = 16
+		m := PacketsFor(len(payload), sp)
+		raw, err := Split(payload, m, sp)
+		if err != nil {
+			return false
+		}
+		back, err := Join(raw, len(payload))
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(back, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitPadsFinalPacket(t *testing.T) {
+	raw, err := Split([]byte("abcde"), 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw[0], []byte("abcd")) {
+		t.Errorf("raw[0] = %q", raw[0])
+	}
+	if !bytes.Equal(raw[1], []byte{'e', 0, 0, 0}) {
+		t.Errorf("raw[1] = %v, want e followed by zero padding", raw[1])
+	}
+}
+
+func TestSplitErrors(t *testing.T) {
+	if _, err := Split([]byte("abcdef"), 1, 4); err == nil {
+		t.Error("oversized payload accepted")
+	}
+	if _, err := Split([]byte("a"), 0, 4); err == nil {
+		t.Error("m = 0 accepted")
+	}
+	if _, err := Split([]byte("a"), 1, 0); err == nil {
+		t.Error("packetSize = 0 accepted")
+	}
+}
+
+func TestJoinErrors(t *testing.T) {
+	raw := [][]byte{{1, 2}, {3, 4}}
+	if _, err := Join(raw, 5); err == nil {
+		t.Error("originalLen beyond total accepted")
+	}
+	if _, err := Join(raw, -1); err == nil {
+		t.Error("negative originalLen accepted")
+	}
+}
+
+func TestPacketsFor(t *testing.T) {
+	tests := []struct {
+		doc, sp, want int
+	}{
+		{10240, 256, 40}, // the paper's default document
+		{1, 256, 1},
+		{256, 256, 1},
+		{257, 256, 2},
+		{0, 256, 1},
+	}
+	for _, tt := range tests {
+		if got := PacketsFor(tt.doc, tt.sp); got != tt.want {
+			t.Errorf("PacketsFor(%d, %d) = %d, want %d", tt.doc, tt.sp, got, tt.want)
+		}
+	}
+}
+
+func TestEndToEndProperty(t *testing.T) {
+	// Property: for random payloads and random survivor sets of size M,
+	// split→encode→drop→decode→join recovers the payload exactly.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		payloadLen := 1 + rng.Intn(2000)
+		payload := make([]byte, payloadLen)
+		rng.Read(payload)
+		const sp = 64
+		m := PacketsFor(payloadLen, sp)
+		n := m + rng.Intn(m+1) // γ in [1, 2]
+		if n > MaxCooked {
+			n = MaxCooked
+		}
+		c, err := NewCoder(m, n)
+		if err != nil {
+			return false
+		}
+		raw, err := Split(payload, m, sp)
+		if err != nil {
+			return false
+		}
+		cooked, err := c.Encode(raw)
+		if err != nil {
+			return false
+		}
+		perm := rng.Perm(n)
+		rec := make([]Received, 0, m)
+		for _, idx := range perm[:m] {
+			rec = append(rec, Received{Index: idx, Data: cooked[idx]})
+		}
+		dec, err := c.Decode(rec)
+		if err != nil {
+			return false
+		}
+		back, err := Join(dec, payloadLen)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(back, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomPackets(rng *rand.Rand, m, size int) [][]byte {
+	raw := make([][]byte, m)
+	for i := range raw {
+		raw[i] = make([]byte, size)
+		rng.Read(raw[i])
+	}
+	return raw
+}
+
+func BenchmarkEncode40x60(b *testing.B) {
+	c, err := NewCoder(40, 60)
+	if err != nil {
+		b.Fatal(err)
+	}
+	raw := randomPackets(rand.New(rand.NewSource(9)), 40, 256)
+	cooked := make([][]byte, 60)
+	for i := range cooked {
+		cooked[i] = make([]byte, 256)
+	}
+	b.SetBytes(40 * 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.EncodeInto(cooked, raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode40of60WorstCase(b *testing.B) {
+	// Worst case: no clear-text packets survive; full matrix inversion.
+	c, err := NewCoder(40, 60)
+	if err != nil {
+		b.Fatal(err)
+	}
+	raw := randomPackets(rand.New(rand.NewSource(10)), 40, 256)
+	cooked, err := c.Encode(raw)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := make([]Received, 0, 40)
+	for i := 20; i < 60; i++ {
+		rec = append(rec, Received{Index: i, Data: cooked[i]})
+	}
+	b.SetBytes(40 * 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Decode(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

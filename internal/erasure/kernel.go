@@ -1,0 +1,9 @@
+package erasure
+
+import "mobweb/internal/gf256"
+
+// mulAdd is the dst ^= c*src kernel; indirected through a package-level
+// binding so benchmarks can compare alternative kernels.
+func mulAdd(c byte, dst, src []byte) {
+	gf256.MulAddSlice(c, dst, src)
+}

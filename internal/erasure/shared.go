@@ -1,0 +1,37 @@
+package erasure
+
+import "sync"
+
+// _shared memoizes coders by shape. A Coder is immutable after
+// construction and safe for concurrent use, so sharing one instance per
+// (m, n) is semantically transparent; it exists because the simulator
+// builds thousands of plans with identical shapes and the systematic
+// Vandermonde transform (a 2·m³-flavored matrix inversion) would dominate
+// their cost.
+var _shared sync.Map // key: int(m)<<16 | int(n) → *Coder
+
+// Shared returns a memoized coder for the shape, constructing it on first
+// use. Validation errors match NewCoder's.
+func Shared(m, n int) (*Coder, error) {
+	if m < 1 || n < m || n > MaxCooked {
+		// Delegate to NewCoder for the canonical error message.
+		return NewCoder(m, n)
+	}
+	key := m<<16 | n
+	if v, ok := _shared.Load(key); ok {
+		coder, ok := v.(*Coder)
+		if ok {
+			return coder, nil
+		}
+	}
+	coder, err := NewCoder(m, n)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := _shared.LoadOrStore(key, coder)
+	shared, ok := actual.(*Coder)
+	if !ok {
+		return coder, nil
+	}
+	return shared, nil
+}

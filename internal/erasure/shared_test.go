@@ -1,0 +1,79 @@
+package erasure
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestSharedReturnsSameInstance(t *testing.T) {
+	a, err := Shared(40, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Shared(40, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("Shared(40, 60) returned distinct instances")
+	}
+}
+
+func TestSharedMatchesNewCoder(t *testing.T) {
+	shared, err := Shared(5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewCoder(5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := randomPackets(rand.New(rand.NewSource(1)), 5, 32)
+	a, err := shared.Encode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fresh.Encode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatalf("cooked packet %d differs between Shared and NewCoder", i)
+		}
+	}
+}
+
+func TestSharedValidation(t *testing.T) {
+	if _, err := Shared(0, 5); err == nil {
+		t.Error("m = 0 accepted")
+	}
+	if _, err := Shared(5, 4); err == nil {
+		t.Error("n < m accepted")
+	}
+}
+
+func TestSharedConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	coders := make([]*Coder, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := Shared(7, 11)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			coders[g] = c
+		}(g)
+	}
+	wg.Wait()
+	for _, c := range coders[1:] {
+		if c != coders[0] {
+			t.Fatal("concurrent Shared calls produced different instances")
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// Package ewma provides the exponentially-weighted moving average
+// estimator §4.2 of the paper proposes for tracking the observed channel
+// failure probability α, so that the redundancy ratio γ can adapt to
+// channel conditions ("the value of γ could be defined as an adaptive
+// function of the observed summarized value of α, using perhaps a kind of
+// EWMA measure").
+package ewma
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Estimator maintains an EWMA of a bounded signal (here: per-window packet
+// corruption rate). The zero value is not usable; construct with New.
+// Estimator is safe for concurrent use: the transport layer updates it
+// from the receive loop while the transmitter reads it when sizing the
+// next document's redundancy.
+type Estimator struct {
+	mu     sync.Mutex
+	weight float64
+	value  float64
+	primed bool
+}
+
+// New returns an estimator with smoothing weight w in (0, 1]: the new
+// observation contributes w, history contributes 1-w. Typical wireless
+// estimators use w around 0.1-0.3.
+func New(w float64) (*Estimator, error) {
+	if w <= 0 || w > 1 || math.IsNaN(w) {
+		return nil, fmt.Errorf("ewma: weight %v outside (0, 1]", w)
+	}
+	return &Estimator{weight: w}, nil
+}
+
+// Observe folds a new sample into the average. The first sample primes
+// the estimator directly, avoiding a cold-start bias toward zero.
+func (e *Estimator) Observe(sample float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.primed {
+		e.value = sample
+		e.primed = true
+		return
+	}
+	e.value = e.weight*sample + (1-e.weight)*e.value
+}
+
+// ObserveWindow is a convenience that records corrupted/total packet
+// counts from one transmission window. Windows with no packets are
+// ignored.
+func (e *Estimator) ObserveWindow(corrupted, total int) {
+	if total <= 0 {
+		return
+	}
+	e.Observe(float64(corrupted) / float64(total))
+}
+
+// Value returns the current estimate and whether any sample has been
+// observed yet.
+func (e *Estimator) Value() (float64, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.value, e.primed
+}
+
+// ValueOr returns the current estimate, or fallback before the first
+// observation.
+func (e *Estimator) ValueOr(fallback float64) float64 {
+	if v, ok := e.Value(); ok {
+		return v
+	}
+	return fallback
+}
+
+// Reset clears the estimator back to its unprimed state, e.g. after a
+// hand-off to a different cell where history is meaningless.
+func (e *Estimator) Reset() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.value = 0
+	e.primed = false
+}

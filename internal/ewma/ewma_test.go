@@ -1,0 +1,148 @@
+package ewma
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, w := range []float64{0, -0.5, 1.5, math.NaN()} {
+		if _, err := New(w); err == nil {
+			t.Errorf("New(%v) accepted", w)
+		}
+	}
+	if _, err := New(1); err != nil {
+		t.Errorf("New(1) rejected: %v", err)
+	}
+}
+
+func TestFirstObservationPrimes(t *testing.T) {
+	e, err := New(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.Value(); ok {
+		t.Error("fresh estimator claims to be primed")
+	}
+	e.Observe(0.4)
+	v, ok := e.Value()
+	if !ok || v != 0.4 {
+		t.Errorf("after first observation: (%v, %v), want (0.4, true)", v, ok)
+	}
+}
+
+func TestRecurrence(t *testing.T) {
+	e, err := New(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Observe(0.0)
+	e.Observe(1.0) // 0.25·1 + 0.75·0 = 0.25
+	if v, _ := e.Value(); math.Abs(v-0.25) > 1e-12 {
+		t.Errorf("value = %v, want 0.25", v)
+	}
+	e.Observe(1.0) // 0.25 + 0.75·0.25 = 0.4375
+	if v, _ := e.Value(); math.Abs(v-0.4375) > 1e-12 {
+		t.Errorf("value = %v, want 0.4375", v)
+	}
+}
+
+func TestConvergesToConstant(t *testing.T) {
+	e, err := New(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		e.Observe(0.37)
+	}
+	if v, _ := e.Value(); math.Abs(v-0.37) > 1e-9 {
+		t.Errorf("value = %v, want 0.37", v)
+	}
+}
+
+func TestTracksShift(t *testing.T) {
+	// After a step change, the estimate must move most of the way to the
+	// new level within a few time constants.
+	e, err := New(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		e.Observe(0.1)
+	}
+	for i := 0; i < 30; i++ {
+		e.Observe(0.5)
+	}
+	v, _ := e.Value()
+	if v < 0.45 {
+		t.Errorf("after shift, value = %v, want > 0.45", v)
+	}
+}
+
+func TestObserveWindow(t *testing.T) {
+	e, err := New(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.ObserveWindow(3, 10)
+	if v, _ := e.Value(); math.Abs(v-0.3) > 1e-12 {
+		t.Errorf("value = %v, want 0.3", v)
+	}
+	e.ObserveWindow(0, 0) // ignored
+	if v, _ := e.Value(); math.Abs(v-0.3) > 1e-12 {
+		t.Errorf("empty window changed the value to %v", v)
+	}
+}
+
+func TestValueOr(t *testing.T) {
+	e, err := New(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.ValueOr(0.15); got != 0.15 {
+		t.Errorf("ValueOr on unprimed = %v, want fallback 0.15", got)
+	}
+	e.Observe(0.6)
+	if got := e.ValueOr(0.15); got != 0.6 {
+		t.Errorf("ValueOr after observation = %v, want 0.6", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	e, err := New(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Observe(0.9)
+	e.Reset()
+	if _, ok := e.Value(); ok {
+		t.Error("estimator still primed after Reset")
+	}
+	e.Observe(0.2)
+	if v, _ := e.Value(); v != 0.2 {
+		t.Errorf("first post-reset observation = %v, want 0.2", v)
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	e, err := New(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				e.Observe(0.25)
+				e.Value()
+			}
+		}()
+	}
+	wg.Wait()
+	if v, _ := e.Value(); math.Abs(v-0.25) > 1e-9 {
+		t.Errorf("value = %v, want 0.25", v)
+	}
+}

@@ -1,0 +1,113 @@
+package figures
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func cell(t *testing.T, tab Table, row, col int) float64 {
+	t.Helper()
+	raw := strings.TrimSuffix(strings.TrimSuffix(tab.Rows[row][col], "x"), "%")
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		t.Fatalf("cell (%d, %d) = %q: %v", row, col, tab.Rows[row][col], err)
+	}
+	return v
+}
+
+func TestExtBaseline(t *testing.T) {
+	tab, err := ExtBaseline(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 18 { // 6 strategies × 3 alphas
+		t.Fatalf("got %d rows, want 18", len(tab.Rows))
+	}
+	find := func(strategy, alpha string) int {
+		for i, r := range tab.Rows {
+			if r[0] == strategy && r[1] == alpha {
+				return i
+			}
+		}
+		t.Fatalf("row %s/%s missing", strategy, alpha)
+		return -1
+	}
+	// At α=0.3 FT-MRT must beat the sequential reload on time.
+	seq := cell(t, tab, find("sequential-reload", "0.3"), 2)
+	mrt := cell(t, tab, find("ft-mrt", "0.3"), 2)
+	if mrt >= seq {
+		t.Errorf("ft-mrt %.2fs not below sequential %.2fs at α=0.3", mrt, seq)
+	}
+	// Deflate must reduce packets versus plain sequential at α=0.1.
+	plainPkts := cell(t, tab, find("sequential-reload", "0.1"), 3)
+	zipPkts := cell(t, tab, find("deflate+sequential-reload", "0.1"), 3)
+	if zipPkts >= plainPkts {
+		t.Errorf("deflate packets %.1f not below plain %.1f", zipPkts, plainPkts)
+	}
+	// FT-MRT completes everywhere.
+	for _, alpha := range []string{"0.1", "0.3", "0.5"} {
+		if got := cell(t, tab, find("ft-mrt", alpha), 4); got != 100 {
+			t.Errorf("ft-mrt completion at α=%s is %.0f%%, want 100%%", alpha, got)
+		}
+	}
+}
+
+func TestExtPrefetch(t *testing.T) {
+	tab, err := ExtPrefetch(SimScale{Documents: 10, Repetitions: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3 alphas", len(tab.Rows))
+	}
+	for i := range tab.Rows {
+		off := cell(t, tab, i, 1)
+		on := cell(t, tab, i, 2)
+		if on >= off {
+			t.Errorf("row %d: prefetch on %.2fs not below off %.2fs", i, on, off)
+		}
+	}
+}
+
+func TestExtBurst(t *testing.T) {
+	tab, err := ExtBurst(SimScale{Documents: 10, Repetitions: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 { // 2 alphas × 2 modes
+		t.Fatalf("got %d rows, want 4", len(tab.Rows))
+	}
+	// Both modes must produce positive response times under both error
+	// processes.
+	for i := range tab.Rows {
+		if cell(t, tab, i, 2) <= 0 || cell(t, tab, i, 3) <= 0 {
+			t.Errorf("row %d has non-positive response time: %v", i, tab.Rows[i])
+		}
+	}
+}
+
+func TestExtAdaptive(t *testing.T) {
+	tab, err := ExtAdaptive(SimScale{Documents: 10, Repetitions: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3 phases", len(tab.Rows))
+	}
+	// In the α=0.45 phase the re-estimated γ must exceed 1.5 and the
+	// response time must improve on fixed γ.
+	fixed := cell(t, tab, 1, 1)
+	adapted := cell(t, tab, 1, 2)
+	gamma := cell(t, tab, 1, 3)
+	if gamma <= 1.5 {
+		t.Errorf("re-estimated γ %.2f at α=0.45, want > 1.5", gamma)
+	}
+	if adapted >= fixed {
+		t.Errorf("re-estimated %.2fs not below fixed %.2fs at α=0.45", adapted, fixed)
+	}
+	// In the α=0.05 phase re-estimation should spend *less* redundancy.
+	if g := cell(t, tab, 0, 3); g >= 1.5 {
+		t.Errorf("re-estimated γ %.2f at α=0.05, want < 1.5", g)
+	}
+}

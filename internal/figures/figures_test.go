@@ -1,0 +1,201 @@
+package figures
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyScale keeps figure tests fast.
+func tinyScale() SimScale {
+	return SimScale{Documents: 10, Repetitions: 2, Seed: 1}
+}
+
+func TestTable1(t *testing.T) {
+	tab, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 15 {
+		t.Fatalf("Table 1 has %d rows, suspiciously few", len(tab.Rows))
+	}
+	// Table 1's signature: at least one unit with QIC 0.00000 but
+	// positive MQIC.
+	signature := false
+	for _, row := range tab.Rows {
+		if row[2] == "0.00000" && row[3] != "0.00000" {
+			signature = true
+		}
+	}
+	if !signature {
+		t.Error("no unit with QIC=0 and MQIC>0; Table 1 signature missing")
+	}
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, tab); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "QIC") {
+		t.Error("rendered table missing header")
+	}
+}
+
+func TestTable2(t *testing.T) {
+	tab := Table2()
+	text := renderTable(t, tab)
+	for _, want := range []string{"256", "10240", "40", "60", "19.2", "50%", "0.5", "0.1", "1.5"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Table 2 missing value %q", want)
+		}
+	}
+}
+
+func TestFigure2Monotone(t *testing.T) {
+	for _, s := range []float64{0.95, 0.99} {
+		fig, err := Figure2(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fig.Series) != 5 {
+			t.Fatalf("Figure 2 has %d series, want 5 alphas", len(fig.Series))
+		}
+		for _, series := range fig.Series {
+			for i := 1; i < len(series.Y); i++ {
+				if series.Y[i] <= series.Y[i-1] {
+					t.Errorf("%s: N not increasing in M", series.Label)
+				}
+			}
+		}
+		// Higher α needs more cooked packets at every M.
+		low, high := fig.Series[0], fig.Series[4]
+		for i := range low.Y {
+			if high.Y[i] <= low.Y[i] {
+				t.Errorf("N(α=0.5) <= N(α=0.1) at M=%v", low.X[i])
+			}
+		}
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	fig, err := Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, series := range fig.Series {
+		for i := 1; i < len(series.Y); i++ {
+			if series.Y[i] <= series.Y[i-1] {
+				t.Errorf("%s: γ not increasing in α", series.Label)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteFigure(&buf, fig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure4CachingWins(t *testing.T) {
+	figs, err := Figure4(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 4 {
+		t.Fatalf("Figure 4 has %d panels, want 4", len(figs))
+	}
+	// Panel a is NoCaching I=0, panel b Caching I=0. At the highest α
+	// and smallest γ, caching must be far faster.
+	noCache := figs[0].Series[4] // alpha=0.5
+	withCache := figs[1].Series[4]
+	if withCache.Y[0] >= noCache.Y[0] {
+		t.Errorf("caching (%.1fs) not faster than nocaching (%.1fs) at α=0.5 γ=1.1",
+			withCache.Y[0], noCache.Y[0])
+	}
+}
+
+func TestFigure5Shapes(t *testing.T) {
+	figs, err := Figure5(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 4 {
+		t.Fatalf("Figure 5 has %d panels, want 4", len(figs))
+	}
+	// Panel b (Caching, varying I): response decreases in I for α=0.1.
+	series := figs[1].Series[0]
+	if series.Y[len(series.Y)-1] >= series.Y[0] {
+		t.Errorf("response at I=1 (%.2f) not below I=0 (%.2f)", series.Y[len(series.Y)-1], series.Y[0])
+	}
+	// Panel d (Caching, varying F): response increases in F for α=0.1.
+	series = figs[3].Series[0]
+	if series.Y[len(series.Y)-1] <= series.Y[0] {
+		t.Errorf("response at F=1 (%.2f) not above F=0 (%.2f)", series.Y[len(series.Y)-1], series.Y[0])
+	}
+}
+
+func TestFigure6ParagraphBest(t *testing.T) {
+	figs, err := Figure6(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 3 {
+		t.Fatalf("Figure 6 has %d panels, want 3 alphas", len(figs))
+	}
+	fig := figs[0] // alpha = 0.1
+	var para, doc Series
+	for _, s := range fig.Series {
+		switch s.Label {
+		case "paragraph":
+			para = s
+		case "document":
+			doc = s
+		}
+	}
+	// At F = 0.2 (index 1) the paragraph LOD must improve over the
+	// document baseline (which is 1 by construction).
+	if para.Y[1] <= doc.Y[1] {
+		t.Errorf("paragraph improvement %.3f not above document %.3f at F=0.2", para.Y[1], doc.Y[1])
+	}
+}
+
+func TestFigure7SkewGrows(t *testing.T) {
+	figs, err := Figure7(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 4 {
+		t.Fatalf("Figure 7 has %d panels, want 4 skews", len(figs))
+	}
+	// Peak paragraph improvement at δ=5 must exceed δ=2.
+	peak := func(f Figure) float64 {
+		best := 0.0
+		for _, s := range f.Series {
+			if s.Label != "paragraph" {
+				continue
+			}
+			for _, y := range s.Y {
+				if y > best {
+					best = y
+				}
+			}
+		}
+		return best
+	}
+	if peak(figs[3]) <= peak(figs[0]) {
+		t.Errorf("peak improvement at δ=5 (%.3f) not above δ=2 (%.3f)", peak(figs[3]), peak(figs[0]))
+	}
+}
+
+func TestWriteFigureEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFigure(&buf, Figure{Title: "empty"}); err == nil {
+		t.Error("empty figure rendered without error")
+	}
+}
+
+func renderTable(t *testing.T, tab Table) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, tab); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}

@@ -1,0 +1,242 @@
+// Package gateway is the WWW-server half of Figure 1: an HTTP front end
+// over the document collection that lets a conventional browser consume
+// multi-resolution content. Three endpoints:
+//
+//	GET /search?q=...&limit=N      → JSON list of hits
+//	GET /sc/{name}?q=...           → JSON structural characteristic
+//	                                 (per-unit IC/QIC/MQIC)
+//	GET /doc/{name}?q=...&lod=...&notion=...&ic=0.4
+//	                               → the document's units as text/plain,
+//	                                 highest content first, streamed
+//	                                 progressively (chunked) and cut off
+//	                                 at the requested information content
+//
+// The gateway runs server-side on the wired segment; the FT-MRT packet
+// transport covers the wireless hop. Exposing the ranked unit stream over
+// plain HTTP makes the multi-resolution behaviour observable with stock
+// tools (curl shows the most relevant paragraphs arriving first).
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"mobweb/internal/content"
+	"mobweb/internal/core"
+	"mobweb/internal/document"
+	"mobweb/internal/search"
+	"mobweb/internal/textproc"
+)
+
+// Handler serves the gateway endpoints. Construct with New.
+type Handler struct {
+	engine *search.Engine
+	mux    *http.ServeMux
+}
+
+var _ http.Handler = (*Handler)(nil)
+
+// New wraps a search engine as an HTTP gateway.
+func New(engine *search.Engine) (*Handler, error) {
+	if engine == nil {
+		return nil, fmt.Errorf("gateway: nil engine")
+	}
+	h := &Handler{engine: engine, mux: http.NewServeMux()}
+	h.mux.HandleFunc("GET /search", h.handleSearch)
+	h.mux.HandleFunc("GET /sc/{name}", h.handleSC)
+	h.mux.HandleFunc("GET /doc/{name}", h.handleDoc)
+	h.mux.HandleFunc("GET /layout/{name}", h.handleLayout)
+	return h, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+// searchHit is the JSON shape of one search result.
+type searchHit struct {
+	Name  string  `json:"name"`
+	Title string  `json:"title"`
+	Score float64 `json:"score"`
+}
+
+func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		http.Error(w, "missing q parameter", http.StatusBadRequest)
+		return
+	}
+	limit := 10
+	if s := r.URL.Query().Get("limit"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			http.Error(w, "bad limit", http.StatusBadRequest)
+			return
+		}
+		limit = n
+	}
+	hits := h.engine.Search(q, limit)
+	out := make([]searchHit, len(hits))
+	for i, hit := range hits {
+		out[i] = searchHit{Name: hit.Name, Title: hit.Title, Score: hit.Score}
+	}
+	writeJSON(w, out)
+}
+
+// unitScore is the JSON shape of one unit's structural characteristic.
+type unitScore struct {
+	Label string  `json:"label"`
+	Level string  `json:"level"`
+	Title string  `json:"title,omitempty"`
+	IC    float64 `json:"ic"`
+	QIC   float64 `json:"qic"`
+	MQIC  float64 `json:"mqic"`
+}
+
+func (h *Handler) handleSC(w http.ResponseWriter, r *http.Request) {
+	sc, ok := h.engine.SC(r.PathValue("name"))
+	if !ok {
+		http.Error(w, "unknown document", http.StatusNotFound)
+		return
+	}
+	qv := textproc.QueryVector(r.URL.Query().Get("q"))
+	scores := sc.Evaluate(qv)
+	var out []unitScore
+	sc.Doc().Root.Walk(func(u *document.Unit) bool {
+		out = append(out, unitScore{
+			Label: u.Label,
+			Level: u.Level.String(),
+			Title: u.Title,
+			IC:    scores.IC[u.ID],
+			QIC:   scores.QIC[u.ID],
+			MQIC:  scores.MQIC[u.ID],
+		})
+		return true
+	})
+	writeJSON(w, out)
+}
+
+// handleLayout returns the FT-MRT transmission geometry for a document,
+// letting an HTTP-bootstrapped client build a core.Receiver and then
+// consume the packet transport for the wireless hop. Query parameters
+// mirror /doc: q, lod, notion, plus gamma.
+func (h *Handler) handleLayout(w http.ResponseWriter, r *http.Request) {
+	sc, ok := h.engine.SC(r.PathValue("name"))
+	if !ok {
+		http.Error(w, "unknown document", http.StatusNotFound)
+		return
+	}
+	query := r.URL.Query()
+	cfg := core.Config{LOD: document.LODParagraph, Notion: content.NotionQIC}
+	if s := query.Get("lod"); s != "" {
+		lod, err := document.ParseLOD(s)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		cfg.LOD = lod
+	}
+	if s := query.Get("gamma"); s != "" {
+		g, err := strconv.ParseFloat(s, 64)
+		if err != nil || g < 1 {
+			http.Error(w, "gamma must be >= 1", http.StatusBadRequest)
+			return
+		}
+		cfg.Gamma = g
+	}
+	qv := textproc.QueryVector(query.Get("q"))
+	plan, err := core.NewPlan(sc, qv, cfg)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, plan.Layout())
+}
+
+func (h *Handler) handleDoc(w http.ResponseWriter, r *http.Request) {
+	sc, ok := h.engine.SC(r.PathValue("name"))
+	if !ok {
+		http.Error(w, "unknown document", http.StatusNotFound)
+		return
+	}
+	query := r.URL.Query()
+
+	cfg := core.Config{LOD: document.LODParagraph, Notion: content.NotionQIC}
+	if s := query.Get("lod"); s != "" {
+		lod, err := document.ParseLOD(s)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		cfg.LOD = lod
+	}
+	switch strings.ToUpper(query.Get("notion")) {
+	case "":
+	case "IC":
+		cfg.Notion = content.NotionIC
+	case "QIC":
+		cfg.Notion = content.NotionQIC
+	case "MQIC":
+		cfg.Notion = content.NotionMQIC
+	default:
+		http.Error(w, "unknown notion", http.StatusBadRequest)
+		return
+	}
+	icCut := 1.0
+	if s := query.Get("ic"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || v <= 0 || v > 1 {
+			http.Error(w, "ic must be in (0, 1]", http.StatusBadRequest)
+			return
+		}
+		icCut = v
+	}
+	qv := textproc.QueryVector(query.Get("q"))
+
+	ranked, err := sc.RankUnits(cfg.LOD, cfg.Notion, qv)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	total := 0.0
+	for _, ru := range ranked {
+		total += ru.Score
+	}
+
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("X-Document-Title", sc.Doc().Title)
+	flusher, _ := w.(http.Flusher)
+	accrued := 0.0
+	for _, ru := range ranked {
+		share := ru.Score
+		if total > 0 {
+			share /= total
+		}
+		fmt.Fprintf(w, "── %s %s (score %.4f) %s\n", ru.Unit.Level, ru.Unit.Label, share, ru.Unit.Title)
+		text := ru.Unit.OwnAndDescendantText()
+		if text != "" {
+			fmt.Fprintln(w, text)
+		}
+		fmt.Fprintln(w)
+		if flusher != nil {
+			flusher.Flush()
+		}
+		accrued += share
+		if accrued >= icCut {
+			fmt.Fprintf(w, "── stopped at information content %.3f ──\n", accrued)
+			return
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are gone; nothing recoverable remains.
+		return
+	}
+}

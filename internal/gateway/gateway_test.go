@@ -1,0 +1,231 @@
+package gateway
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mobweb/internal/core"
+	"mobweb/internal/corpus"
+	"mobweb/internal/search"
+	"mobweb/internal/textproc"
+)
+
+func newGateway(t *testing.T) *Handler {
+	t.Helper()
+	engine := search.NewEngine(textproc.Options{})
+	docs, err := corpus.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range docs {
+		if err := engine.Add(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h, err := New(engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestNewNilEngine(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("nil engine accepted")
+	}
+}
+
+func TestSearchEndpoint(t *testing.T) {
+	h := newGateway(t)
+	rec := get(t, h, "/search?q=mobile+web+browsing")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var hits []searchHit
+	if err := json.NewDecoder(rec.Body).Decode(&hits); err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 || hits[0].Name != corpus.DraftName {
+		t.Errorf("hits = %v", hits)
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	h := newGateway(t)
+	if rec := get(t, h, "/search"); rec.Code != http.StatusBadRequest {
+		t.Errorf("missing q: status %d", rec.Code)
+	}
+	if rec := get(t, h, "/search?q=x&limit=0"); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad limit: status %d", rec.Code)
+	}
+	if rec := get(t, h, "/search?q=x&limit=abc"); rec.Code != http.StatusBadRequest {
+		t.Errorf("non-numeric limit: status %d", rec.Code)
+	}
+}
+
+func TestSCEndpoint(t *testing.T) {
+	h := newGateway(t)
+	rec := get(t, h, "/sc/"+corpus.DraftName+"?q=browsing+mobile+web")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var units []unitScore
+	if err := json.NewDecoder(rec.Body).Decode(&units); err != nil {
+		t.Fatal(err)
+	}
+	if len(units) < 20 {
+		t.Fatalf("only %d units", len(units))
+	}
+	// Document root first, IC/QIC/MQIC all 1.
+	root := units[0]
+	if root.Level != "document" || root.IC < 0.999 || root.QIC < 0.999 {
+		t.Errorf("root scores %+v", root)
+	}
+	// Table 1 signature: some unit with QIC 0 but MQIC > 0.
+	found := false
+	for _, u := range units {
+		if u.QIC == 0 && u.MQIC > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no QIC=0/MQIC>0 unit in SC output")
+	}
+}
+
+func TestSCUnknownDoc(t *testing.T) {
+	h := newGateway(t)
+	if rec := get(t, h, "/sc/ghost.xml"); rec.Code != http.StatusNotFound {
+		t.Errorf("status %d, want 404", rec.Code)
+	}
+}
+
+func TestDocEndpointRankedStream(t *testing.T) {
+	h := newGateway(t)
+	rec := get(t, h, "/doc/"+corpus.DraftName+"?q=browsing+mobile+web&lod=section&notion=QIC")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	body, err := io.ReadAll(rec.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	// The first streamed section must be the query-heavy introduction,
+	// not the document-order abstract.
+	firstHeader := text[:strings.IndexByte(text, '\n')]
+	if !strings.Contains(firstHeader, "section") {
+		t.Errorf("first line %q is not a section header", firstHeader)
+	}
+	introPos := strings.Index(text, "Introduction")
+	encodingPos := strings.Index(text, "Fault-Tolerant Transmission")
+	if introPos == -1 || encodingPos == -1 {
+		t.Fatal("expected section titles missing")
+	}
+	if introPos > encodingPos {
+		t.Error("QIC ordering did not put the introduction before the FT section")
+	}
+	if got := rec.Header().Get("X-Document-Title"); !strings.Contains(got, "Weakly-Connected") {
+		t.Errorf("title header %q", got)
+	}
+}
+
+func TestDocEndpointICCutoff(t *testing.T) {
+	h := newGateway(t)
+	full := get(t, h, "/doc/"+corpus.DraftName+"?q=mobile&lod=paragraph")
+	cut := get(t, h, "/doc/"+corpus.DraftName+"?q=mobile&lod=paragraph&ic=0.3")
+	if cut.Body.Len() >= full.Body.Len() {
+		t.Errorf("ic=0.3 response (%d bytes) not smaller than full (%d bytes)",
+			cut.Body.Len(), full.Body.Len())
+	}
+	if !strings.Contains(cut.Body.String(), "stopped at information content") {
+		t.Error("cutoff marker missing")
+	}
+}
+
+func TestDocEndpointValidation(t *testing.T) {
+	h := newGateway(t)
+	if rec := get(t, h, "/doc/ghost.xml"); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown doc: status %d", rec.Code)
+	}
+	if rec := get(t, h, "/doc/"+corpus.DraftName+"?lod=chapter"); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad lod: status %d", rec.Code)
+	}
+	if rec := get(t, h, "/doc/"+corpus.DraftName+"?notion=ZIC"); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad notion: status %d", rec.Code)
+	}
+	if rec := get(t, h, "/doc/"+corpus.DraftName+"?ic=2"); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad ic: status %d", rec.Code)
+	}
+	if rec := get(t, h, "/doc/"+corpus.DraftName+"?ic=0"); rec.Code != http.StatusBadRequest {
+		t.Errorf("zero ic: status %d", rec.Code)
+	}
+}
+
+func TestDocDefaultsToQICParagraphs(t *testing.T) {
+	h := newGateway(t)
+	rec := get(t, h, "/doc/mobile-survey.html?q=caching")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "paragraph") {
+		t.Error("default LOD is not paragraph")
+	}
+}
+
+func TestLayoutEndpoint(t *testing.T) {
+	h := newGateway(t)
+	rec := get(t, h, "/layout/"+corpus.DraftName+"?q=mobile&lod=paragraph&gamma=1.5")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var layout core.Layout
+	if err := json.NewDecoder(rec.Body).Decode(&layout); err != nil {
+		t.Fatal(err)
+	}
+	if err := layout.Validate(); err != nil {
+		t.Fatalf("served layout invalid: %v", err)
+	}
+	// The served geometry must bootstrap a working receiver.
+	if _, err := core.NewReceiverFromLayout(layout); err != nil {
+		t.Fatal(err)
+	}
+	if layout.N() <= layout.M() {
+		t.Errorf("layout N=%d M=%d, expected redundancy", layout.N(), layout.M())
+	}
+}
+
+func TestLayoutEndpointValidation(t *testing.T) {
+	h := newGateway(t)
+	if rec := get(t, h, "/layout/ghost.xml"); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown doc: status %d", rec.Code)
+	}
+	if rec := get(t, h, "/layout/"+corpus.DraftName+"?gamma=0.5"); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad gamma: status %d", rec.Code)
+	}
+	if rec := get(t, h, "/layout/"+corpus.DraftName+"?lod=chapter"); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad lod: status %d", rec.Code)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	h := newGateway(t)
+	req := httptest.NewRequest(http.MethodPost, "/search?q=x", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST status %d, want 405", rec.Code)
+	}
+}

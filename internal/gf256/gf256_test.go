@@ -1,0 +1,260 @@
+package gf256
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTablesConsistent(t *testing.T) {
+	// exp and log must be mutual inverses on the non-zero elements.
+	seen := make(map[byte]bool, 255)
+	for i := 0; i < 255; i++ {
+		v := Exp(i)
+		if v == 0 {
+			t.Fatalf("Exp(%d) = 0; generator powers must be non-zero", i)
+		}
+		if seen[v] {
+			t.Fatalf("Exp(%d) = %d repeats an earlier power", i, v)
+		}
+		seen[v] = true
+		if got := Log(v); got != i {
+			t.Errorf("Log(Exp(%d)) = %d, want %d", i, got, i)
+		}
+	}
+	if len(seen) != 255 {
+		t.Fatalf("generator produced %d distinct powers, want 255", len(seen))
+	}
+}
+
+func TestExpWrapsAt255(t *testing.T) {
+	if Exp(255) != Exp(0) {
+		t.Errorf("Exp(255) = %d, want Exp(0) = %d", Exp(255), Exp(0))
+	}
+	if Exp(510) != Exp(0) {
+		t.Errorf("Exp(510) = %d, want Exp(0) = %d", Exp(510), Exp(0))
+	}
+}
+
+func TestMulTable(t *testing.T) {
+	// Validate table-driven Mul against carry-less "Russian peasant"
+	// multiplication for every pair of operands.
+	slowMul := func(a, b byte) byte {
+		var p byte
+		for b > 0 {
+			if b&1 != 0 {
+				p ^= a
+			}
+			hi := a&0x80 != 0
+			a <<= 1
+			if hi {
+				a ^= byte(Poly & 0xFF)
+			}
+			b >>= 1
+		}
+		return p
+	}
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			want := slowMul(byte(a), byte(b))
+			if got := Mul(byte(a), byte(b)); got != want {
+				t.Fatalf("Mul(%d, %d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestFieldAxioms(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 2000}
+
+	t.Run("mul commutative", func(t *testing.T) {
+		f := func(a, b byte) bool { return Mul(a, b) == Mul(b, a) }
+		if err := quick.Check(f, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("mul associative", func(t *testing.T) {
+		f := func(a, b, c byte) bool { return Mul(Mul(a, b), c) == Mul(a, Mul(b, c)) }
+		if err := quick.Check(f, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("distributive", func(t *testing.T) {
+		f := func(a, b, c byte) bool { return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c)) }
+		if err := quick.Check(f, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("add self inverse", func(t *testing.T) {
+		f := func(a, b byte) bool { return Sub(Add(a, b), b) == a }
+		if err := quick.Check(f, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("mul identity", func(t *testing.T) {
+		f := func(a byte) bool { return Mul(a, 1) == a && Mul(1, a) == a }
+		if err := quick.Check(f, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("mul zero annihilates", func(t *testing.T) {
+		f := func(a byte) bool { return Mul(a, 0) == 0 && Mul(0, a) == 0 }
+		if err := quick.Check(f, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func TestInverse(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		inv := Inv(byte(a))
+		if got := Mul(byte(a), inv); got != 1 {
+			t.Errorf("Mul(%d, Inv(%d)) = %d, want 1", a, a, got)
+		}
+		if got := Div(1, byte(a)); got != inv {
+			t.Errorf("Div(1, %d) = %d, want Inv = %d", a, got, inv)
+		}
+	}
+}
+
+func TestDivIsMulByInverse(t *testing.T) {
+	f := func(a, b byte) bool {
+		if b == 0 {
+			return true
+		}
+		return Div(a, b) == Mul(a, Inv(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDivRoundTrip(t *testing.T) {
+	f := func(a, b byte) bool {
+		if b == 0 {
+			return true
+		}
+		return Mul(Div(a, b), b) == a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPow(t *testing.T) {
+	tests := []struct {
+		a    byte
+		k    int
+		want byte
+	}{
+		{0, 0, 1},
+		{0, 5, 0},
+		{1, 100, 1},
+		{2, 1, 2},
+		{2, 8, byte(Poly & 0xFF)}, // x^8 reduces to the low bits of Poly
+		{7, 0, 1},
+	}
+	for _, tt := range tests {
+		if got := Pow(tt.a, tt.k); got != tt.want {
+			t.Errorf("Pow(%d, %d) = %d, want %d", tt.a, tt.k, got, tt.want)
+		}
+	}
+	// a^(k+1) == a^k * a for random cases.
+	f := func(a byte, k uint8) bool {
+		return Pow(a, int(k)+1) == Mul(Pow(a, int(k)), a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	assertPanics := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	assertPanics("Div by zero", func() { Div(3, 0) })
+	assertPanics("Inv of zero", func() { Inv(0) })
+	assertPanics("Log of zero", func() { Log(0) })
+	assertPanics("negative Exp", func() { Exp(-1) })
+	assertPanics("negative Pow", func() { Pow(3, -2) })
+}
+
+func TestMulSlice(t *testing.T) {
+	src := []byte{0, 1, 2, 3, 100, 200, 255}
+	for _, c := range []byte{0, 1, 2, 5, 113, 255} {
+		dst := make([]byte, len(src))
+		MulSlice(c, dst, src)
+		for i := range src {
+			if want := Mul(c, src[i]); dst[i] != want {
+				t.Errorf("MulSlice(c=%d)[%d] = %d, want %d", c, i, dst[i], want)
+			}
+		}
+	}
+}
+
+func TestMulAddSlice(t *testing.T) {
+	src := []byte{0, 1, 2, 3, 100, 200, 255}
+	for _, c := range []byte{0, 1, 2, 5, 113, 255} {
+		dst := []byte{9, 8, 7, 6, 5, 4, 3}
+		orig := append([]byte(nil), dst...)
+		MulAddSlice(c, dst, src)
+		for i := range src {
+			if want := Add(orig[i], Mul(c, src[i])); dst[i] != want {
+				t.Errorf("MulAddSlice(c=%d)[%d] = %d, want %d", c, i, dst[i], want)
+			}
+		}
+	}
+}
+
+func TestAddSlice(t *testing.T) {
+	dst := []byte{1, 2, 3}
+	AddSlice(dst, []byte{1, 2, 3})
+	for i, v := range dst {
+		if v != 0 {
+			t.Errorf("AddSlice self-cancel index %d = %d, want 0", i, v)
+		}
+	}
+}
+
+func TestSliceLengthMismatchPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"MulSlice":    func() { MulSlice(2, make([]byte, 3), make([]byte, 4)) },
+		"MulAddSlice": func() { MulAddSlice(2, make([]byte, 3), make([]byte, 4)) },
+		"AddSlice":    func() { AddSlice(make([]byte, 3), make([]byte, 4)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with mismatched lengths did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	var acc byte
+	for i := 0; i < b.N; i++ {
+		acc ^= Mul(byte(i), byte(i>>8))
+	}
+	_ = acc
+}
+
+func BenchmarkMulAddSlice(b *testing.B) {
+	src := make([]byte, 4096)
+	dst := make([]byte, 4096)
+	for i := range src {
+		src[i] = byte(i * 31)
+	}
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulAddSlice(byte(i)|1, dst, src)
+	}
+}

@@ -1,0 +1,67 @@
+package markup
+
+import (
+	"strings"
+	"testing"
+)
+
+func FuzzParseHTML(f *testing.F) {
+	seeds := []string{
+		miniHTML,
+		"<html><body><h1>T</h1><p>text</p></body></html>",
+		"<h2>loose heading",
+		"<p><b>unclosed bold",
+		"<!-- comment only -->",
+		"<script>while(1){}</script><p>after</p>",
+		"plain text, no tags at all",
+		"<title>T</title><h1>H</h1>",
+		"<p>&amp;&lt;&gt;&bogus;</p>",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		doc, err := ParseHTML(strings.NewReader(input), "fuzz.html")
+		if err != nil {
+			return
+		}
+		if doc == nil {
+			t.Fatal("nil document without error")
+		}
+		if err := doc.Validate(); err != nil {
+			t.Fatalf("invalid document from %q: %v", input, err)
+		}
+		// The body must be addressable by every paragraph extent.
+		body := doc.Body()
+		for _, p := range doc.Paragraphs() {
+			if p.End > len(body) {
+				t.Fatalf("paragraph extent escapes body")
+			}
+		}
+	})
+}
+
+func FuzzParseXML(f *testing.F) {
+	seeds := []string{
+		miniXML,
+		"<doc><section><paragraph>x</paragraph></section></doc>",
+		"<doc><abstract><paragraph>a</paragraph></abstract></doc>",
+		"<doc>text only</doc>",
+		"<doc><section><title>T</title>loose</section></doc>",
+		"<doc><b>bold</b></doc>",
+		"not xml at all",
+		"<doc><section></section></doc>",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		doc, err := ParseXML(strings.NewReader(input), "fuzz.xml", DefaultTagMap())
+		if err != nil {
+			return
+		}
+		if err := doc.Validate(); err != nil {
+			t.Fatalf("invalid document from %q: %v", input, err)
+		}
+	})
+}

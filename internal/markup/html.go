@@ -1,0 +1,236 @@
+package markup
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"mobweb/internal/document"
+)
+
+// ParseHTML extracts document structure from an HTML page using heading
+// heuristics: <h1> supplies the document title (subsequent <h1>s open
+// sections), <h2>→section, <h3>→subsection, <h4>/<h5>/<h6>→subsubsection,
+// <p>/<li>/<blockquote> delimit paragraphs, and <b>/<strong>/<i>/<em>
+// mark specially-formatted words. <script>, <style> and comments are
+// dropped. This realizes the HTML→XML mapping the paper lists as work in
+// progress, so multi-resolution transmission also covers the unstructured
+// web.
+func ParseHTML(r io.Reader, name string) (*document.Document, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("read %s: %w", name, err)
+	}
+	p := &htmlParser{root: &document.Unit{Level: document.LODDocument}}
+	p.stack = []*document.Unit{p.root}
+	p.parse(string(data))
+	p.flushParagraph()
+	if p.title == "" && len(p.root.Children) == 0 {
+		return nil, fmt.Errorf("parse %s: no extractable structure", name)
+	}
+	normalize(p.root)
+	relabel(p.root)
+	return document.New(name, p.title, p.root)
+}
+
+type htmlParser struct {
+	root     *document.Unit
+	stack    []*document.Unit // open structural units, root first
+	text     strings.Builder  // pending paragraph text
+	emph     []string         // pending emphasized words
+	title    string
+	sawTitle bool // saw an explicit <title> element
+	h1Seen   bool
+}
+
+func (p *htmlParser) top() *document.Unit { return p.stack[len(p.stack)-1] }
+
+func (p *htmlParser) parse(s string) {
+	i := 0
+	for i < len(s) {
+		lt := strings.IndexByte(s[i:], '<')
+		if lt == -1 {
+			p.appendText(s[i:])
+			return
+		}
+		p.appendText(s[i : i+lt])
+		i += lt
+		// Comment?
+		if strings.HasPrefix(s[i:], "<!--") {
+			end := strings.Index(s[i:], "-->")
+			if end == -1 {
+				return
+			}
+			i += end + 3
+			continue
+		}
+		gt := strings.IndexByte(s[i:], '>')
+		if gt == -1 {
+			return
+		}
+		rawTag := s[i+1 : i+gt]
+		i += gt + 1
+		closing := strings.HasPrefix(rawTag, "/")
+		tag := strings.ToLower(strings.TrimPrefix(rawTag, "/"))
+		if sp := strings.IndexAny(tag, " \t\r\n/"); sp != -1 {
+			tag = tag[:sp]
+		}
+		switch tag {
+		case "script", "style":
+			if !closing {
+				// Skip to the matching close tag.
+				closeTag := "</" + tag
+				idx := strings.Index(strings.ToLower(s[i:]), closeTag)
+				if idx == -1 {
+					return
+				}
+				i += idx
+			}
+		case "title":
+			if !closing {
+				end := strings.Index(strings.ToLower(s[i:]), "</title")
+				if end == -1 {
+					return
+				}
+				p.title = strings.TrimSpace(collapseSpace(decodeEntities(s[i : i+end])))
+				p.sawTitle = true
+				i += end
+			}
+		case "h1":
+			if !closing {
+				heading := p.captureHeading(s, &i, "h1")
+				if !p.h1Seen && !p.sawTitle && p.title == "" {
+					p.title = heading
+				}
+				p.h1Seen = true
+				p.openUnit(document.LODSection, heading)
+			}
+		case "h2":
+			if !closing {
+				p.openUnit(document.LODSection, p.captureHeading(s, &i, "h2"))
+			}
+		case "h3":
+			if !closing {
+				p.openUnit(document.LODSubsection, p.captureHeading(s, &i, "h3"))
+			}
+		case "h4", "h5", "h6":
+			if !closing {
+				p.openUnit(document.LODSubsubsection, p.captureHeading(s, &i, tag))
+			}
+		case "p", "li", "blockquote", "div", "tr", "br":
+			p.flushParagraph()
+		case "b", "strong", "i", "em":
+			if !closing {
+				inner := p.captureInline(s, &i, tag)
+				if inner != "" {
+					p.appendRaw(inner)
+					p.emph = append(p.emph, strings.Fields(inner)...)
+				}
+			}
+		default:
+			// Unknown tags are transparent.
+		}
+	}
+}
+
+// captureHeading consumes text up to the closing tag and returns it.
+func (p *htmlParser) captureHeading(s string, i *int, tag string) string {
+	closeTag := "</" + tag
+	idx := strings.Index(strings.ToLower(s[*i:]), closeTag)
+	if idx == -1 {
+		rest := s[*i:]
+		*i = len(s)
+		return strings.TrimSpace(collapseSpace(decodeEntities(stripTags(rest))))
+	}
+	inner := s[*i : *i+idx]
+	*i += idx
+	return strings.TrimSpace(collapseSpace(decodeEntities(stripTags(inner))))
+}
+
+// captureInline consumes emphasized inline content up to the closing tag.
+func (p *htmlParser) captureInline(s string, i *int, tag string) string {
+	closeTag := "</" + tag
+	idx := strings.Index(strings.ToLower(s[*i:]), closeTag)
+	if idx == -1 {
+		return ""
+	}
+	inner := s[*i : *i+idx]
+	*i += idx
+	return strings.TrimSpace(collapseSpace(decodeEntities(stripTags(inner))))
+}
+
+func (p *htmlParser) openUnit(lvl document.LOD, title string) {
+	p.flushParagraph()
+	for len(p.stack) > 1 && p.top().Level >= lvl {
+		p.stack = p.stack[:len(p.stack)-1]
+	}
+	u := &document.Unit{Level: lvl, Title: title}
+	parent := p.top()
+	parent.Children = append(parent.Children, u)
+	p.stack = append(p.stack, u)
+}
+
+func (p *htmlParser) appendText(s string) {
+	p.appendRaw(decodeEntities(s))
+}
+
+func (p *htmlParser) appendRaw(s string) {
+	s = strings.TrimSpace(collapseSpace(s))
+	if s == "" {
+		return
+	}
+	if p.text.Len() > 0 {
+		p.text.WriteByte(' ')
+	}
+	p.text.WriteString(s)
+}
+
+func (p *htmlParser) flushParagraph() {
+	text := strings.TrimSpace(p.text.String())
+	p.text.Reset()
+	emph := p.emph
+	p.emph = nil
+	if text == "" {
+		return
+	}
+	u := &document.Unit{Level: document.LODParagraph, Text: text, Emphasized: emph}
+	parent := p.top()
+	parent.Children = append(parent.Children, u)
+}
+
+// stripTags removes nested markup from inline content.
+func stripTags(s string) string {
+	var b strings.Builder
+	in := false
+	for _, r := range s {
+		switch {
+		case r == '<':
+			in = true
+		case r == '>':
+			in = false
+		case !in:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// decodeEntities resolves the handful of entities that matter for text
+// content; unknown entities pass through literally.
+func decodeEntities(s string) string {
+	if !strings.ContainsRune(s, '&') {
+		return s
+	}
+	replacer := strings.NewReplacer(
+		"&amp;", "&",
+		"&lt;", "<",
+		"&gt;", ">",
+		"&quot;", `"`,
+		"&#39;", "'",
+		"&apos;", "'",
+		"&nbsp;", " ",
+		"&mdash;", "—",
+		"&ndash;", "–",
+	)
+	return replacer.Replace(s)
+}

@@ -1,0 +1,173 @@
+package markup
+
+import (
+	"strings"
+	"testing"
+
+	"mobweb/internal/document"
+)
+
+const miniHTML = `<!DOCTYPE html>
+<html><head>
+<title>Survey Page</title>
+<style>p { margin: 0; }</style>
+<script>var tracking = "ignore me";</script>
+</head>
+<body>
+<h1>Survey of Mobile Data Management</h1>
+<p>Opening paragraph about wireless &amp; mobile systems.</p>
+<h2>Caching</h2>
+<p>Clients cache <b>hot data</b> locally.</p>
+<p>Invalidation reports reconcile caches.</p>
+<h3>Broadcast</h3>
+<p>Servers broadcast popular items.</p>
+<h2>Energy</h2>
+<p>Disk spin-down saves battery.</p>
+</body></html>`
+
+func parseHTML(t *testing.T) *document.Document {
+	t.Helper()
+	d, err := ParseHTML(strings.NewReader(miniHTML), "mini.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestParseHTMLTitle(t *testing.T) {
+	d := parseHTML(t)
+	if d.Title != "Survey Page" {
+		t.Errorf("title = %q, want Survey Page (from <title>)", d.Title)
+	}
+}
+
+func TestParseHTMLSections(t *testing.T) {
+	d := parseHTML(t)
+	secs, err := d.UnitsAt(document.LODSection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// h1 opens one section, two h2 open two more.
+	if len(secs) != 3 {
+		t.Fatalf("got %d sections, want 3", len(secs))
+	}
+	if secs[1].Title != "Caching" {
+		t.Errorf("section 1 title = %q, want Caching", secs[1].Title)
+	}
+}
+
+func TestParseHTMLSubsection(t *testing.T) {
+	d := parseHTML(t)
+	var broadcast *document.Unit
+	d.Root.Walk(func(u *document.Unit) bool {
+		if u.Title == "Broadcast" {
+			broadcast = u
+			return false
+		}
+		return true
+	})
+	if broadcast == nil {
+		t.Fatal("h3 subsection not found")
+	}
+	if broadcast.Level != document.LODSubsection {
+		t.Errorf("Broadcast level = %v, want subsection", broadcast.Level)
+	}
+}
+
+func TestParseHTMLScriptStyleDropped(t *testing.T) {
+	d := parseHTML(t)
+	for _, p := range d.Paragraphs() {
+		if strings.Contains(p.Text, "tracking") || strings.Contains(p.Text, "margin") {
+			t.Errorf("script/style content leaked: %q", p.Text)
+		}
+	}
+}
+
+func TestParseHTMLEntities(t *testing.T) {
+	d := parseHTML(t)
+	found := false
+	for _, p := range d.Paragraphs() {
+		if strings.Contains(p.Text, "wireless & mobile") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("&amp; entity not decoded")
+	}
+}
+
+func TestParseHTMLEmphasis(t *testing.T) {
+	d := parseHTML(t)
+	var emphasized []string
+	d.Root.Walk(func(u *document.Unit) bool {
+		emphasized = append(emphasized, u.Emphasized...)
+		return true
+	})
+	joined := strings.Join(emphasized, " ")
+	if !strings.Contains(joined, "hot") || !strings.Contains(joined, "data") {
+		t.Errorf("bold words not recorded: %v", emphasized)
+	}
+}
+
+func TestParseHTMLParagraphBoundaries(t *testing.T) {
+	d := parseHTML(t)
+	var caching *document.Unit
+	d.Root.Walk(func(u *document.Unit) bool {
+		if u.Title == "Caching" {
+			caching = u
+			return false
+		}
+		return true
+	})
+	if caching == nil {
+		t.Fatal("Caching section missing")
+	}
+	// The two <p> under Caching (before the h3) must be distinct leaves.
+	count := 0
+	caching.Walk(func(u *document.Unit) bool {
+		if u.Level == document.LODParagraph && u.Title == "" {
+			count++
+		}
+		return true
+	})
+	if count < 3 { // 2 loose + 1 under Broadcast
+		t.Errorf("Caching subtree has %d paragraphs, want >= 3", count)
+	}
+}
+
+func TestParseHTMLComments(t *testing.T) {
+	src := `<html><body><h1>T</h1><!-- hidden --><p>visible</p></body></html>`
+	d, err := ParseHTML(strings.NewReader(src), "c.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range d.Paragraphs() {
+		if strings.Contains(p.Text, "hidden") {
+			t.Error("comment content leaked")
+		}
+	}
+}
+
+func TestParseHTMLNoStructure(t *testing.T) {
+	if _, err := ParseHTML(strings.NewReader("   "), "blank.html"); err == nil {
+		t.Error("blank page accepted")
+	}
+}
+
+func TestParseHTMLH1FallbackTitle(t *testing.T) {
+	src := `<html><body><h1>Heading As Title</h1><p>text</p></body></html>`
+	d, err := ParseHTML(strings.NewReader(src), "h.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Title != "Heading As Title" {
+		t.Errorf("title = %q, want h1 fallback", d.Title)
+	}
+}
+
+func TestParseHTMLValidates(t *testing.T) {
+	d := parseHTML(t)
+	if err := d.Validate(); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,95 @@
+package markup
+
+import (
+	"fmt"
+
+	"mobweb/internal/document"
+)
+
+// normalize restructures a raw parse tree to match Table 1's conventions:
+// paragraphs appearing directly under a section are grouped beneath a
+// virtual subsection (so the abstract's paragraphs live under "0.0"), and
+// empty structural units are pruned.
+func normalize(root *document.Unit) {
+	prune(root)
+	var walk func(u *document.Unit)
+	walk = func(u *document.Unit) {
+		if u.Level == document.LODSection {
+			groupLooseParagraphs(u)
+		}
+		for _, c := range u.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+}
+
+// groupLooseParagraphs wraps maximal runs of paragraph children of a
+// section into virtual subsections, leaving real subsections in place.
+func groupLooseParagraphs(sec *document.Unit) {
+	hasLoose := false
+	for _, c := range sec.Children {
+		if c.Level == document.LODParagraph {
+			hasLoose = true
+			break
+		}
+	}
+	if !hasLoose {
+		return
+	}
+	out := make([]*document.Unit, 0, len(sec.Children))
+	var run []*document.Unit
+	flushRun := func() {
+		if len(run) == 0 {
+			return
+		}
+		v := &document.Unit{Level: document.LODSubsection, Children: run}
+		out = append(out, v)
+		run = nil
+	}
+	for _, c := range sec.Children {
+		if c.Level == document.LODParagraph {
+			run = append(run, c)
+			continue
+		}
+		flushRun()
+		out = append(out, c)
+	}
+	flushRun()
+	sec.Children = out
+}
+
+// prune removes structural units with neither text, title, nor children,
+// which arise from empty markup elements.
+func prune(u *document.Unit) {
+	kept := u.Children[:0]
+	for _, c := range u.Children {
+		prune(c)
+		if c.Level != document.LODParagraph && c.Text == "" && c.Title == "" && len(c.Children) == 0 {
+			continue
+		}
+		if c.Level == document.LODParagraph && c.Text == "" {
+			continue
+		}
+		kept = append(kept, c)
+	}
+	u.Children = kept
+}
+
+// relabel assigns Table 1-style hierarchical labels: sections "0", "1",
+// …; children extend the parent label with their ordinal. The document
+// root keeps an empty label.
+func relabel(root *document.Unit) {
+	var walk func(u *document.Unit)
+	walk = func(u *document.Unit) {
+		for i, c := range u.Children {
+			if u.Level == document.LODDocument {
+				c.Label = fmt.Sprintf("%d", i)
+			} else {
+				c.Label = fmt.Sprintf("%s.%d", u.Label, i)
+			}
+			walk(c)
+		}
+	}
+	walk(root)
+}

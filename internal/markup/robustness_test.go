@@ -1,0 +1,128 @@
+package markup
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mobweb/internal/document"
+)
+
+// TestParseHTMLNeverPanics feeds random tag soup to the HTML extractor:
+// whatever the input, it must return a document or an error, never panic,
+// and any returned document must validate.
+func TestParseHTMLNeverPanics(t *testing.T) {
+	fragments := []string{
+		"<h1>", "</h1>", "<h2>", "</h2>", "<h3>", "<p>", "</p>",
+		"<b>", "</b>", "<i>", "</i>", "<script>", "</script>",
+		"<style>", "</style>", "<title>", "</title>", "<!--", "-->",
+		"<", ">", "&amp;", "&bogus;", "word", "two words", "\n", " ",
+		"<div class='x'>", "</div>", "<br/>", "<h1", "h1>",
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var b strings.Builder
+		n := rng.Intn(60)
+		for i := 0; i < n; i++ {
+			b.WriteString(fragments[rng.Intn(len(fragments))])
+		}
+		doc, err := ParseHTML(strings.NewReader(b.String()), "soup.html")
+		if err != nil {
+			return true // rejecting is fine
+		}
+		return doc.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseXMLNeverPanics does the same for the XML path, with fragments
+// that include malformed nesting.
+func TestParseXMLNeverPanics(t *testing.T) {
+	fragments := []string{
+		"<doc>", "</doc>", "<section>", "</section>", "<subsection>",
+		"</subsection>", "<paragraph>", "</paragraph>", "<title>",
+		"</title>", "<b>", "</b>", "text", "more text", "<unknown>",
+		"</unknown>", "&amp;", "<", "]]>", "<!-- c -->",
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var b strings.Builder
+		b.WriteString("<doc>")
+		n := rng.Intn(40)
+		for i := 0; i < n; i++ {
+			b.WriteString(fragments[rng.Intn(len(fragments))])
+		}
+		b.WriteString("</doc>")
+		doc, err := ParseXML(strings.NewReader(b.String()), "soup.xml", DefaultTagMap())
+		if err != nil {
+			return true
+		}
+		return doc.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseXMLDeepNesting(t *testing.T) {
+	// A full-depth tree: section → subsection → subsubsection →
+	// paragraph, then UnitsAt at every level.
+	src := `<doc><section><title>S</title>
+	<subsection><title>SS</title>
+	<subsubsection><title>SSS</title>
+	<paragraph>deep paragraph text</paragraph>
+	</subsubsection></subsection></section></doc>`
+	doc, err := ParseXML(strings.NewReader(src), "deep.xml", DefaultTagMap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lod := range document.AllLODs() {
+		units, err := doc.UnitsAt(lod)
+		if err != nil {
+			t.Fatalf("%v: %v", lod, err)
+		}
+		if len(units) == 0 {
+			t.Errorf("%v: no units", lod)
+		}
+	}
+	var sss *document.Unit
+	doc.Root.Walk(func(u *document.Unit) bool {
+		if u.Level == document.LODSubsubsection {
+			sss = u
+			return false
+		}
+		return true
+	})
+	if sss == nil {
+		t.Fatal("subsubsection lost")
+	}
+	if sss.Title != "SSS" {
+		t.Errorf("subsubsection title %q", sss.Title)
+	}
+}
+
+func TestParseXMLSectionAfterSubsection(t *testing.T) {
+	// A new section element must close the open subsection, not nest
+	// under it.
+	src := `<doc>
+	<section><title>A</title><subsection><title>A1</title>
+	<paragraph>a1 text</paragraph></subsection></section>
+	<section><title>B</title><paragraph>b text</paragraph></section></doc>`
+	doc, err := ParseXML(strings.NewReader(src), "t.xml", DefaultTagMap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	secs, err := doc.UnitsAt(document.LODSection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(secs) != 2 {
+		t.Fatalf("got %d sections, want 2", len(secs))
+	}
+	if secs[1].Title != "B" {
+		t.Errorf("section 1 title %q, want B", secs[1].Title)
+	}
+}

@@ -1,0 +1,113 @@
+// Package markup converts marked-up web documents into the structured
+// document model. The primary path is XML with a DTD-style mapping from
+// element names to levels of detail (§3: "a section LOD might be
+// implemented using a pair of <section> tags"); the secondary path is the
+// heuristic HTML structure extractor the paper lists as work in progress
+// ("we are working on a mapping between HTML and XML documents").
+package markup
+
+import (
+	"strings"
+
+	"mobweb/internal/document"
+)
+
+// TagMap maps markup element names (case-insensitive) to their structural
+// roles. It plays the role of the XML DTD for document type
+// research-paper in §3.
+type TagMap struct {
+	// Document names the root element(s).
+	Document []string
+	// Abstract names elements treated as section 0 titled "Abstract".
+	Abstract []string
+	// Section, Subsection, Subsubsection and Paragraph name the
+	// organizational-unit elements.
+	Section, Subsection, Subsubsection, Paragraph []string
+	// Title names heading elements whose text becomes the unit title.
+	Title []string
+	// Emphasis names inline elements whose words are specially formatted
+	// and always qualify as keywords (§3.3).
+	Emphasis []string
+	// Skip names elements whose entire content is ignored.
+	Skip []string
+}
+
+// DefaultTagMap returns the mapping for the research-paper document type.
+func DefaultTagMap() TagMap {
+	return TagMap{
+		Document:      []string{"document", "research-paper", "paper", "article"},
+		Abstract:      []string{"abstract"},
+		Section:       []string{"section", "sect"},
+		Subsection:    []string{"subsection", "subsect"},
+		Subsubsection: []string{"subsubsection", "subsubsect"},
+		Paragraph:     []string{"paragraph", "para", "p"},
+		Title:         []string{"title", "heading", "caption"},
+		Emphasis:      []string{"b", "bold", "i", "it", "em", "strong", "emph"},
+		Skip:          []string{"bibliography", "references", "comment"},
+	}
+}
+
+// role classifies an element name.
+type role int
+
+const (
+	roleNone role = iota
+	roleDocument
+	roleAbstract
+	roleSection
+	roleSubsection
+	roleSubsubsection
+	roleParagraph
+	roleTitle
+	roleEmphasis
+	roleSkip
+)
+
+func (tm TagMap) classify(name string) role {
+	name = strings.ToLower(name)
+	contains := func(list []string) bool {
+		for _, n := range list {
+			if n == name {
+				return true
+			}
+		}
+		return false
+	}
+	switch {
+	case contains(tm.Document):
+		return roleDocument
+	case contains(tm.Abstract):
+		return roleAbstract
+	case contains(tm.Section):
+		return roleSection
+	case contains(tm.Subsection):
+		return roleSubsection
+	case contains(tm.Subsubsection):
+		return roleSubsubsection
+	case contains(tm.Paragraph):
+		return roleParagraph
+	case contains(tm.Title):
+		return roleTitle
+	case contains(tm.Emphasis):
+		return roleEmphasis
+	case contains(tm.Skip):
+		return roleSkip
+	default:
+		return roleNone
+	}
+}
+
+func (r role) level() (document.LOD, bool) {
+	switch r {
+	case roleAbstract, roleSection:
+		return document.LODSection, true
+	case roleSubsection:
+		return document.LODSubsection, true
+	case roleSubsubsection:
+		return document.LODSubsubsection, true
+	case roleParagraph:
+		return document.LODParagraph, true
+	default:
+		return 0, false
+	}
+}

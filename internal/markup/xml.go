@@ -1,0 +1,199 @@
+package markup
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"mobweb/internal/document"
+)
+
+// ParseXML reads an XML document and produces the structured model:
+// organizational units per the TagMap, loose text gathered into virtual
+// paragraphs, loose paragraphs under sections grouped beneath a virtual
+// subsection (Table 1: "Paragraphs not belonging to any subsection are
+// grouped under a virtual subsection"), and hierarchical labels assigned
+// ("0" is the abstract).
+func ParseXML(r io.Reader, name string, tm TagMap) (*document.Document, error) {
+	dec := xml.NewDecoder(r)
+	dec.Strict = false
+
+	root := &document.Unit{Level: document.LODDocument}
+	stack := []*frame{{unit: root}}
+	title := ""
+	sawDocElement := false
+
+	top := func() *frame { return stack[len(stack)-1] }
+
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", name, err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			switch role := tm.classify(t.Name.Local); role {
+			case roleDocument:
+				sawDocElement = true
+			case roleSkip:
+				if err := skipElement(dec, t.Name.Local); err != nil {
+					return nil, fmt.Errorf("parse %s: %w", name, err)
+				}
+			case roleTitle:
+				text, err := collectText(dec, t.Name.Local)
+				if err != nil {
+					return nil, fmt.Errorf("parse %s: %w", name, err)
+				}
+				f := top()
+				if f.unit.Level == document.LODDocument && title == "" {
+					title = text
+				}
+				if f.unit.Title == "" {
+					f.unit.Title = text
+				} else {
+					f.appendText(text)
+				}
+			case roleEmphasis:
+				text, err := collectText(dec, t.Name.Local)
+				if err != nil {
+					return nil, fmt.Errorf("parse %s: %w", name, err)
+				}
+				f := top()
+				f.appendText(text)
+				f.emphasis = append(f.emphasis, strings.Fields(text)...)
+			case roleAbstract, roleSection, roleSubsection, roleSubsubsection, roleParagraph:
+				lvl, _ := role.level()
+				// Close any open units at the same or finer level by
+				// flushing their pending text.
+				for len(stack) > 1 && top().unit.Level >= lvl {
+					top().flush()
+					stack = stack[:len(stack)-1]
+				}
+				parentFrame := top()
+				parentFrame.flushLooseIntoVirtual()
+				u := &document.Unit{Level: lvl}
+				if role == roleAbstract {
+					u.Title = "Abstract"
+				}
+				parentFrame.unit.Children = append(parentFrame.unit.Children, u)
+				f := &frame{unit: u, elem: strings.ToLower(t.Name.Local)}
+				stack = append(stack, f)
+			default:
+				// Unknown elements are transparent: their text flows into
+				// the enclosing unit.
+			}
+		case xml.EndElement:
+			elem := strings.ToLower(t.Name.Local)
+			if len(stack) > 1 && top().elem == elem {
+				top().flush()
+				stack = stack[:len(stack)-1]
+			}
+		case xml.CharData:
+			top().appendText(string(t))
+		}
+	}
+	for len(stack) > 0 {
+		top().flush()
+		stack = stack[:len(stack)-1]
+	}
+	if !sawDocElement && len(root.Children) == 0 && root.Text == "" {
+		return nil, fmt.Errorf("parse %s: no recognizable document structure", name)
+	}
+
+	normalize(root)
+	relabel(root)
+	return document.New(name, title, root)
+}
+
+// frame is an open unit plus its pending character data.
+type frame struct {
+	unit     *document.Unit
+	elem     string
+	pending  strings.Builder
+	emphasis []string
+}
+
+func (f *frame) appendText(s string) {
+	s = strings.TrimSpace(collapseSpace(s))
+	if s == "" {
+		return
+	}
+	if f.pending.Len() > 0 {
+		f.pending.WriteByte(' ')
+	}
+	f.pending.WriteString(s)
+}
+
+// flush materializes pending text. For paragraph units the text becomes
+// the unit's own body; for structural units it becomes a virtual
+// paragraph child so that all body text lives in leaves.
+func (f *frame) flush() {
+	text := f.pending.String()
+	f.pending.Reset()
+	emph := f.emphasis
+	f.emphasis = nil
+	if text == "" {
+		return
+	}
+	if f.unit.Level == document.LODParagraph {
+		if f.unit.Text == "" {
+			f.unit.Text = text
+		} else {
+			f.unit.Text += " " + text
+		}
+		f.unit.Emphasized = append(f.unit.Emphasized, emph...)
+		return
+	}
+	p := &document.Unit{Level: document.LODParagraph, Text: text, Emphasized: emph}
+	f.unit.Children = append(f.unit.Children, p)
+}
+
+// flushLooseIntoVirtual is called right before a child element opens so
+// lead-in text preceding it forms its own paragraph.
+func (f *frame) flushLooseIntoVirtual() { f.flush() }
+
+func collectText(dec *xml.Decoder, elem string) (string, error) {
+	var b strings.Builder
+	depth := 1
+	for depth > 0 {
+		tok, err := dec.Token()
+		if err != nil {
+			return "", err
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			depth++
+		case xml.EndElement:
+			depth--
+			_ = t
+		case xml.CharData:
+			b.WriteString(string(t))
+		}
+	}
+	return strings.TrimSpace(collapseSpace(b.String())), nil
+}
+
+func skipElement(dec *xml.Decoder, elem string) error {
+	depth := 1
+	for depth > 0 {
+		tok, err := dec.Token()
+		if err != nil {
+			return err
+		}
+		switch tok.(type) {
+		case xml.StartElement:
+			depth++
+		case xml.EndElement:
+			depth--
+		}
+	}
+	return nil
+}
+
+func collapseSpace(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}

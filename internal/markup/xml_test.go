@@ -1,0 +1,203 @@
+package markup
+
+import (
+	"strings"
+	"testing"
+
+	"mobweb/internal/document"
+)
+
+const miniXML = `<?xml version="1.0"?>
+<research-paper>
+  <title>Mini Paper</title>
+  <abstract>
+    <paragraph>Mobile web browsing over weak channels.</paragraph>
+  </abstract>
+  <section>
+    <title>Introduction</title>
+    <paragraph>Bandwidth is scarce and <b>energy</b> is limited.</paragraph>
+    <paragraph>Documents keep growing.</paragraph>
+    <subsection>
+      <title>Motivation</title>
+      <paragraph>Irrelevant documents waste transmission.</paragraph>
+    </subsection>
+  </section>
+  <section>
+    <title>Approach</title>
+    <paragraph>Rank units by information content.</paragraph>
+  </section>
+</research-paper>`
+
+func parseMini(t *testing.T) *document.Document {
+	t.Helper()
+	d, err := ParseXML(strings.NewReader(miniXML), "mini.xml", DefaultTagMap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestParseXMLTitle(t *testing.T) {
+	d := parseMini(t)
+	if d.Title != "Mini Paper" {
+		t.Errorf("title = %q, want Mini Paper", d.Title)
+	}
+}
+
+func TestParseXMLSections(t *testing.T) {
+	d := parseMini(t)
+	secs, err := d.UnitsAt(document.LODSection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(secs) != 3 {
+		t.Fatalf("got %d sections, want 3 (abstract + 2)", len(secs))
+	}
+	if secs[0].Title != "Abstract" || secs[0].Label != "0" {
+		t.Errorf("section 0 = (%q, %q), want (Abstract, 0)", secs[0].Title, secs[0].Label)
+	}
+	if secs[1].Title != "Introduction" || secs[1].Label != "1" {
+		t.Errorf("section 1 = (%q, %q), want (Introduction, 1)", secs[1].Title, secs[1].Label)
+	}
+}
+
+func TestParseXMLVirtualSubsection(t *testing.T) {
+	// The two loose paragraphs of the introduction must sit under a
+	// virtual subsection (Table 1's convention), alongside the real
+	// "Motivation" subsection.
+	d := parseMini(t)
+	secs, err := d.UnitsAt(document.LODSection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intro := secs[1]
+	if len(intro.Children) != 2 {
+		t.Fatalf("introduction has %d children, want 2 (virtual + real subsection)", len(intro.Children))
+	}
+	virtual := intro.Children[0]
+	if virtual.Level != document.LODSubsection || virtual.Title != "" {
+		t.Errorf("first child = (%v, %q), want untitled virtual subsection", virtual.Level, virtual.Title)
+	}
+	if len(virtual.Children) != 2 {
+		t.Errorf("virtual subsection has %d paragraphs, want 2", len(virtual.Children))
+	}
+	real := intro.Children[1]
+	if real.Title != "Motivation" {
+		t.Errorf("second child title = %q, want Motivation", real.Title)
+	}
+}
+
+func TestParseXMLEmphasis(t *testing.T) {
+	d := parseMini(t)
+	found := false
+	d.Root.Walk(func(u *document.Unit) bool {
+		for _, w := range u.Emphasized {
+			if w == "energy" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	if !found {
+		t.Error("boldfaced word not recorded as emphasized")
+	}
+	// The emphasized word must remain part of the paragraph text.
+	paras := d.Paragraphs()
+	joined := ""
+	for _, p := range paras {
+		joined += p.Text + " "
+	}
+	if !strings.Contains(joined, "energy") {
+		t.Error("emphasized word missing from paragraph text")
+	}
+}
+
+func TestParseXMLLabels(t *testing.T) {
+	d := parseMini(t)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Abstract's paragraph: section 0 → virtual subsection 0.0 →
+	// paragraph 0.0.0.
+	paras := d.Paragraphs()
+	if paras[0].Label != "0.0.0" {
+		t.Errorf("abstract paragraph label %q, want 0.0.0", paras[0].Label)
+	}
+}
+
+func TestParseXMLUnknownElementsTransparent(t *testing.T) {
+	src := `<doc><section><title>S</title><footnote>noted text</footnote>
+	<paragraph>body <xref>ref</xref> text</paragraph></section></doc>`
+	d, err := ParseXML(strings.NewReader(src), "t.xml", DefaultTagMap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := ""
+	for _, p := range d.Paragraphs() {
+		all += p.Text + " "
+	}
+	if !strings.Contains(all, "noted text") {
+		t.Error("text inside unknown element lost")
+	}
+	if !strings.Contains(all, "body ref text") {
+		t.Errorf("inline unknown element broke paragraph text: %q", all)
+	}
+}
+
+func TestParseXMLSkipsBibliography(t *testing.T) {
+	src := `<doc><section><title>S</title><paragraph>content</paragraph></section>
+	<bibliography><paragraph>Leong et al.</paragraph></bibliography></doc>`
+	d, err := ParseXML(strings.NewReader(src), "t.xml", DefaultTagMap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range d.Paragraphs() {
+		if strings.Contains(p.Text, "Leong") {
+			t.Error("bibliography content leaked into document")
+		}
+	}
+}
+
+func TestParseXMLLooseTextBecomesParagraph(t *testing.T) {
+	src := `<doc><section><title>S</title>lead-in text before any paragraph
+	<paragraph>first real paragraph</paragraph></section></doc>`
+	d, err := ParseXML(strings.NewReader(src), "t.xml", DefaultTagMap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	paras := d.Paragraphs()
+	if len(paras) != 2 {
+		t.Fatalf("got %d paragraphs, want 2 (lead-in + explicit)", len(paras))
+	}
+	if !strings.Contains(paras[0].Text, "lead-in") {
+		t.Errorf("first paragraph %q does not carry the lead-in text", paras[0].Text)
+	}
+}
+
+func TestParseXMLGarbage(t *testing.T) {
+	if _, err := ParseXML(strings.NewReader(""), "empty.xml", DefaultTagMap()); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestParseXMLWhitespaceCollapsed(t *testing.T) {
+	src := "<doc><section><paragraph>spread\n\t  across   lines</paragraph></section></doc>"
+	d, err := ParseXML(strings.NewReader(src), "t.xml", DefaultTagMap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Paragraphs()[0].Text; got != "spread across lines" {
+		t.Errorf("text = %q, want collapsed whitespace", got)
+	}
+}
+
+func TestParseXMLValidates(t *testing.T) {
+	d := parseMini(t)
+	if err := d.Validate(); err != nil {
+		t.Errorf("parsed document fails validation: %v", err)
+	}
+	if d.Size() == 0 {
+		t.Error("parsed document has zero size")
+	}
+}

@@ -1,0 +1,299 @@
+// Package matrix provides dense matrix algebra over the finite field
+// GF(2^8) as required by the information-dispersal erasure code: building
+// Vandermonde dispersal matrices, reducing them to systematic form, and
+// inverting square submatrices during reconstruction.
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"mobweb/internal/gf256"
+)
+
+// ErrSingular is returned when an inversion target has no inverse.
+var ErrSingular = errors.New("matrix: singular matrix")
+
+// Matrix is a dense rows×cols matrix over GF(2^8). The zero value is an
+// empty matrix; use New or NewFromRows to create a usable one.
+type Matrix struct {
+	rows, cols int
+	data       []byte // row-major
+}
+
+// New returns a zero-filled rows×cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("matrix: negative dimension")
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]byte, rows*cols)}
+}
+
+// NewFromRows builds a matrix from row slices, copying the data. All rows
+// must have equal length.
+func NewFromRows(rows [][]byte) (*Matrix, error) {
+	if len(rows) == 0 {
+		return New(0, 0), nil
+	}
+	cols := len(rows[0])
+	m := New(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("matrix: row %d has %d columns, want %d", i, len(r), cols)
+		}
+		copy(m.Row(i), r)
+	}
+	return m, nil
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Vandermonde returns an n×k Vandermonde matrix whose row i is
+// [x_i^0, x_i^1, ..., x_i^(k-1)] with x_i = Generator^i. The x_i are
+// pairwise distinct for n <= 255, which guarantees every k×k submatrix
+// formed from distinct rows is invertible — the core property behind
+// "any M of N cooked packets reconstruct the document" (Rabin 1989).
+func Vandermonde(n, k int) (*Matrix, error) {
+	if n > 255 {
+		return nil, fmt.Errorf("matrix: vandermonde needs distinct points, n = %d > 255", n)
+	}
+	m := New(n, k)
+	for i := 0; i < n; i++ {
+		x := gf256.Exp(i)
+		v := byte(1)
+		for j := 0; j < k; j++ {
+			m.Set(i, j, v)
+			v = gf256.Mul(v, x)
+		}
+	}
+	return m, nil
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the element at (r, c).
+func (m *Matrix) At(r, c int) byte {
+	m.check(r, c)
+	return m.data[r*m.cols+c]
+}
+
+// Set assigns the element at (r, c).
+func (m *Matrix) Set(r, c int, v byte) {
+	m.check(r, c)
+	m.data[r*m.cols+c] = v
+}
+
+func (m *Matrix) check(r, c int) {
+	if r < 0 || r >= m.rows || c < 0 || c >= m.cols {
+		panic(fmt.Sprintf("matrix: index (%d, %d) out of %dx%d", r, c, m.rows, m.cols))
+	}
+}
+
+// Row returns the backing slice for row r; mutations write through.
+func (m *Matrix) Row(r int) []byte {
+	if r < 0 || r >= m.rows {
+		panic(fmt.Sprintf("matrix: row %d out of %d", r, m.rows))
+	}
+	return m.data[r*m.cols : (r+1)*m.cols]
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// Equal reports whether m and o have identical shape and elements.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.rows != o.rows || m.cols != o.cols {
+		return false
+	}
+	for i := range m.data {
+		if m.data[i] != o.data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Mul returns the matrix product m × o.
+func (m *Matrix) Mul(o *Matrix) (*Matrix, error) {
+	if m.cols != o.rows {
+		return nil, fmt.Errorf("matrix: cannot multiply %dx%d by %dx%d", m.rows, m.cols, o.rows, o.cols)
+	}
+	p := New(m.rows, o.cols)
+	for i := 0; i < m.rows; i++ {
+		mRow := m.Row(i)
+		pRow := p.Row(i)
+		for k, a := range mRow {
+			if a == 0 {
+				continue
+			}
+			gf256.MulAddSlice(a, pRow, o.Row(k))
+		}
+	}
+	return p, nil
+}
+
+// MulVec returns m × v for a column vector v of length Cols.
+func (m *Matrix) MulVec(v []byte) ([]byte, error) {
+	if len(v) != m.cols {
+		return nil, fmt.Errorf("matrix: vector length %d, want %d", len(v), m.cols)
+	}
+	out := make([]byte, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		var acc byte
+		for j, a := range row {
+			acc ^= gf256.Mul(a, v[j])
+		}
+		out[i] = acc
+	}
+	return out, nil
+}
+
+// SubMatrix returns a copy of the matrix restricted to the given rows,
+// preserving their order. Row indices may repeat (the result is then
+// singular, which the caller will discover on inversion).
+func (m *Matrix) SubMatrix(rows []int) (*Matrix, error) {
+	s := New(len(rows), m.cols)
+	for i, r := range rows {
+		if r < 0 || r >= m.rows {
+			return nil, fmt.Errorf("matrix: submatrix row %d out of %d", r, m.rows)
+		}
+		copy(s.Row(i), m.Row(r))
+	}
+	return s, nil
+}
+
+// Invert returns the inverse of a square matrix via Gauss-Jordan
+// elimination with partial pivoting, or ErrSingular.
+func (m *Matrix) Invert() (*Matrix, error) {
+	if m.rows != m.cols {
+		return nil, fmt.Errorf("matrix: cannot invert %dx%d", m.rows, m.cols)
+	}
+	n := m.rows
+	work := m.Clone()
+	inv := Identity(n)
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for r := col; r < n; r++ {
+			if work.At(r, col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot == -1 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			work.swapRows(pivot, col)
+			inv.swapRows(pivot, col)
+		}
+		// Scale the pivot row to make the pivot 1.
+		p := work.At(col, col)
+		if p != 1 {
+			invP := gf256.Inv(p)
+			gf256.MulSlice(invP, work.Row(col), work.Row(col))
+			gf256.MulSlice(invP, inv.Row(col), inv.Row(col))
+		}
+		// Eliminate the column from every other row.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			factor := work.At(r, col)
+			if factor == 0 {
+				continue
+			}
+			gf256.MulAddSlice(factor, work.Row(r), work.Row(col))
+			gf256.MulAddSlice(factor, inv.Row(r), inv.Row(col))
+		}
+	}
+	return inv, nil
+}
+
+func (m *Matrix) swapRows(a, b int) {
+	ra, rb := m.Row(a), m.Row(b)
+	for i := range ra {
+		ra[i], rb[i] = rb[i], ra[i]
+	}
+}
+
+// Systematic transforms an n×k matrix (n >= k) whose top k×k block is
+// invertible into the equivalent dispersal matrix whose top block is the
+// identity: A = m × inv(top(m)). Encoding with A leaves the first k cooked
+// packets byte-identical to the raw packets ("clear text"), the property
+// §4.1 of the paper obtains by elementary transformations of the
+// Vandermonde matrix. Every k-row submatrix of A remains invertible
+// because right-multiplication by a fixed invertible matrix preserves the
+// rank of every row selection.
+func (m *Matrix) Systematic() (*Matrix, error) {
+	if m.rows < m.cols {
+		return nil, fmt.Errorf("matrix: systematic form needs rows >= cols, have %dx%d", m.rows, m.cols)
+	}
+	top, err := m.SubMatrix(seq(m.cols))
+	if err != nil {
+		return nil, err
+	}
+	topInv, err := top.Invert()
+	if err != nil {
+		return nil, fmt.Errorf("systematic transform: %w", err)
+	}
+	return m.Mul(topInv)
+}
+
+// IsIdentity reports whether the matrix is square and equal to I.
+func (m *Matrix) IsIdentity() bool {
+	if m.rows != m.cols {
+		return false
+	}
+	for r := 0; r < m.rows; r++ {
+		for c := 0; c < m.cols; c++ {
+			want := byte(0)
+			if r == c {
+				want = 1
+			}
+			if m.At(r, c) != want {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the matrix in a compact hex grid for debugging.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for r := 0; r < m.rows; r++ {
+		for c, v := range m.Row(r) {
+			if c > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%02x", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func seq(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}

@@ -1,0 +1,342 @@
+package matrix
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mobweb/internal/gf256"
+)
+
+func TestNewFromRows(t *testing.T) {
+	m, err := NewFromRows([][]byte{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 2 || m.Cols() != 2 {
+		t.Fatalf("shape = %dx%d, want 2x2", m.Rows(), m.Cols())
+	}
+	if m.At(1, 0) != 3 {
+		t.Errorf("At(1,0) = %d, want 3", m.At(1, 0))
+	}
+}
+
+func TestNewFromRowsRagged(t *testing.T) {
+	if _, err := NewFromRows([][]byte{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged rows accepted, want error")
+	}
+}
+
+func TestNewFromRowsEmpty(t *testing.T) {
+	m, err := NewFromRows(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 0 || m.Cols() != 0 {
+		t.Errorf("empty matrix shape = %dx%d, want 0x0", m.Rows(), m.Cols())
+	}
+}
+
+func TestNewFromRowsCopies(t *testing.T) {
+	row := []byte{1, 2, 3}
+	m, err := NewFromRows([][]byte{row})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row[0] = 99
+	if m.At(0, 0) != 1 {
+		t.Error("NewFromRows aliases caller data; must copy at the boundary")
+	}
+}
+
+func TestIdentityMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := randomMatrix(rng, 5, 7)
+	id := Identity(5)
+	p, err := id.Mul(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(m) {
+		t.Error("I × m != m")
+	}
+}
+
+func TestMulShapeMismatch(t *testing.T) {
+	a := New(2, 3)
+	b := New(2, 3)
+	if _, err := a.Mul(b); err == nil {
+		t.Fatal("2x3 × 2x3 accepted, want error")
+	}
+}
+
+func TestMulAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomMatrix(rng, 4, 5)
+	b := randomMatrix(rng, 5, 6)
+	c := randomMatrix(rng, 6, 3)
+	ab, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	left, err := ab.Mul(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := b.Mul(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	right, err := a.Mul(bc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !left.Equal(right) {
+		t.Error("(ab)c != a(bc)")
+	}
+}
+
+func TestMulVecMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := randomMatrix(rng, 6, 4)
+	v := make([]byte, 4)
+	rng.Read(v)
+	got, err := m.MulVec(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := New(4, 1)
+	for i, x := range v {
+		col.Set(i, 0, x)
+	}
+	want, err := m.Mul(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != want.At(i, 0) {
+			t.Errorf("MulVec[%d] = %d, want %d", i, got[i], want.At(i, 0))
+		}
+	}
+}
+
+func TestMulVecLengthMismatch(t *testing.T) {
+	m := New(2, 3)
+	if _, err := m.MulVec(make([]byte, 2)); err == nil {
+		t.Fatal("wrong vector length accepted")
+	}
+}
+
+func TestInvertRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(12)
+		m := randomInvertible(rng, n)
+		inv, err := m.Invert()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		p, err := m.Mul(inv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p.IsIdentity() {
+			t.Fatalf("trial %d: m × inv(m) != I\n%v", trial, p)
+		}
+		q, err := inv.Mul(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !q.IsIdentity() {
+			t.Fatalf("trial %d: inv(m) × m != I", trial)
+		}
+	}
+}
+
+func TestInvertSingular(t *testing.T) {
+	m, err := NewFromRows([][]byte{
+		{1, 2, 3},
+		{2, 4, 6}, // 2 × row 0 in GF(256): 2*1=2, 2*2=4, 2*3=6
+		{0, 0, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Invert(); !errors.Is(err, ErrSingular) {
+		t.Fatalf("Invert singular: err = %v, want ErrSingular", err)
+	}
+}
+
+func TestInvertNonSquare(t *testing.T) {
+	if _, err := New(2, 3).Invert(); err == nil {
+		t.Fatal("non-square inversion accepted")
+	}
+}
+
+func TestVandermondeSubmatricesInvertible(t *testing.T) {
+	// Every k-row selection of distinct rows must be invertible — the
+	// foundation of "any M cooked packets reconstruct the file".
+	v, err := Vandermonde(12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		rows := rng.Perm(12)[:4]
+		sub, err := v.SubMatrix(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sub.Invert(); err != nil {
+			t.Fatalf("rows %v: %v", rows, err)
+		}
+	}
+}
+
+func TestVandermondeTooManyRows(t *testing.T) {
+	if _, err := Vandermonde(256, 3); err == nil {
+		t.Fatal("Vandermonde with 256 rows accepted; points collide")
+	}
+}
+
+func TestSystematic(t *testing.T) {
+	v, err := Vandermonde(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := v.Systematic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := s.SubMatrix([]int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !top.IsIdentity() {
+		t.Fatalf("systematic top block is not identity:\n%v", top)
+	}
+	// All 4-row submatrices must stay invertible after the transform.
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 100; trial++ {
+		rows := rng.Perm(10)[:4]
+		sub, err := s.SubMatrix(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sub.Invert(); err != nil {
+			t.Fatalf("systematic rows %v singular: %v", rows, err)
+		}
+	}
+}
+
+func TestSystematicShapeError(t *testing.T) {
+	if _, err := New(3, 5).Systematic(); err == nil {
+		t.Fatal("systematic with rows < cols accepted")
+	}
+}
+
+func TestSubMatrixOutOfRange(t *testing.T) {
+	m := New(2, 2)
+	if _, err := m.SubMatrix([]int{0, 5}); err == nil {
+		t.Fatal("out-of-range row accepted")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := Identity(3)
+	c := m.Clone()
+	c.Set(0, 0, 7)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestInverseDistributesOverProduct(t *testing.T) {
+	// Property: inv(AB) == inv(B) inv(A).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		a := randomInvertible(rng, n)
+		b := randomInvertible(rng, n)
+		ab, err := a.Mul(b)
+		if err != nil {
+			return false
+		}
+		invAB, err := ab.Invert()
+		if err != nil {
+			return false
+		}
+		invA, err := a.Invert()
+		if err != nil {
+			return false
+		}
+		invB, err := b.Invert()
+		if err != nil {
+			return false
+		}
+		want, err := invB.Mul(invA)
+		if err != nil {
+			return false
+		}
+		return invAB.Equal(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	m := Identity(2)
+	want := "01 00\n00 01\n"
+	if got := m.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func randomMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := New(rows, cols)
+	for r := 0; r < rows; r++ {
+		rng.Read(m.Row(r))
+	}
+	return m
+}
+
+// randomInvertible builds a random invertible matrix as a product of an
+// identity perturbed by random row operations, guaranteeing full rank.
+func randomInvertible(rng *rand.Rand, n int) *Matrix {
+	m := Identity(n)
+	for op := 0; op < n*n; op++ {
+		src := rng.Intn(n)
+		dst := rng.Intn(n)
+		if src == dst {
+			continue
+		}
+		c := byte(rng.Intn(255) + 1)
+		gf256.MulAddSlice(c, m.Row(dst), m.Row(src))
+	}
+	return m
+}
+
+func BenchmarkInvert40(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	m := randomInvertible(rng, 40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Invert(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMul40(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	x := randomMatrix(rng, 40, 40)
+	y := randomMatrix(rng, 40, 40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := x.Mul(y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Package nbinom models the number of cooked packets a client must
+// receive before it can reconstruct a document, per §4.1 of the paper.
+//
+// With per-packet corruption probability α (i.i.d.), the count P of
+// packets consumed until M intact ones arrive follows the negative
+// binomial distribution
+//
+//	Pr(P = x) = C(x-1, M-1) · α^(x-M) · (1-α)^M,  x >= M,
+//
+// with expectation E(P) = M/(1-α). Solving
+//
+//	Pr(P <= N) >= S
+//
+// for the smallest N yields the optimal number of cooked packets for a
+// target success probability S; γ = N/M is the redundancy ratio of
+// Figures 2 and 3.
+package nbinom
+
+import (
+	"fmt"
+	"math"
+)
+
+// PMF returns Pr(P = x): the probability that exactly x packets must be
+// received to collect m intact ones, with corruption probability alpha.
+// It returns 0 for x < m.
+func PMF(x, m int, alpha float64) float64 {
+	if err := validate(m, alpha); err != nil {
+		return math.NaN()
+	}
+	if x < m {
+		return 0
+	}
+	// Work in log space for numerical stability at large x.
+	logP := logChoose(x-1, m-1) + float64(x-m)*safeLog(alpha) + float64(m)*safeLog(1-alpha)
+	return math.Exp(logP)
+}
+
+// CDF returns Pr(P <= n), the probability that n transmitted cooked
+// packets suffice for reconstruction.
+func CDF(n, m int, alpha float64) float64 {
+	if err := validate(m, alpha); err != nil {
+		return math.NaN()
+	}
+	if n < m {
+		return 0
+	}
+	if alpha == 0 {
+		return 1
+	}
+	// Accumulate the PMF with the stable multiplicative recurrence
+	//   Pr(P = x+1) = Pr(P = x) · x/(x-m+1) · α.
+	p := math.Exp(float64(m) * math.Log(1-alpha)) // Pr(P = m)
+	sum := p
+	for x := m; x < n; x++ {
+		p *= float64(x) / float64(x-m+1) * alpha
+		sum += p
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return sum
+}
+
+// Mean returns E(P) = m/(1-α).
+func Mean(m int, alpha float64) float64 {
+	if err := validate(m, alpha); err != nil {
+		return math.NaN()
+	}
+	return float64(m) / (1 - alpha)
+}
+
+// MinCooked returns the smallest N such that Pr(P <= N) >= s — the
+// "judicial choice of N" (§4.2). It errors on infeasible inputs
+// (m < 1, α outside [0, 1), s outside (0, 1)).
+func MinCooked(m int, alpha, s float64) (int, error) {
+	if err := validate(m, alpha); err != nil {
+		return 0, err
+	}
+	if s <= 0 || s >= 1 {
+		return 0, fmt.Errorf("nbinom: success probability %v outside (0, 1)", s)
+	}
+	if alpha == 0 {
+		return m, nil
+	}
+	// Incremental CDF walk from N = m; the expectation bounds how far we
+	// typically go, and the tail decays geometrically so this terminates.
+	p := math.Exp(float64(m) * math.Log(1-alpha)) // Pr(P = m)
+	sum := p
+	n := m
+	for sum < s {
+		n++
+		p *= float64(n-1) / float64(n-m) * alpha
+		sum += p
+		if n > 1<<20 {
+			return 0, fmt.Errorf("nbinom: MinCooked diverged for m=%d alpha=%v s=%v", m, alpha, s)
+		}
+	}
+	return n, nil
+}
+
+// RedundancyRatio returns γ = N/M for the optimal N at the given m, α, s.
+func RedundancyRatio(m int, alpha, s float64) (float64, error) {
+	n, err := MinCooked(m, alpha, s)
+	if err != nil {
+		return 0, err
+	}
+	return float64(n) / float64(m), nil
+}
+
+func validate(m int, alpha float64) error {
+	if m < 1 {
+		return fmt.Errorf("nbinom: m = %d, want >= 1", m)
+	}
+	if alpha < 0 || alpha >= 1 || math.IsNaN(alpha) {
+		return fmt.Errorf("nbinom: alpha = %v outside [0, 1)", alpha)
+	}
+	return nil
+}
+
+func safeLog(x float64) float64 {
+	if x == 0 {
+		return math.Inf(-1)
+	}
+	return math.Log(x)
+}
+
+// logChoose returns ln C(n, k) via log-gamma.
+func logChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	lg := func(x int) float64 {
+		v, _ := math.Lgamma(float64(x + 1))
+		return v
+	}
+	return lg(n) - lg(k) - lg(n-k)
+}

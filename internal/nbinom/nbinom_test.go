@@ -1,0 +1,258 @@
+package nbinom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPMFSumsToOne(t *testing.T) {
+	for _, alpha := range []float64{0.1, 0.3, 0.5} {
+		m := 10
+		sum := 0.0
+		for x := m; x < 2000; x++ {
+			sum += PMF(x, m, alpha)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("alpha=%v: PMF sums to %v, want 1", alpha, sum)
+		}
+	}
+}
+
+func TestPMFBelowSupport(t *testing.T) {
+	if got := PMF(4, 5, 0.2); got != 0 {
+		t.Errorf("PMF(4, 5) = %v, want 0", got)
+	}
+}
+
+func TestPMFInvalid(t *testing.T) {
+	if !math.IsNaN(PMF(5, 0, 0.2)) {
+		t.Error("PMF with m=0 did not return NaN")
+	}
+	if !math.IsNaN(PMF(5, 3, 1.0)) {
+		t.Error("PMF with alpha=1 did not return NaN")
+	}
+	if !math.IsNaN(PMF(5, 3, -0.1)) {
+		t.Error("PMF with alpha<0 did not return NaN")
+	}
+}
+
+func TestCDFMatchesPMFSum(t *testing.T) {
+	m := 7
+	alpha := 0.25
+	sum := 0.0
+	for n := m; n < m+60; n++ {
+		sum += PMF(n, m, alpha)
+		if got := CDF(n, m, alpha); math.Abs(got-sum) > 1e-10 {
+			t.Fatalf("CDF(%d) = %v, want running sum %v", n, got, sum)
+		}
+	}
+}
+
+func TestCDFEdges(t *testing.T) {
+	if got := CDF(4, 5, 0.2); got != 0 {
+		t.Errorf("CDF below support = %v, want 0", got)
+	}
+	if got := CDF(5, 5, 0); got != 1 {
+		t.Errorf("CDF with alpha=0 = %v, want 1", got)
+	}
+	if got := CDF(100000, 5, 0.5); math.Abs(got-1) > 1e-9 {
+		t.Errorf("CDF far tail = %v, want ~1", got)
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	m := 40
+	alpha := 0.3
+	prev := -1.0
+	for n := m; n < m+200; n++ {
+		cur := CDF(n, m, alpha)
+		if cur < prev {
+			t.Fatalf("CDF not monotone at n=%d: %v < %v", n, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean(40, 0.1); math.Abs(got-40.0/0.9) > 1e-12 {
+		t.Errorf("Mean(40, 0.1) = %v, want %v", got, 40.0/0.9)
+	}
+	if !math.IsNaN(Mean(0, 0.1)) {
+		t.Error("Mean with m=0 did not return NaN")
+	}
+}
+
+func TestMinCookedDefinition(t *testing.T) {
+	// N must be the *smallest* value meeting the target.
+	for _, tt := range []struct {
+		m     int
+		alpha float64
+		s     float64
+	}{
+		{10, 0.1, 0.95}, {40, 0.1, 0.95}, {40, 0.3, 0.99},
+		{50, 0.5, 0.95}, {100, 0.2, 0.99}, {1, 0.4, 0.95},
+	} {
+		n, err := MinCooked(tt.m, tt.alpha, tt.s)
+		if err != nil {
+			t.Fatalf("MinCooked(%+v): %v", tt, err)
+		}
+		if got := CDF(n, tt.m, tt.alpha); got < tt.s {
+			t.Errorf("m=%d α=%v: CDF(N=%d) = %v < S=%v", tt.m, tt.alpha, n, got, tt.s)
+		}
+		if n > tt.m {
+			if got := CDF(n-1, tt.m, tt.alpha); got >= tt.s {
+				t.Errorf("m=%d α=%v: N=%d not minimal (CDF(N-1)=%v >= %v)", tt.m, tt.alpha, n, got, tt.s)
+			}
+		}
+	}
+}
+
+func TestMinCookedZeroAlpha(t *testing.T) {
+	n, err := MinCooked(40, 0, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 40 {
+		t.Errorf("MinCooked with alpha=0 = %d, want 40", n)
+	}
+}
+
+func TestMinCookedErrors(t *testing.T) {
+	if _, err := MinCooked(0, 0.1, 0.95); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := MinCooked(5, 1.0, 0.95); err == nil {
+		t.Error("alpha=1 accepted")
+	}
+	if _, err := MinCooked(5, 0.1, 1.0); err == nil {
+		t.Error("s=1 accepted")
+	}
+	if _, err := MinCooked(5, 0.1, 0); err == nil {
+		t.Error("s=0 accepted")
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	// Figure 2: N is near-linear in M at fixed α, S; and grows with α.
+	for _, s := range []float64{0.95, 0.99} {
+		prevN := 0
+		for m := 10; m <= 100; m += 10 {
+			n, err := MinCooked(m, 0.3, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n <= prevN {
+				t.Errorf("S=%v: N not increasing in M at m=%d", s, m)
+			}
+			prevN = n
+		}
+		nLow, err := MinCooked(50, 0.1, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nHigh, err := MinCooked(50, 0.5, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nHigh <= nLow {
+			t.Errorf("S=%v: N(α=0.5)=%d not above N(α=0.1)=%d", s, nHigh, nLow)
+		}
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	// Figure 3: γ grows with α, is larger for S=99% than 95%, and the
+	// range of γ across M ∈ {10, 50, 100} stays modest ("does not change
+	// too much").
+	for _, alpha := range []float64{0.1, 0.2, 0.3, 0.4, 0.5} {
+		g95, err := RedundancyRatio(50, alpha, 0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g99, err := RedundancyRatio(50, alpha, 0.99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g99 < g95 {
+			t.Errorf("α=%v: γ(99%%)=%v < γ(95%%)=%v", alpha, g99, g95)
+		}
+		// 1/(1-α) is the asymptotic ratio; the optimal γ with a safety
+		// margin must be at least that.
+		if g95 < 1/(1-alpha)-1e-9 {
+			t.Errorf("α=%v: γ=%v below mean-based lower bound %v", alpha, g95, 1/(1-alpha))
+		}
+	}
+	// Monotonicity in α.
+	prev := 0.0
+	for _, alpha := range []float64{0.1, 0.2, 0.3, 0.4, 0.5} {
+		g, err := RedundancyRatio(50, alpha, 0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g <= prev {
+			t.Errorf("γ not increasing at α=%v", alpha)
+		}
+		prev = g
+	}
+	// Range across M at α=0.3, S=95%.
+	g10, _ := RedundancyRatio(10, 0.3, 0.95)
+	g100, _ := RedundancyRatio(100, 0.3, 0.95)
+	if g10 < g100 {
+		t.Errorf("γ(M=10)=%v < γ(M=100)=%v; small M needs relatively more redundancy", g10, g100)
+	}
+	if g10-g100 > 0.6 {
+		t.Errorf("γ spread across M = %v, larger than the paper's 'not too much'", g10-g100)
+	}
+}
+
+func TestPaperDefaultGamma(t *testing.T) {
+	// The paper adopts γ = 1.5 (N = 60 for M = 40) as adequate for small
+	// to moderate α; verify that at α = 0.1 the induced success
+	// probability is overwhelming, and at α = 0.5 it is poor.
+	pLow := CDF(60, 40, 0.1)
+	if pLow < 0.999 {
+		t.Errorf("CDF(60, 40, 0.1) = %v, want > 0.999", pLow)
+	}
+	pHigh := CDF(60, 40, 0.5)
+	if pHigh > 0.2 {
+		t.Errorf("CDF(60, 40, 0.5) = %v, want well below 0.2 (stall regime)", pHigh)
+	}
+}
+
+func TestMonteCarloAgreement(t *testing.T) {
+	// Simulate the packet-collection process and compare the empirical
+	// quantile against the analytic CDF.
+	const m = 20
+	const alpha = 0.3
+	const trials = 20000
+	rng := rand.New(rand.NewSource(42))
+	counts := make(map[int]int)
+	for trial := 0; trial < trials; trial++ {
+		intact, sent := 0, 0
+		for intact < m {
+			sent++
+			if rng.Float64() >= alpha {
+				intact++
+			}
+		}
+		counts[sent]++
+	}
+	cum := 0
+	for n := m; n <= m*4; n++ {
+		cum += counts[n]
+		emp := float64(cum) / trials
+		ana := CDF(n, m, alpha)
+		if math.Abs(emp-ana) > 0.02 {
+			t.Fatalf("n=%d: empirical %v vs analytic %v", n, emp, ana)
+		}
+	}
+}
+
+func BenchmarkMinCooked(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := MinCooked(100, 0.5, 0.99); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

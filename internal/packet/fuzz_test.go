@@ -1,0 +1,36 @@
+package packet
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func FuzzUnmarshal(f *testing.F) {
+	intact, err := (Packet{Seq: 3, Payload: []byte("hello cooked packet")}).Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(intact)
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2})
+	f.Add(bytes.Repeat([]byte{0xFF}, 300))
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		p, err := Unmarshal(frame)
+		switch {
+		case err == nil:
+			// An accepted frame must re-marshal to the identical bytes.
+			back, mErr := p.Marshal()
+			if mErr != nil {
+				t.Fatalf("accepted packet does not re-marshal: %v", mErr)
+			}
+			if !bytes.Equal(back, frame) {
+				t.Fatal("accepted frame is not canonical")
+			}
+		case errors.Is(err, ErrCorrupt), errors.Is(err, ErrTruncated):
+			// Expected rejections.
+		default:
+			t.Fatalf("unexpected error class: %v", err)
+		}
+	})
+}

@@ -1,0 +1,91 @@
+package profile
+
+import "testing"
+
+const wirelessText = "Wireless channels corrupt packets during mobile transmission. " +
+	"Erasure coding protects wireless transmission against corruption."
+
+const gardeningText = "Tomato seedlings need morning sunlight and compost. " +
+	"Prune roses after the last frost for healthy blooms."
+
+func TestObserveTextPositive(t *testing.T) {
+	p, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.ObserveText(wirelessText, "wireless transmission", true, 1)
+	if p.Events() != 1 {
+		t.Errorf("events = %d, want 1", p.Events())
+	}
+	if got := p.ScoreText(wirelessText); got <= 0 {
+		t.Errorf("ScoreText of reinforced topic = %v, want > 0", got)
+	}
+	if ws, gs := p.ScoreText(wirelessText), p.ScoreText(gardeningText); ws <= gs {
+		t.Errorf("wireless %v not above gardening %v", ws, gs)
+	}
+}
+
+func TestObserveTextNegative(t *testing.T) {
+	p, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.ObserveText(gardeningText, "", false, 0.3)
+	if got := p.ScoreText(gardeningText); got >= 0 {
+		t.Errorf("score after discard = %v, want < 0", got)
+	}
+}
+
+func TestObserveTextStopWordsOnlyIsNoOp(t *testing.T) {
+	p, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.ObserveText("the of and is", "", true, 1)
+	if p.Events() != 0 {
+		t.Error("stop-word-only text counted as an event")
+	}
+}
+
+func TestTextAndSCPathsAgree(t *testing.T) {
+	// Learning from an SC and from that document's text must point the
+	// profile the same way (exact weights differ because the SC may
+	// apply keyword-frequency thresholds, but the sign and ranking must
+	// agree).
+	sc := wirelessSC(t)
+	fromSC, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fromSC.Observe(Feedback{SC: sc, Relevant: true}); err != nil {
+		t.Fatal(err)
+	}
+	fromText, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromText.ObserveText(wirelessText, "", true, 1)
+
+	for _, p := range []*Profile{fromSC, fromText} {
+		if p.Weight("wireless") <= 0 {
+			t.Errorf("wireless weight %v, want > 0", p.Weight("wireless"))
+		}
+		if p.ScoreText(wirelessText) <= p.ScoreText(gardeningText) {
+			t.Error("profile does not prefer its own topic")
+		}
+	}
+}
+
+func TestScoreTextEmptyProfile(t *testing.T) {
+	p, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.ScoreText(wirelessText); got != 0 {
+		t.Errorf("empty profile ScoreText = %v, want 0", got)
+	}
+	p.ObserveText(wirelessText, "", true, 1)
+	if got := p.ScoreText(""); got != 0 {
+		t.Errorf("ScoreText of empty text = %v, want 0", got)
+	}
+}

@@ -1,0 +1,214 @@
+// Package search provides the keyword search front end of the browsing
+// pipeline: documents are indexed with the textproc pipeline, queries are
+// matched with the vector-space model (§3.3 notes this model "has been
+// shown to be competitive"), and each hit carries the structural
+// characteristic plus the query vector so the transmitter can order units
+// by QIC.
+package search
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"mobweb/internal/content"
+	"mobweb/internal/document"
+	"mobweb/internal/markup"
+	"mobweb/internal/textproc"
+)
+
+// Engine is an in-memory inverted index over a document collection. It is
+// safe for concurrent use: reads take a shared lock and additions an
+// exclusive one.
+type Engine struct {
+	mu      sync.RWMutex
+	entries map[string]*entry
+	// posting maps keyword → document names containing it.
+	posting map[string]map[string]bool
+	opts    textproc.Options
+}
+
+type entry struct {
+	doc *document.Document
+	idx *textproc.Index
+	sc  *content.SC
+	// norm is the Euclidean norm of the document's weighted term vector,
+	// precomputed for cosine scoring.
+	norm float64
+}
+
+// NewEngine returns an empty search engine using the given pipeline
+// options.
+func NewEngine(opts textproc.Options) *Engine {
+	return &Engine{
+		entries: make(map[string]*entry),
+		posting: make(map[string]map[string]bool),
+		opts:    opts,
+	}
+}
+
+// Add indexes a parsed document. Re-adding a name replaces the previous
+// version.
+func (e *Engine) Add(doc *document.Document) error {
+	if doc == nil {
+		return fmt.Errorf("search: nil document")
+	}
+	idx, err := textproc.BuildIndex(doc, e.opts)
+	if err != nil {
+		return err
+	}
+	sc, err := content.Build(doc, idx)
+	if err != nil {
+		return err
+	}
+	var norm float64
+	for w, c := range idx.Doc {
+		v := float64(c) * sc.Weight(w)
+		norm += v * v
+	}
+	ent := &entry{doc: doc, idx: idx, sc: sc, norm: math.Sqrt(norm)}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if old, ok := e.entries[doc.Name]; ok {
+		for w := range old.idx.Doc {
+			delete(e.posting[w], doc.Name)
+		}
+	}
+	e.entries[doc.Name] = ent
+	for w := range idx.Doc {
+		set := e.posting[w]
+		if set == nil {
+			set = make(map[string]bool)
+			e.posting[w] = set
+		}
+		set[doc.Name] = true
+	}
+	return nil
+}
+
+// AddXML parses and indexes an XML document.
+func (e *Engine) AddXML(name string, data []byte) error {
+	doc, err := markup.ParseXML(bytes.NewReader(data), name, markup.DefaultTagMap())
+	if err != nil {
+		return err
+	}
+	return e.Add(doc)
+}
+
+// AddHTML parses and indexes an HTML document.
+func (e *Engine) AddHTML(name string, data []byte) error {
+	doc, err := markup.ParseHTML(bytes.NewReader(data), name)
+	if err != nil {
+		return err
+	}
+	return e.Add(doc)
+}
+
+// Len returns the number of indexed documents.
+func (e *Engine) Len() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.entries)
+}
+
+// Names returns the indexed document names, sorted.
+func (e *Engine) Names() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	names := make([]string, 0, len(e.entries))
+	for n := range e.entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SC returns the structural characteristic for a document name.
+func (e *Engine) SC(name string) (*content.SC, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	ent, ok := e.entries[name]
+	if !ok {
+		return nil, false
+	}
+	return ent.sc, true
+}
+
+// Hit is one search result: the matched document with its
+// query-similarity score and the query vector needed for QIC ordering
+// downstream.
+type Hit struct {
+	// Name and Title identify the document.
+	Name, Title string
+	// Score is the cosine similarity between the weighted query and
+	// document term vectors, in (0, 1].
+	Score float64
+	// SC is the document's structural characteristic.
+	SC *content.SC
+	// QueryVec is the occurrence vector of the query, ready for
+	// content.SC.Evaluate or core.NewPlan.
+	QueryVec map[string]int
+}
+
+// Search runs a keyword query and returns up to limit hits ordered by
+// descending score (ties broken by name for determinism). A query with no
+// indexable words returns no hits.
+func (e *Engine) Search(query string, limit int) []Hit {
+	qv := textproc.QueryVector(query)
+	if len(qv) == 0 || limit == 0 {
+		return nil
+	}
+	qWeights := content.Weights(qv)
+	var qNorm float64
+	for a, c := range qv {
+		v := float64(c) * qWeights[a]
+		qNorm += v * v
+	}
+	qNorm = math.Sqrt(qNorm)
+
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+
+	// Gather candidates from the postings of each query term.
+	candidates := make(map[string]bool)
+	for a := range qv {
+		for name := range e.posting[a] {
+			candidates[name] = true
+		}
+	}
+	hits := make([]Hit, 0, len(candidates))
+	for name := range candidates {
+		ent := e.entries[name]
+		var dot float64
+		for a, qc := range qv {
+			dc := ent.idx.Doc[a]
+			if dc == 0 {
+				continue
+			}
+			dot += float64(qc) * qWeights[a] * float64(dc) * ent.sc.Weight(a)
+		}
+		if dot == 0 || ent.norm == 0 || qNorm == 0 {
+			continue
+		}
+		hits = append(hits, Hit{
+			Name:     name,
+			Title:    ent.doc.Title,
+			Score:    dot / (ent.norm * qNorm),
+			SC:       ent.sc,
+			QueryVec: qv,
+		})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].Name < hits[j].Name
+	})
+	if limit > 0 && len(hits) > limit {
+		hits = hits[:limit]
+	}
+	return hits
+}

@@ -1,0 +1,209 @@
+package search
+
+import (
+	"sync"
+	"testing"
+
+	"mobweb/internal/document"
+	"mobweb/internal/textproc"
+)
+
+func buildDoc(t *testing.T, name, title string, paragraphs ...string) *document.Document {
+	t.Helper()
+	b := document.NewBuilder()
+	b.Open(document.LODSection, "", title)
+	for _, p := range paragraphs {
+		b.Paragraph(p)
+	}
+	d, err := b.Build(name, title)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func populated(t *testing.T) *Engine {
+	t.Helper()
+	e := NewEngine(textproc.Options{})
+	docs := []*document.Document{
+		buildDoc(t, "mobile.xml", "Mobile Browsing",
+			"Mobile web browsing over wireless channels.",
+			"Mobile clients browse web documents with limited bandwidth."),
+		buildDoc(t, "coding.xml", "Erasure Coding",
+			"Vandermonde matrices disperse packets for reconstruction.",
+			"Erasure codes recover raw packets from cooked packets."),
+		buildDoc(t, "mixed.xml", "Mobile Coding",
+			"Mobile devices can decode erasure coded packets.",
+			"Wireless transmission benefits from redundancy."),
+	}
+	for _, d := range docs {
+		if err := e.Add(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e
+}
+
+func TestAddAndLen(t *testing.T) {
+	e := populated(t)
+	if e.Len() != 3 {
+		t.Errorf("Len = %d, want 3", e.Len())
+	}
+	names := e.Names()
+	want := []string{"coding.xml", "mixed.xml", "mobile.xml"}
+	for i, n := range want {
+		if names[i] != n {
+			t.Errorf("Names[%d] = %q, want %q", i, names[i], n)
+		}
+	}
+}
+
+func TestAddNil(t *testing.T) {
+	e := NewEngine(textproc.Options{})
+	if err := e.Add(nil); err == nil {
+		t.Error("nil document accepted")
+	}
+}
+
+func TestSearchRanksRelevantFirst(t *testing.T) {
+	e := populated(t)
+	hits := e.Search("mobile web browsing", 10)
+	if len(hits) == 0 {
+		t.Fatal("no hits")
+	}
+	if hits[0].Name != "mobile.xml" {
+		t.Errorf("top hit = %q, want mobile.xml", hits[0].Name)
+	}
+	for i := 1; i < len(hits); i++ {
+		if hits[i].Score > hits[i-1].Score {
+			t.Errorf("hit %d outranks predecessor", i)
+		}
+	}
+	// coding.xml shares no query words → absent.
+	for _, h := range hits {
+		if h.Name == "coding.xml" {
+			t.Error("irrelevant document returned")
+		}
+	}
+}
+
+func TestSearchCarriesQueryVecAndSC(t *testing.T) {
+	e := populated(t)
+	hits := e.Search("erasure packets", 10)
+	if len(hits) == 0 {
+		t.Fatal("no hits")
+	}
+	h := hits[0]
+	if h.SC == nil {
+		t.Fatal("hit missing SC")
+	}
+	if len(h.QueryVec) == 0 {
+		t.Fatal("hit missing query vector")
+	}
+	// The query vector must evaluate without error against the SC.
+	s := h.SC.Evaluate(h.QueryVec)
+	if s.QIC[h.SC.Doc().Root.ID] <= 0 {
+		t.Error("QIC of matched document root is zero")
+	}
+}
+
+func TestSearchLimit(t *testing.T) {
+	e := populated(t)
+	hits := e.Search("mobile wireless packets", 1)
+	if len(hits) != 1 {
+		t.Errorf("limit 1 returned %d hits", len(hits))
+	}
+	if got := e.Search("mobile", 0); got != nil {
+		t.Error("limit 0 returned hits")
+	}
+}
+
+func TestSearchStopWordsOnly(t *testing.T) {
+	e := populated(t)
+	if hits := e.Search("the of and", 5); len(hits) != 0 {
+		t.Errorf("stop-word query returned %d hits", len(hits))
+	}
+}
+
+func TestSearchNoMatch(t *testing.T) {
+	e := populated(t)
+	if hits := e.Search("quantum chromodynamics", 5); len(hits) != 0 {
+		t.Errorf("unmatched query returned %d hits", len(hits))
+	}
+}
+
+func TestReAddReplaces(t *testing.T) {
+	e := populated(t)
+	replacement := buildDoc(t, "mobile.xml", "Replaced",
+		"Entirely different content about gardening and botany.")
+	if err := e.Add(replacement); err != nil {
+		t.Fatal(err)
+	}
+	if e.Len() != 3 {
+		t.Errorf("Len after replace = %d, want 3", e.Len())
+	}
+	if hits := e.Search("browsing wireless", 5); len(hits) > 0 {
+		for _, h := range hits {
+			if h.Name == "mobile.xml" {
+				t.Error("stale postings still match replaced document")
+			}
+		}
+	}
+	hits := e.Search("gardening", 5)
+	if len(hits) != 1 || hits[0].Name != "mobile.xml" {
+		t.Errorf("replacement not searchable: %v", hits)
+	}
+}
+
+func TestAddXMLAndHTML(t *testing.T) {
+	e := NewEngine(textproc.Options{})
+	xml := []byte(`<doc><title>X</title><section><paragraph>xml content words</paragraph></section></doc>`)
+	if err := e.AddXML("a.xml", xml); err != nil {
+		t.Fatal(err)
+	}
+	html := []byte(`<html><body><h1>H</h1><p>html content words</p></body></html>`)
+	if err := e.AddHTML("b.html", html); err != nil {
+		t.Fatal(err)
+	}
+	if e.Len() != 2 {
+		t.Errorf("Len = %d, want 2", e.Len())
+	}
+	if err := e.AddXML("bad.xml", []byte("")); err == nil {
+		t.Error("empty XML accepted")
+	}
+}
+
+func TestSCAccessor(t *testing.T) {
+	e := populated(t)
+	if _, ok := e.SC("mobile.xml"); !ok {
+		t.Error("SC lookup failed for indexed document")
+	}
+	if _, ok := e.SC("missing.xml"); ok {
+		t.Error("SC returned for unknown document")
+	}
+}
+
+func TestConcurrentSearchAndAdd(t *testing.T) {
+	e := populated(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				e.Search("mobile packets", 5)
+			}
+		}()
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				d := buildDoc(t, "extra.xml", "Extra", "additional mobile wireless text")
+				if err := e.Add(d); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,259 @@
+// Package session orchestrates the complete mobile browsing loop the
+// paper describes, as one reusable client-side component: keyword search,
+// personalized re-ranking against the user profile, skimming documents at
+// a relevance threshold F, full reads, relevance feedback into the
+// profile, and idle-time prefetching of the hits the user is most likely
+// to open next. It glues the transport client, the profile, and the
+// prefetch planner together with the policies the examples demonstrate
+// individually.
+package session
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"mobweb/internal/channel"
+	"mobweb/internal/content"
+	"mobweb/internal/document"
+	"mobweb/internal/prefetch"
+	"mobweb/internal/profile"
+	"mobweb/internal/transport"
+)
+
+// Options tunes the browsing policy.
+type Options struct {
+	// LOD is the ranking level of detail for fetches; zero means
+	// paragraph (the paper's best performer).
+	LOD document.LOD
+	// Notion ranks units; zero means QIC.
+	Notion content.Notion
+	// RelevanceThreshold is F: skims stop once this information content
+	// arrived. Zero means 0.3.
+	RelevanceThreshold float64
+	// ProfileBlend is β, the weight of profile affinity when re-ranking
+	// search hits; zero keeps pure search order.
+	ProfileBlend float64
+	// ThinkTime is the idle window after each interaction in which the
+	// session prefetches; zero disables prefetching.
+	ThinkTime time.Duration
+	// BandwidthBPS converts think time into a packet budget; zero means
+	// the paper's 19.2 kbps.
+	BandwidthBPS float64
+	// FrameBytes is the on-air frame size for budget computation; zero
+	// means 260 (Table 2).
+	FrameBytes int
+	// MaxRounds caps retransmission rounds per fetch; zero means 20.
+	MaxRounds int
+}
+
+func (o Options) withDefaults() Options {
+	if o.LOD == 0 {
+		o.LOD = document.LODParagraph
+	}
+	if o.Notion == 0 {
+		o.Notion = content.NotionQIC
+	}
+	if o.RelevanceThreshold == 0 {
+		o.RelevanceThreshold = 0.3
+	}
+	if o.BandwidthBPS == 0 {
+		o.BandwidthBPS = channel.DefaultBandwidthBPS
+	}
+	if o.FrameBytes == 0 {
+		o.FrameBytes = 260
+	}
+	if o.MaxRounds == 0 {
+		o.MaxRounds = 20
+	}
+	return o
+}
+
+// Session is one user's browsing session over one connection. Not safe
+// for concurrent use (a session models a single user).
+type Session struct {
+	client *transport.Client
+	prof   *profile.Profile
+	opts   Options
+	query  string
+	hits   []RankedHit
+	// skimmed caches skim text per document for feedback on Discard.
+	skimmed map[string]string
+	stats   Stats
+}
+
+// RankedHit is a search hit after personalization.
+type RankedHit struct {
+	// Name and Title identify the document.
+	Name, Title string
+	// SearchScore is the engine's query similarity.
+	SearchScore float64
+	// Blended folds in profile affinity with weight β.
+	Blended float64
+}
+
+// Stats aggregates session-level accounting.
+type Stats struct {
+	// Searches, Skims, Reads and Discards count interactions.
+	Searches, Skims, Reads, Discards int
+	// PacketsReceived counts frames over the wire; prefetch windows are
+	// accounted by their allocated budget (the stream may end earlier
+	// for short documents).
+	PacketsReceived int
+	// PrefetchedUsed counts prefetched packets consumed by later
+	// fetches.
+	PrefetchedUsed int
+}
+
+// New starts a session. The profile may be nil (no personalization, no
+// feedback).
+func New(client *transport.Client, prof *profile.Profile, opts Options) (*Session, error) {
+	if client == nil {
+		return nil, fmt.Errorf("session: nil client")
+	}
+	return &Session{
+		client:  client,
+		prof:    prof,
+		opts:    opts.withDefaults(),
+		skimmed: make(map[string]string),
+	}, nil
+}
+
+// Stats returns the session's accounting so far.
+func (s *Session) Stats() Stats { return s.stats }
+
+// Search queries the server, re-ranks hits against the profile, and
+// prefetches the most promising ones into the idle think-time window.
+func (s *Session) Search(query string, limit int) ([]RankedHit, error) {
+	hits, err := s.client.Search(query, limit)
+	if err != nil {
+		return nil, err
+	}
+	s.stats.Searches++
+	s.query = query
+	ranked := make([]RankedHit, len(hits))
+	for i, h := range hits {
+		ranked[i] = RankedHit{
+			Name:        h.Name,
+			Title:       h.Title,
+			SearchScore: h.Score,
+			Blended:     h.Score,
+		}
+		if s.prof != nil && s.opts.ProfileBlend > 0 {
+			// Client-side personalization uses the hit title plus any
+			// previously skimmed text of the document.
+			affinity := s.prof.ScoreText(h.Title + " " + s.skimmed[h.Name])
+			beta := s.opts.ProfileBlend
+			ranked[i].Blended = (1-beta)*h.Score + beta*affinity
+		}
+	}
+	sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].Blended > ranked[j].Blended })
+	s.hits = ranked
+
+	if err := s.prefetchHits(); err != nil {
+		return nil, err
+	}
+	return ranked, nil
+}
+
+// prefetchHits spends the think-time budget on the ranked hits.
+func (s *Session) prefetchHits() error {
+	if s.opts.ThinkTime <= 0 || len(s.hits) == 0 {
+		return nil
+	}
+	budget := prefetch.Budget(s.opts.ThinkTime.Seconds(), s.opts.BandwidthBPS, s.opts.FrameBytes)
+	if budget == 0 {
+		return nil
+	}
+	cands := make([]prefetch.Candidate, len(s.hits))
+	for i, h := range s.hits {
+		// Packet counts are unknown before the first header exchange;
+		// budget generously and let the server's stream end early.
+		cands[i] = prefetch.Candidate{
+			Name:         h.Name,
+			Score:        h.Blended + 1e-9,
+			TotalPackets: budget,
+		}
+	}
+	allocs, err := prefetch.Plan(cands, budget)
+	if err != nil {
+		return err
+	}
+	for _, alloc := range allocs {
+		got, err := s.client.Prefetch(s.fetchOptions(alloc.Name), alloc.Packets)
+		if err != nil {
+			return fmt.Errorf("prefetch %s: %w", alloc.Name, err)
+		}
+		s.stats.PacketsReceived += alloc.Packets
+		_ = got
+	}
+	return nil
+}
+
+func (s *Session) fetchOptions(doc string) transport.FetchOptions {
+	return transport.FetchOptions{
+		Doc:       doc,
+		Query:     s.query,
+		LOD:       s.opts.LOD,
+		Notion:    s.opts.Notion,
+		Caching:   true,
+		MaxRounds: s.opts.MaxRounds,
+	}
+}
+
+// Skim fetches a document only up to the relevance threshold F and
+// returns what arrived, so the user can judge it.
+func (s *Session) Skim(doc string) (*transport.FetchResult, error) {
+	opts := s.fetchOptions(doc)
+	opts.StopAtIC = s.opts.RelevanceThreshold
+	res, err := s.client.Fetch(opts)
+	if err != nil {
+		return nil, err
+	}
+	s.stats.Skims++
+	s.stats.PacketsReceived += res.PacketsReceived
+	s.stats.PrefetchedUsed += res.PrefetchedPackets
+	s.skimmed[doc] = renderedText(res)
+	return res, nil
+}
+
+// Read downloads the document in full and reinforces the profile.
+func (s *Session) Read(doc string) (*transport.FetchResult, error) {
+	res, err := s.client.Fetch(s.fetchOptions(doc))
+	if err != nil {
+		return nil, err
+	}
+	s.stats.Reads++
+	s.stats.PacketsReceived += res.PacketsReceived
+	s.stats.PrefetchedUsed += res.PrefetchedPackets
+	if s.prof != nil {
+		text := string(res.Body)
+		if text == "" {
+			text = renderedText(res)
+		}
+		s.prof.ObserveText(text, s.query, true, 1)
+	}
+	return res, nil
+}
+
+// Discard records the user's negative judgment of a previously skimmed
+// document, depressing its topics in the profile.
+func (s *Session) Discard(doc string) {
+	s.stats.Discards++
+	if s.prof == nil {
+		return
+	}
+	text := s.skimmed[doc]
+	if text == "" {
+		return
+	}
+	s.prof.ObserveText(text, "", false, s.opts.RelevanceThreshold)
+}
+
+func renderedText(res *transport.FetchResult) string {
+	out := ""
+	for _, u := range res.Rendered {
+		out += u.Text + "\n"
+	}
+	return out
+}

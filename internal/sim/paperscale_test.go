@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"os"
+	"testing"
+)
+
+// TestPaperScaleSpotChecks runs selected Figure 4 cells at the paper's
+// full workload (200 documents × 50 repetitions) and pins them to the
+// band the paper's charts show. The full grid takes hours; these cells
+// take a couple of minutes, so the test only runs when
+// MOBWEB_PAPERSCALE=1.
+func TestPaperScaleSpotChecks(t *testing.T) {
+	if os.Getenv("MOBWEB_PAPERSCALE") != "1" {
+		t.Skip("set MOBWEB_PAPERSCALE=1 to run the paper-scale cells")
+	}
+	base := DefaultParams() // 200 docs × 50 reps
+
+	cells := []struct {
+		name       string
+		mutate     func(*Params)
+		minS, maxS float64
+	}{
+		{
+			// Figure 4b at α=0.1, γ=1.5: the paper plots ≈5 s; the
+			// analytic floor is 40/(0.9) packets × 108.3 ms ≈ 4.81 s.
+			name:   "caching alpha=0.1",
+			mutate: func(p *Params) { p.Caching = true; p.Irrelevant = 0; p.Alpha = 0.1 },
+			minS:   4.5, maxS: 5.5,
+		},
+		{
+			// Figure 4b at α=0.5, γ=1.5: the paper plots ≈10-11 s.
+			name:   "caching alpha=0.5",
+			mutate: func(p *Params) { p.Caching = true; p.Irrelevant = 0; p.Alpha = 0.5 },
+			minS:   9, maxS: 12,
+		},
+		{
+			// Figure 4a at α=0.3, γ=1.5 NoCaching: the paper plots ≈8 s.
+			name:   "nocaching alpha=0.3",
+			mutate: func(p *Params) { p.Caching = false; p.Irrelevant = 0; p.Alpha = 0.3 },
+			minS:   6.5, maxS: 10,
+		},
+		{
+			// Figure 4d at α=0.1, γ=1.5, I=0.5: relevance filtering
+			// shaves the relevant-only time; the paper plots ≈4 s.
+			name:   "caching alpha=0.1 I=0.5",
+			mutate: func(p *Params) { p.Caching = true; p.Irrelevant = 0.5; p.Alpha = 0.1 },
+			minS:   3.3, maxS: 4.5,
+		},
+	}
+	for _, cell := range cells {
+		t.Run(cell.name, func(t *testing.T) {
+			p := base
+			cell.mutate(&p)
+			res, err := Run(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("mean %.3f s, std %.3f s (%.1f%% of mean), stall rate %.3f",
+				res.MeanResponseTime, res.StdDev,
+				100*res.StdDev/res.MeanResponseTime, res.StallRate)
+			if res.MeanResponseTime < cell.minS || res.MeanResponseTime > cell.maxS {
+				t.Errorf("mean response %.3f s outside paper band [%.1f, %.1f]",
+					res.MeanResponseTime, cell.minS, cell.maxS)
+			}
+			// The paper: std dev 1-5% of the mean in most trials.
+			if rel := res.StdDev / res.MeanResponseTime; rel > 0.08 {
+				t.Errorf("relative std dev %.3f above the paper's band", rel)
+			}
+		})
+	}
+}

@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// TestExperiment2LinearInI quantifies §5.2's claim that response time is
+// "quite linear" in the irrelevant fraction I: it is a weighted average
+// of relevant-document and irrelevant-document times, so the curve must
+// hug the chord between its endpoints.
+func TestExperiment2LinearInI(t *testing.T) {
+	p := DefaultParams()
+	p.Documents = 80
+	p.Repetitions = 4
+	p.Alpha = 0.2
+	p.Caching = true
+
+	points := []float64{0, 0.25, 0.5, 0.75, 1}
+	times := make([]float64, len(points))
+	for i, irr := range points {
+		p.Irrelevant = irr
+		res, err := Run(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[i] = res.MeanResponseTime
+	}
+	lo, hi := times[len(times)-1], times[0]
+	if hi <= lo {
+		t.Fatalf("response at I=0 (%v) not above I=1 (%v)", hi, lo)
+	}
+	for i, irr := range points {
+		chord := hi + (lo-hi)*irr
+		dev := math.Abs(times[i]-chord) / hi
+		if dev > 0.06 {
+			t.Errorf("I=%v: response %.3f deviates %.1f%% from the chord %.3f",
+				irr, times[i], dev*100, chord)
+		}
+	}
+}
+
+// TestExperiment2SShapeInF quantifies the F-curve's documented shape:
+// slow initial rise (clear text is cheap), faster middle (reconstruction
+// becomes necessary), flat top (beyond some F the whole document is
+// needed anyway).
+func TestExperiment2SShapeInF(t *testing.T) {
+	p := DefaultParams()
+	p.Documents = 80
+	p.Repetitions = 4
+	p.Alpha = 0.2
+	p.Caching = true
+	p.Irrelevant = 1
+
+	f := []float64{0.1, 0.3, 0.5, 0.8, 0.9, 1.0}
+	times := make([]float64, len(f))
+	for i, threshold := range f {
+		p.Threshold = threshold
+		res, err := Run(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[i] = res.MeanResponseTime
+	}
+	// Monotone non-decreasing.
+	for i := 1; i < len(times); i++ {
+		if times[i]+1e-9 < times[i-1] {
+			t.Errorf("F=%v: response %.3f below previous %.3f", f[i], times[i], times[i-1])
+		}
+	}
+	// Flattening at the top: the 0.9→1.0 step is much smaller than the
+	// 0.3→0.5 step.
+	midSlope := (times[2] - times[1]) / 0.2
+	topSlope := (times[5] - times[4]) / 0.1
+	if topSlope > midSlope {
+		t.Errorf("no flattening: top slope %.3f above middle slope %.3f", topSlope, midSlope)
+	}
+}

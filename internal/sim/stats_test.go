@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"testing"
+
+	"mobweb/internal/document"
+)
+
+// TestStdDevMatchesPaperClaim checks the paper's accuracy remark: "the
+// standard deviation over the 50 repetitions is only between 1% to 5% of
+// the mean in most trials" — at a reduced repetition count we accept up
+// to 10%.
+func TestStdDevMatchesPaperClaim(t *testing.T) {
+	p := DefaultParams()
+	p.Documents = 50
+	p.Repetitions = 8
+	p.Alpha = 0.2
+	p.Caching = true
+	res, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanResponseTime <= 0 {
+		t.Fatal("zero mean response time")
+	}
+	rel := res.StdDev / res.MeanResponseTime
+	if rel > 0.10 {
+		t.Errorf("relative std dev %.3f, want <= 0.10 (paper reports 0.01-0.05)", rel)
+	}
+}
+
+// TestMeanRoundsMatchesTheory compares the observed stall behaviour with
+// the negative-binomial prediction: with Caching at α=0.3, γ=1.5, the
+// per-round success probability is CDF(60, 40, 0.3) ≈ 0.19, but caching
+// accumulates packets so nearly all documents finish by round 2-3.
+func TestMeanRoundsMatchesTheory(t *testing.T) {
+	p := DefaultParams()
+	p.Documents = 60
+	p.Repetitions = 4
+	p.Alpha = 0.3
+	p.Caching = true
+	p.Irrelevant = 0
+	res, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanRounds < 1 || res.MeanRounds > 3 {
+		t.Errorf("mean rounds %v outside the caching-accumulation band [1, 3]", res.MeanRounds)
+	}
+}
+
+// TestPacketsPerDocLowerBound checks E(P) = M/(1-α): the packets consumed
+// per relevant document cannot be below the negative-binomial mean.
+func TestPacketsPerDocLowerBound(t *testing.T) {
+	p := DefaultParams()
+	p.Documents = 50
+	p.Repetitions = 4
+	p.Alpha = 0.2
+	p.Caching = true
+	p.Irrelevant = 0
+	res, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 40.0 / (1 - 0.2) // 50
+	if res.PacketsPerDoc < want-1 {
+		t.Errorf("packets/doc %v below the theoretical mean %v", res.PacketsPerDoc, want)
+	}
+	// And it should be close to it (caching wastes little).
+	if res.PacketsPerDoc > want*1.3 {
+		t.Errorf("packets/doc %v far above the theoretical mean %v", res.PacketsPerDoc, want)
+	}
+}
+
+// TestBurstSpecSteadyState validates the calibration helper.
+func TestBurstSpecSteadyState(t *testing.T) {
+	b := BurstSpec{PGoodToBad: 0.1, PBadToGood: 0.3, AlphaGood: 0.05, AlphaBad: 0.6}
+	want := 0.25*0.6 + 0.75*0.05
+	if got := b.SteadyStateAlpha(); got != want {
+		t.Errorf("steady state = %v, want %v", got, want)
+	}
+	degenerate := BurstSpec{AlphaGood: 0.2}
+	if got := degenerate.SteadyStateAlpha(); got != 0.2 {
+		t.Errorf("degenerate steady state = %v, want 0.2", got)
+	}
+}
+
+// TestBurstRunsEndToEnd smoke-tests the burst extension through Run.
+func TestBurstRunsEndToEnd(t *testing.T) {
+	p := fastParams()
+	p.Caching = true
+	p.Burst = BurstSpec{
+		Enabled:    true,
+		PGoodToBad: 0.05,
+		PBadToGood: 0.2,
+		AlphaGood:  0.02,
+		AlphaBad:   0.7,
+	}
+	res, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanResponseTime <= 0 {
+		t.Error("burst run produced zero response time")
+	}
+	// Invalid burst probabilities must be rejected.
+	p.Burst.PGoodToBad = 1.5
+	if _, err := Run(p); err == nil {
+		t.Error("invalid burst spec accepted")
+	}
+}
+
+// TestLODSweepOrdering verifies that at fixed parameters the finer the
+// LOD, the faster irrelevant documents are discarded (the ordering
+// behind Figure 6), for the Caching case.
+func TestLODSweepOrdering(t *testing.T) {
+	p := fastParams()
+	p.Caching = true
+	p.Irrelevant = 1
+	p.Threshold = 0.2
+	p.Alpha = 0.1
+	times := make(map[document.LOD]float64, 4)
+	for _, lod := range []document.LOD{
+		document.LODDocument, document.LODSection,
+		document.LODSubsection, document.LODParagraph,
+	} {
+		p.LOD = lod
+		res, err := Run(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[lod] = res.MeanResponseTime
+	}
+	if times[document.LODParagraph] >= times[document.LODDocument] {
+		t.Errorf("paragraph (%v) not faster than document (%v)",
+			times[document.LODParagraph], times[document.LODDocument])
+	}
+	if times[document.LODSection] >= times[document.LODDocument] {
+		t.Errorf("section (%v) not faster than document (%v)",
+			times[document.LODSection], times[document.LODDocument])
+	}
+}

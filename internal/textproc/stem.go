@@ -1,0 +1,113 @@
+package textproc
+
+import "strings"
+
+// Lemmatize reduces a word to a canonical form using a compact
+// suffix-stripping stemmer in the Porter tradition. It is intentionally
+// conservative: it only strips when the remaining stem keeps at least
+// three letters, so short content words survive unchanged. The paper's
+// lemmatizer converts "document words into their lemmatized form"; exact
+// linguistic fidelity is not required, only a stable many-to-one mapping
+// that merges inflected variants.
+func Lemmatize(word string) string {
+	w := word
+	if len(w) < 4 {
+		return w
+	}
+
+	// Plural and verbal -s endings.
+	switch {
+	case strings.HasSuffix(w, "sses"):
+		w = strings.TrimSuffix(w, "es")
+	case strings.HasSuffix(w, "ies") && len(w) > 4:
+		w = strings.TrimSuffix(w, "ies") + "y"
+	case strings.HasSuffix(w, "ss"):
+		// keep: "class", "less"
+	case strings.HasSuffix(w, "s") && !strings.HasSuffix(w, "us") && !strings.HasSuffix(w, "is"):
+		w = strings.TrimSuffix(w, "s")
+	}
+
+	// Progressive and past forms.
+	switch {
+	case strings.HasSuffix(w, "ing") && len(w) >= 6:
+		stem := strings.TrimSuffix(w, "ing")
+		w = undouble(restoreE(stem))
+	case strings.HasSuffix(w, "ed") && len(w) >= 5:
+		stem := strings.TrimSuffix(w, "ed")
+		w = undouble(restoreE(stem))
+	}
+
+	// Common derivational suffixes, longest first.
+	for _, s := range [...]struct{ suffix, repl string }{
+		{"ization", "ize"},
+		{"ational", "ate"},
+		{"fulness", "ful"},
+		{"iveness", "ive"},
+		{"ousness", "ous"},
+		{"ibility", "ible"},
+		{"ability", "able"},
+		{"tional", "tion"},
+		{"biliti", "ble"},
+		{"icate", "ic"},
+		{"ments", "ment"},
+		{"ment", "ment"}, // stop: keep -ment words intact ("document")
+		{"ation", "ate"},
+		{"izer", "ize"},
+		{"ally", "al"},
+		{"ness", ""},
+		{"ful", ""},
+		{"ly", ""},
+	} {
+		if strings.HasSuffix(w, s.suffix) && len(w)-len(s.suffix)+len(s.repl) >= 3 {
+			w = strings.TrimSuffix(w, s.suffix) + s.repl
+			break
+		}
+	}
+	if len(w) < 3 {
+		return word
+	}
+	return w
+}
+
+// restoreE re-attaches a silent e after stripping -ing/-ed from stems
+// ending in a consonant+consonant-free pattern like "brows" → "browse".
+// The heuristic: a stem ending in a single consonant after a consonant
+// cluster that originally carried an e is unrecoverable in general; we
+// approximate by restoring e after "s", "v", "z", "c", "g", and "u"
+// preceded by a consonant, which covers browse/receive/manage/... without
+// breaking common -ing words.
+func restoreE(stem string) string {
+	if len(stem) < 3 {
+		return stem
+	}
+	last := stem[len(stem)-1]
+	switch last {
+	case 's', 'v', 'z', 'c', 'g', 'u':
+		prev := stem[len(stem)-2]
+		if !isVowel(prev) || prev == 'u' {
+			return stem + "e"
+		}
+		if last == 's' || last == 'v' || last == 'g' {
+			return stem + "e"
+		}
+	}
+	return stem
+}
+
+// undouble collapses a doubled final consonant left by -ing/-ed
+// stripping: "transmitt" → "transmit".
+func undouble(stem string) string {
+	n := len(stem)
+	if n >= 2 && stem[n-1] == stem[n-2] && !isVowel(stem[n-1]) && stem[n-1] != 'l' && stem[n-1] != 's' {
+		return stem[:n-1]
+	}
+	return stem
+}
+
+func isVowel(c byte) bool {
+	switch c {
+	case 'a', 'e', 'i', 'o', 'u':
+		return true
+	}
+	return false
+}

@@ -1,0 +1,107 @@
+package textproc
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"unicode"
+)
+
+// TestLemmatizeTotalAndStable checks the lemmatizer's contract on random
+// lowercase words: it never returns the empty string, never grows a word
+// by more than one rune (the silent-e restoration), and is idempotent.
+func TestLemmatizeTotalAndStable(t *testing.T) {
+	letters := []rune("abcdefghijklmnopqrstuvwxyz")
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(14)
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteRune(letters[rng.Intn(len(letters))])
+		}
+		w := b.String()
+		lemma := Lemmatize(w)
+		if lemma == "" {
+			t.Logf("Lemmatize(%q) = empty", w)
+			return false
+		}
+		if len(lemma) > len(w)+1 {
+			t.Logf("Lemmatize(%q) = %q grew", w, lemma)
+			return false
+		}
+		again := Lemmatize(lemma)
+		// The stemmer need not be strictly idempotent on arbitrary
+		// letter soup, but must stabilize within two applications (a
+		// single suffix family can expose a second one).
+		return Lemmatize(again) == again
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLemmatizeDomainVocabulary locks in the merges that matter for the
+// paper's own vocabulary.
+func TestLemmatizeDomainVocabulary(t *testing.T) {
+	merges := map[string][]string{
+		"transmission": {"transmissions"},
+		"organization": {"organizations"},
+		"unit":         {"units"},
+		"channel":      {"channels"},
+		"keyword":      {"keywords"},
+		"redundancy":   {"redundancy"},
+		"section":      {"sections"},
+		"reconstruct":  {"reconstructed", "reconstructs"},
+		"corrupt":      {"corrupted", "corrupts"},
+	}
+	for base, variants := range merges {
+		want := Lemmatize(base)
+		for _, v := range variants {
+			if got := Lemmatize(v); got != want {
+				t.Errorf("Lemmatize(%q) = %q, want %q (lemma of %q)", v, got, want, base)
+			}
+		}
+	}
+}
+
+// TestTokenizeNoUppercaseOutput: the recognizer lower-cases every rune
+// that has a distinct lower-case form (some exotic scripts lack one).
+func TestTokenizeNoUppercaseOutput(t *testing.T) {
+	f := func(s string) bool {
+		for _, w := range Tokenize(s) {
+			for _, r := range w {
+				if unicode.IsUpper(r) && unicode.ToLower(r) != r {
+					return false
+				}
+			}
+			if w == "" {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQueryVectorSubsetOfTokens: every key of a query vector derives from
+// a token of the query.
+func TestQueryVectorSubsetOfTokens(t *testing.T) {
+	f := func(s string) bool {
+		lemmas := make(map[string]bool)
+		for _, w := range Tokenize(s) {
+			lemmas[Lemmatize(w)] = true
+		}
+		for k := range QueryVector(s) {
+			if !lemmas[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

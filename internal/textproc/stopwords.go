@@ -1,0 +1,52 @@
+package textproc
+
+import "strings"
+
+// stopWordList enumerates non-meaning-bearing words eliminated by the
+// word-filter stage (§3.3). The list is the classic English function-word
+// inventory used by early web IR systems.
+const stopWordList = `
+a about above after again against all am an and any are aren as at
+be because been before being below between both but by
+can cannot could couldn
+did didn do does doesn doing don down during
+each
+few for from further
+had hadn has hasn have haven having he her here hers herself him himself his how
+i if in into is isn it its itself
+let
+me more most mustn my myself
+no nor not now
+of off on once only or other ought our ours ourselves out over own
+same shan she should shouldn so some such
+than that the their theirs them themselves then there these they this those through to too
+under until up upon us use used using
+very via
+was wasn we were weren what when where which while who whom why will with won would wouldn
+you your yours yourself yourselves
+also may might must shall however therefore thus hence since
+`
+
+var _stopWords = buildStopWords()
+
+func buildStopWords() map[string]bool {
+	words := strings.Fields(stopWordList)
+	m := make(map[string]bool, len(words))
+	for _, w := range words {
+		m[w] = true
+	}
+	return m
+}
+
+// IsStopWord reports whether the word-filter stage discards the word.
+// The check is done on the raw lower-cased word, before lemmatization,
+// matching the pipeline order of §3.3 in which filtering follows
+// lemmatization of inflected forms: both the raw and lemmatized forms are
+// consulted so "uses" (lemma "use") is filtered either way.
+func IsStopWord(word string) bool {
+	return _stopWords[word]
+}
+
+// StopWordCount returns the size of the stop-word inventory, for
+// diagnostics.
+func StopWordCount() int { return len(_stopWords) }

@@ -1,0 +1,128 @@
+// Package trace generates the synthetic browsing workload of the paper's
+// evaluation (§5): documents of a fixed size composed of 5 sections × 2
+// subsections × 2 paragraphs, with per-paragraph information content
+// drawn from a uniform distribution whose max/min ratio is the skew
+// factor δ.
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"mobweb/internal/document"
+)
+
+// DocSpec describes the simulated document population.
+type DocSpec struct {
+	// Sections, SubsectionsPerSection and ParagraphsPerSubsection give
+	// the document skeleton; Table 2 uses 5 × 2 × 2.
+	Sections, SubsectionsPerSection, ParagraphsPerSubsection int
+	// SizeBytes is the serialized body size sD; Table 2 uses 10240.
+	SizeBytes int
+	// Skew is δ, the ratio between the highest and lowest paragraph
+	// information content; Table 2 uses 3.
+	Skew float64
+}
+
+// Default returns Table 2's document population.
+func Default() DocSpec {
+	return DocSpec{
+		Sections:                5,
+		SubsectionsPerSection:   2,
+		ParagraphsPerSubsection: 2,
+		SizeBytes:               10240,
+		Skew:                    3,
+	}
+}
+
+// Paragraphs returns the number of leaf paragraphs in a document.
+func (s DocSpec) Paragraphs() int {
+	return s.Sections * s.SubsectionsPerSection * s.ParagraphsPerSubsection
+}
+
+// Validate checks the spec is feasible.
+func (s DocSpec) Validate() error {
+	if s.Sections < 1 || s.SubsectionsPerSection < 1 || s.ParagraphsPerSubsection < 1 {
+		return fmt.Errorf("trace: document skeleton %dx%dx%d infeasible",
+			s.Sections, s.SubsectionsPerSection, s.ParagraphsPerSubsection)
+	}
+	if s.SizeBytes < s.Paragraphs() {
+		return fmt.Errorf("trace: %d bytes cannot hold %d paragraphs", s.SizeBytes, s.Paragraphs())
+	}
+	if s.Skew < 1 {
+		return fmt.Errorf("trace: skew %v, want >= 1", s.Skew)
+	}
+	return nil
+}
+
+// Generate builds one simulated document plus its per-unit information
+// content map (unit ID → score): paragraph scores are drawn uniformly in
+// [1, δ], normalized to sum 1, and aggregated up the unit tree so every
+// LOD has scores obeying the additive rule. Paragraph byte sizes split
+// SizeBytes evenly with the remainder spread over the first paragraphs.
+func Generate(spec DocSpec, rng *rand.Rand) (*document.Document, map[int]float64, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if rng == nil {
+		return nil, nil, fmt.Errorf("trace: nil rng")
+	}
+	nParas := spec.Paragraphs()
+	base := spec.SizeBytes / nParas
+	extra := spec.SizeBytes % nParas
+
+	b := document.NewBuilder()
+	paraIdx := 0
+	for s := 0; s < spec.Sections; s++ {
+		b.Open(document.LODSection, "", "")
+		for ss := 0; ss < spec.SubsectionsPerSection; ss++ {
+			b.Open(document.LODSubsection, "", "")
+			for p := 0; p < spec.ParagraphsPerSubsection; p++ {
+				size := base
+				if paraIdx < extra {
+					size++
+				}
+				// The layout charges len(text)+1 bytes per paragraph.
+				b.Paragraph(strings.Repeat("x", size-1))
+				paraIdx++
+			}
+			b.Close()
+		}
+		b.Close()
+	}
+	doc, err := b.Build("synthetic", "Synthetic Document")
+	if err != nil {
+		return nil, nil, err
+	}
+	if doc.Size() != spec.SizeBytes {
+		return nil, nil, fmt.Errorf("trace: generated %d bytes, want %d", doc.Size(), spec.SizeBytes)
+	}
+
+	scores := make(map[int]float64, len(doc.Units()))
+	paras := doc.Paragraphs()
+	total := 0.0
+	raw := make([]float64, len(paras))
+	for i := range paras {
+		// Uniform in [1, δ]: the max/min ratio of the support is δ.
+		raw[i] = 1 + rng.Float64()*(spec.Skew-1)
+		total += raw[i]
+	}
+	for i, p := range paras {
+		scores[p.ID] = raw[i] / total
+	}
+	var aggregate func(u *document.Unit) float64
+	aggregate = func(u *document.Unit) float64 {
+		if u.IsLeaf() {
+			return scores[u.ID]
+		}
+		sum := 0.0
+		for _, c := range u.Children {
+			sum += aggregate(c)
+		}
+		scores[u.ID] = sum
+		return sum
+	}
+	aggregate(doc.Root)
+	return doc, scores, nil
+}

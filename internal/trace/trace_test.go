@@ -1,0 +1,182 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mobweb/internal/document"
+)
+
+func TestDefaultSpecMatchesTable2(t *testing.T) {
+	s := Default()
+	if s.Sections != 5 || s.SubsectionsPerSection != 2 || s.ParagraphsPerSubsection != 2 {
+		t.Errorf("skeleton = %dx%dx%d, want 5x2x2", s.Sections, s.SubsectionsPerSection, s.ParagraphsPerSubsection)
+	}
+	if s.SizeBytes != 10240 {
+		t.Errorf("size = %d, want 10240", s.SizeBytes)
+	}
+	if s.Skew != 3 {
+		t.Errorf("skew = %v, want 3", s.Skew)
+	}
+	if s.Paragraphs() != 20 {
+		t.Errorf("paragraphs = %d, want 20", s.Paragraphs())
+	}
+}
+
+func TestGenerateStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	doc, scores, err := Generate(Default(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := doc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Size() != 10240 {
+		t.Errorf("size = %d, want 10240", doc.Size())
+	}
+	secs, err := doc.UnitsAt(document.LODSection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(secs) != 5 {
+		t.Errorf("sections = %d, want 5", len(secs))
+	}
+	if got := len(doc.Paragraphs()); got != 20 {
+		t.Errorf("paragraphs = %d, want 20", got)
+	}
+	if len(scores) != len(doc.Units()) {
+		t.Errorf("scores cover %d units, want %d", len(scores), len(doc.Units()))
+	}
+}
+
+func TestGenerateScoresNormalized(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	doc, scores, err := Generate(Default(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, p := range doc.Paragraphs() {
+		sum += scores[p.ID]
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("paragraph scores sum to %v, want 1", sum)
+	}
+	if math.Abs(scores[doc.Root.ID]-1) > 1e-9 {
+		t.Errorf("root score = %v, want 1", scores[doc.Root.ID])
+	}
+}
+
+func TestGenerateAdditiveRule(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	doc, scores, err := Generate(Default(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range doc.Units() {
+		if u.IsLeaf() {
+			continue
+		}
+		sum := 0.0
+		for _, c := range u.Children {
+			sum += scores[c.ID]
+		}
+		if math.Abs(scores[u.ID]-sum) > 1e-9 {
+			t.Errorf("unit %q: score %v != children sum %v", u.Label, scores[u.ID], sum)
+		}
+	}
+}
+
+func TestGenerateSkewBounds(t *testing.T) {
+	// With δ = 3 raw paragraph draws lie in [1, 3], so normalized scores
+	// obey max/min <= 3.
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		doc, scores, err := Generate(Default(), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, p := range doc.Paragraphs() {
+			s := scores[p.ID]
+			if s < lo {
+				lo = s
+			}
+			if s > hi {
+				hi = s
+			}
+		}
+		if hi/lo > 3+1e-9 {
+			t.Fatalf("trial %d: score ratio %v exceeds skew 3", trial, hi/lo)
+		}
+	}
+}
+
+func TestGenerateSkewOneIsUniformish(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	spec := Default()
+	spec.Skew = 1
+	doc, scores, err := Generate(spec, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range doc.Paragraphs() {
+		if math.Abs(scores[p.ID]-0.05) > 1e-9 {
+			t.Errorf("skew 1 paragraph score = %v, want exactly 0.05", scores[p.ID])
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, sa, err := Generate(Default(), rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, sb, err := Generate(Default(), rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range a.Paragraphs() {
+		if math.Abs(sa[p.ID]-sb[p.ID]) > 0 {
+			t.Fatal("same seed produced different scores")
+		}
+	}
+	_ = b
+}
+
+func TestGenerateOddSizes(t *testing.T) {
+	spec := Default()
+	spec.SizeBytes = 10243 // not divisible by 20
+	doc, _, err := Generate(spec, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Size() != 10243 {
+		t.Errorf("size = %d, want 10243", doc.Size())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*DocSpec)
+	}{
+		{"zero sections", func(s *DocSpec) { s.Sections = 0 }},
+		{"tiny size", func(s *DocSpec) { s.SizeBytes = 5 }},
+		{"skew below one", func(s *DocSpec) { s.Skew = 0.5 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := Default()
+			tt.mutate(&s)
+			if err := s.Validate(); err == nil {
+				t.Error("invalid spec accepted")
+			}
+		})
+	}
+	if _, _, err := Generate(Default(), nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}

@@ -1,0 +1,427 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"mobweb/internal/content"
+	"mobweb/internal/core"
+	"mobweb/internal/document"
+)
+
+// Client is the mobile-side half of Figure 1: the sequence manager that
+// verifies, orders and caches cooked packets, plus hooks for a rendering
+// manager to display units progressively. A Client owns one connection
+// and is not safe for concurrent use.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+	// Timeout bounds each network read; zero means 30 seconds.
+	Timeout time.Duration
+	// prefetched holds receivers primed by Prefetch, consumed by the
+	// next Fetch of the same document.
+	prefetched map[string]*prefetchedDoc
+}
+
+// prefetchedDoc is a primed receiver plus the fetch shape it was primed
+// under; a Fetch with a different shape cannot reuse it.
+type prefetchedDoc struct {
+	rcv   *core.Receiver
+	shape string
+}
+
+// Dial connects to a transmission server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an existing connection (e.g. a net.Pipe end in tests).
+func NewClient(conn net.Conn) *Client {
+	return &Client{
+		conn: conn,
+		r:    bufio.NewReader(conn),
+		w:    bufio.NewWriter(conn),
+	}
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) deadline() time.Time {
+	t := c.Timeout
+	if t == 0 {
+		t = 30 * time.Second
+	}
+	return time.Now().Add(t)
+}
+
+func (c *Client) send(req request) error {
+	if err := writeJSON(c.w, req); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+func (c *Client) readResponse() (response, error) {
+	if err := c.conn.SetReadDeadline(c.deadline()); err != nil {
+		return response{}, err
+	}
+	line, err := c.r.ReadBytes('\n')
+	if err != nil {
+		return response{}, err
+	}
+	var resp response
+	if err := json.Unmarshal(line, &resp); err != nil {
+		return response{}, fmt.Errorf("%w: %v", ErrBadResponse, err)
+	}
+	return resp, nil
+}
+
+// HitInfo is one search result.
+type HitInfo struct {
+	// Name and Title identify the document; Score is its query
+	// similarity.
+	Name, Title string
+	Score       float64
+}
+
+// Search runs a keyword query on the server.
+func (c *Client) Search(query string, limit int) ([]HitInfo, error) {
+	if err := c.send(request{Op: "search", Query: query, Limit: limit}); err != nil {
+		return nil, err
+	}
+	resp, err := c.readResponse()
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, fmt.Errorf("transport: search: %s", resp.Error)
+	}
+	hits := make([]HitInfo, len(resp.Hits))
+	for i, h := range resp.Hits {
+		hits[i] = HitInfo{Name: h.Name, Title: h.Title, Score: h.Score}
+	}
+	return hits, nil
+}
+
+// Progress reports one received frame to the rendering manager.
+type Progress struct {
+	// Seq is the frame's (claimed) sequence number.
+	Seq int
+	// Intact reports whether the frame passed its CRC.
+	Intact bool
+	// InfoContent is the accrued information content after this frame.
+	InfoContent float64
+	// NewUnits lists units that became fully available with this frame,
+	// ready to render at their proper position.
+	NewUnits []core.RenderedUnit
+}
+
+// FetchOptions parameterizes a document download.
+type FetchOptions struct {
+	// Doc names the document.
+	Doc string
+	// Query orders units by QIC when non-empty.
+	Query string
+	// LOD is the ranking level of detail; zero uses the server default.
+	LOD document.LOD
+	// Notion picks IC/QIC/MQIC; zero uses the server default.
+	Notion content.Notion
+	// Gamma overrides the redundancy ratio; zero uses the server
+	// default.
+	Gamma float64
+	// StopAtIC terminates the download once accrued information content
+	// reaches this threshold (the user judging relevance); zero means
+	// download to completion.
+	StopAtIC float64
+	// Caching keeps intact packets across retransmission rounds; false
+	// reloads from scratch (stock HTTP behaviour).
+	Caching bool
+	// MaxRounds caps retransmission rounds; zero means 10.
+	MaxRounds int
+	// OnProgress, when set, is invoked for every received frame.
+	OnProgress func(Progress)
+}
+
+// fetchShape fingerprints the plan-affecting fetch options; a prefetched
+// receiver is only reusable under the same shape.
+func fetchShape(opts FetchOptions) string {
+	return fmt.Sprintf("%s|%s|%d|%d|%g", opts.Doc, opts.Query, opts.LOD, opts.Notion, opts.Gamma)
+}
+
+// FetchResult summarizes a download.
+type FetchResult struct {
+	// PrefetchedPackets counts intact packets contributed by an earlier
+	// Prefetch of this document.
+	PrefetchedPackets int
+	// Body is the reconstructed document body, nil when the fetch
+	// stopped early at StopAtIC.
+	Body []byte
+	// InfoContent is the accrued information content at termination.
+	InfoContent float64
+	// Rendered lists every available unit in transmission order.
+	Rendered []core.RenderedUnit
+	// Rounds is the number of transmission rounds used.
+	Rounds int
+	// PacketsReceived and PacketsCorrupted count frames seen on the
+	// wire.
+	PacketsReceived, PacketsCorrupted int
+	// Stalled reports whether any round ended without termination.
+	Stalled bool
+}
+
+// Fetch downloads a document with fault-tolerant multi-resolution
+// transmission, driving the retransmission loop of §4.2.
+func (c *Client) Fetch(opts FetchOptions) (*FetchResult, error) {
+	if opts.Doc == "" {
+		return nil, fmt.Errorf("transport: fetch needs a document name")
+	}
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 10
+	}
+	result := &FetchResult{}
+	var rcv *core.Receiver
+	seen := make(map[int]bool) // rendered units by permuted offset
+
+	// Consume a primed receiver from an earlier Prefetch when the fetch
+	// shape matches.
+	if pre, ok := c.prefetched[opts.Doc]; ok && pre.shape == fetchShape(opts) {
+		rcv = pre.rcv
+		result.PrefetchedPackets = rcv.IntactCount()
+		delete(c.prefetched, opts.Doc)
+		// A fully-primed receiver needs no network at all.
+		if c.terminated(rcv, opts) {
+			return c.finish(rcv, opts, result)
+		}
+	}
+
+	for round := 0; round < maxRounds; round++ {
+		result.Rounds++
+		req := request{Op: "fetch", Doc: opts.Doc, Query: opts.Query, Gamma: opts.Gamma}
+		if opts.LOD != 0 {
+			req.LOD = opts.LOD.String()
+		}
+		if opts.Notion != 0 {
+			req.Notion = opts.Notion.String()
+		}
+		if rcv != nil && opts.Caching {
+			for seq := 0; seq < rcv.Layout().N(); seq++ {
+				if rcv.Held(seq) {
+					req.Have = append(req.Have, seq)
+				}
+			}
+		}
+		if err := c.send(req); err != nil {
+			return nil, err
+		}
+		resp, err := c.readResponse()
+		if err != nil {
+			return nil, err
+		}
+		if !resp.OK {
+			return nil, fmt.Errorf("transport: fetch: %s", resp.Error)
+		}
+		if resp.Layout == nil {
+			return nil, fmt.Errorf("%w: fetch response missing layout", ErrBadResponse)
+		}
+		if rcv != nil && (rcv.Layout().N() != resp.Layout.N() || rcv.Layout().BodySize != resp.Layout.BodySize) {
+			// The document changed server-side since the receiver was
+			// primed; its packets are useless.
+			rcv = nil
+			result.PrefetchedPackets = 0
+		}
+		if rcv == nil {
+			rcv, err = core.NewReceiverFromLayout(*resp.Layout)
+			if err != nil {
+				return nil, err
+			}
+		} else if round > 0 && !opts.Caching {
+			// NoCaching semantics apply between retransmission rounds;
+			// prefetched packets on round 0 are local state, not a
+			// retransmission cache.
+			rcv.Reset()
+		}
+
+		done, err := c.consumeStream(rcv, opts, result, seen)
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			return c.finish(rcv, opts, result)
+		}
+		result.Stalled = true
+	}
+	// Out of rounds: return what we have, marked stalled.
+	return c.finish(rcv, opts, result)
+}
+
+// Prefetch pulls up to budgetPackets frames of a document into a primed
+// receiver during idle time (§6's intelligent prefetching on the live
+// transport) and stops the stream. The next Fetch with the same
+// plan-affecting options (Doc, Query, LOD, Notion, Gamma) starts from the
+// prefetched packets; its result reports them in PrefetchedPackets.
+// Prefetching the same document again tops up the primed receiver.
+func (c *Client) Prefetch(opts FetchOptions, budgetPackets int) (intact int, err error) {
+	if opts.Doc == "" {
+		return 0, fmt.Errorf("transport: prefetch needs a document name")
+	}
+	if budgetPackets < 1 {
+		return 0, fmt.Errorf("transport: prefetch budget %d, want >= 1", budgetPackets)
+	}
+	shape := fetchShape(opts)
+	var rcv *core.Receiver
+	if pre, ok := c.prefetched[opts.Doc]; ok && pre.shape == shape {
+		rcv = pre.rcv
+	}
+
+	req := request{Op: "fetch", Doc: opts.Doc, Query: opts.Query, Gamma: opts.Gamma}
+	if opts.LOD != 0 {
+		req.LOD = opts.LOD.String()
+	}
+	if opts.Notion != 0 {
+		req.Notion = opts.Notion.String()
+	}
+	if rcv != nil {
+		for seq := 0; seq < rcv.Layout().N(); seq++ {
+			if rcv.Held(seq) {
+				req.Have = append(req.Have, seq)
+			}
+		}
+	}
+	if err := c.send(req); err != nil {
+		return 0, err
+	}
+	resp, err := c.readResponse()
+	if err != nil {
+		return 0, err
+	}
+	if !resp.OK {
+		return 0, fmt.Errorf("transport: prefetch: %s", resp.Error)
+	}
+	if resp.Layout == nil {
+		return 0, fmt.Errorf("%w: fetch response missing layout", ErrBadResponse)
+	}
+	if rcv == nil {
+		rcv, err = core.NewReceiverFromLayout(*resp.Layout)
+		if err != nil {
+			return 0, err
+		}
+	}
+
+	received, stopped := 0, false
+	for {
+		if err := c.conn.SetReadDeadline(c.deadline()); err != nil {
+			return 0, err
+		}
+		frame, err := readFrame(c.r)
+		if err != nil {
+			return 0, err
+		}
+		if frame == nil {
+			break
+		}
+		if stopped {
+			continue // draining
+		}
+		received++
+		if _, _, err := rcv.AddFrame(frame); err != nil {
+			return 0, err
+		}
+		if received >= budgetPackets || rcv.Reconstructible() {
+			if err := c.send(request{Op: "stop"}); err != nil {
+				return 0, err
+			}
+			stopped = true
+		}
+	}
+	if c.prefetched == nil {
+		c.prefetched = make(map[string]*prefetchedDoc)
+	}
+	c.prefetched[opts.Doc] = &prefetchedDoc{rcv: rcv, shape: shape}
+	return rcv.IntactCount(), nil
+}
+
+// consumeStream reads frames until termination or end-of-stream. It
+// returns done=true when a §4.2 termination condition fired.
+func (c *Client) consumeStream(rcv *core.Receiver, opts FetchOptions, result *FetchResult, seen map[int]bool) (bool, error) {
+	terminatedEarly := false
+	for {
+		if err := c.conn.SetReadDeadline(c.deadline()); err != nil {
+			return false, err
+		}
+		frame, err := readFrame(c.r)
+		if err != nil {
+			return false, err
+		}
+		if frame == nil { // end of stream
+			return terminatedEarly || c.terminated(rcv, opts), nil
+		}
+		if terminatedEarly {
+			continue // draining after stop
+		}
+		result.PacketsReceived++
+		seq, intact, err := rcv.AddFrame(frame)
+		if err != nil {
+			return false, err
+		}
+		if !intact {
+			result.PacketsCorrupted++
+		}
+		if opts.OnProgress != nil {
+			prog := Progress{Seq: seq, Intact: intact, InfoContent: rcv.InfoContent()}
+			if intact {
+				for _, u := range rcv.Render() {
+					if seen[u.Segment.PermutedOff] {
+						continue
+					}
+					seen[u.Segment.PermutedOff] = true
+					prog.NewUnits = append(prog.NewUnits, u)
+				}
+			}
+			opts.OnProgress(prog)
+		}
+		if intact && c.terminated(rcv, opts) {
+			// Tell the transmitter to stop, then drain to the end
+			// marker so the connection stays usable.
+			if err := c.send(request{Op: "stop"}); err != nil {
+				return false, err
+			}
+			terminatedEarly = true
+		}
+	}
+}
+
+func (c *Client) terminated(rcv *core.Receiver, opts FetchOptions) bool {
+	if rcv.Reconstructible() {
+		return true
+	}
+	return opts.StopAtIC > 0 && rcv.InfoContent() >= opts.StopAtIC
+}
+
+func (c *Client) finish(rcv *core.Receiver, opts FetchOptions, result *FetchResult) (*FetchResult, error) {
+	if rcv == nil {
+		return result, nil
+	}
+	result.InfoContent = rcv.InfoContent()
+	result.Rendered = rcv.Render()
+	if rcv.Reconstructible() {
+		body, err := rcv.Reconstruct()
+		if err != nil {
+			return nil, err
+		}
+		result.Body = body
+	}
+	return result, nil
+}
+
+var _ io.Closer = (*Client)(nil)

@@ -1,0 +1,238 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"net"
+	"testing"
+	"time"
+
+	"mobweb/internal/channel"
+	"mobweb/internal/corpus"
+	"mobweb/internal/search"
+	"mobweb/internal/textproc"
+)
+
+func TestClientSurvivesServerCrashMidFetch(t *testing.T) {
+	engine := search.NewEngine(textproc.Options{})
+	docs, err := corpus.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range docs {
+		if err := engine.Add(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Pace packets so the crash lands mid-stream.
+	srv, err := NewServer(engine, ServerOptions{PacketDelay: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan struct{})
+	go func() {
+		defer close(serveDone)
+		srv.Serve(ln)
+	}()
+
+	client, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	client.Timeout = 2 * time.Second
+
+	fetchErr := make(chan error, 1)
+	go func() {
+		_, err := client.Fetch(FetchOptions{Doc: corpus.DraftName})
+		fetchErr <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // a few packets in
+	srv.Close()
+	<-serveDone
+
+	select {
+	case err := <-fetchErr:
+		if err == nil {
+			t.Error("fetch succeeded despite server crash mid-stream")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("fetch hung after server crash")
+	}
+}
+
+func TestClientTimesOutOnSilentServer(t *testing.T) {
+	// A listener that accepts and then never speaks.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- conn
+	}()
+	client, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	client.Timeout = 200 * time.Millisecond
+
+	start := time.Now()
+	_, err = client.Search("anything", 3)
+	if err == nil {
+		t.Fatal("search against a silent server succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Errorf("timeout took %v, want ~200ms", elapsed)
+	}
+	if conn := <-accepted; conn != nil {
+		conn.Close()
+	}
+}
+
+func TestReadFrameRejectsOversizedPrefix(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrameSize+1)
+	buf.Write(hdr[:])
+	if _, err := readFrame(&buf); err == nil {
+		t.Error("oversized frame prefix accepted")
+	}
+}
+
+func TestWriteFrameRejectsBadSizes(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, nil); err == nil {
+		t.Error("empty frame accepted")
+	}
+	if err := writeFrame(&buf, make([]byte, MaxFrameSize+1)); err == nil {
+		t.Error("oversized frame accepted")
+	}
+}
+
+func TestFrameRoundTripAndEOS(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeEndOfStream(&buf); err != nil {
+		t.Fatal(err)
+	}
+	frame, err := readFrame(&buf)
+	if err != nil || !bytes.Equal(frame, []byte{1, 2, 3}) {
+		t.Fatalf("readFrame = (%v, %v)", frame, err)
+	}
+	eos, err := readFrame(&buf)
+	if err != nil || eos != nil {
+		t.Fatalf("end-of-stream = (%v, %v), want (nil, nil)", eos, err)
+	}
+}
+
+func TestPipelinedFetchesOnOneConnection(t *testing.T) {
+	client := startServer(t, ServerOptions{})
+	for i := 0; i < 3; i++ {
+		res, err := client.Fetch(FetchOptions{Doc: corpus.DraftName})
+		if err != nil {
+			t.Fatalf("fetch %d: %v", i, err)
+		}
+		if res.Body == nil {
+			t.Fatalf("fetch %d incomplete", i)
+		}
+	}
+	// Interleave search and fetch.
+	if _, err := client.Search("mobile", 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Fetch(FetchOptions{Doc: "mobile-survey.html"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGilbertElliottInjectorLive(t *testing.T) {
+	model, err := channel.NewGilbertElliott(0.05, 0.2, 0.02, 0.8, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := startServer(t, ServerOptions{Injector: NewModelInjector(model)})
+	res, err := client.Fetch(FetchOptions{
+		Doc:       corpus.DraftName,
+		Caching:   true,
+		MaxRounds: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Body == nil {
+		t.Fatal("fetch failed under bursty corruption")
+	}
+	if res.PacketsCorrupted == 0 {
+		t.Error("burst injector corrupted nothing")
+	}
+}
+
+func TestServerRejectsMidStreamRequests(t *testing.T) {
+	// Sending a new fetch while a stream is in flight is a protocol
+	// violation; the server must drop the connection rather than
+	// interleave streams.
+	engine := search.NewEngine(textproc.Options{})
+	docs, err := corpus.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range docs {
+		if err := engine.Add(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv, err := NewServer(engine, ServerOptions{PacketDelay: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan struct{})
+	go func() {
+		defer close(serveDone)
+		srv.Serve(ln)
+	}()
+	defer func() {
+		srv.Close()
+		<-serveDone
+	}()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := writeJSON(conn, request{Op: "fetch", Doc: corpus.DraftName}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	// Violate the protocol mid-stream.
+	if err := writeJSON(conn, request{Op: "search", Query: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	// The server must close the connection: reads eventually fail.
+	if err := conn.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			return // connection torn down as expected
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package transport
+
+import (
+	"sync"
+
+	"mobweb/internal/channel"
+	"mobweb/internal/packet"
+)
+
+// FaultInjector mutates or drops outgoing frames to emulate the weakly-
+// connected wireless hop, playing the role of the paper's client/server
+// side interceptors. Implementations must be safe for concurrent use (one
+// stream per connection).
+type FaultInjector interface {
+	// Inject returns the frame to transmit (possibly corrupted in place)
+	// and whether to transmit it at all; (nil, false) drops the frame,
+	// modeling a disconnection-swallowed packet.
+	Inject(frame []byte, seq int) ([]byte, bool)
+}
+
+// NopInjector transmits every frame untouched — a clean channel.
+type NopInjector struct{}
+
+var _ FaultInjector = NopInjector{}
+
+// Inject implements FaultInjector.
+func (NopInjector) Inject(frame []byte, seq int) ([]byte, bool) { return frame, true }
+
+// ModelInjector drives corruption from a channel.ErrorModel (Bernoulli,
+// Gilbert-Elliott or Disconnecting), corrupting frames so their CRC fails
+// exactly like the simulated wireless hop.
+type ModelInjector struct {
+	mu    sync.Mutex
+	model channel.ErrorModel
+	salt  uint32
+}
+
+var _ FaultInjector = (*ModelInjector)(nil)
+
+// NewModelInjector wraps an error model as a fault injector.
+func NewModelInjector(model channel.ErrorModel) *ModelInjector {
+	return &ModelInjector{model: model}
+}
+
+// Inject implements FaultInjector.
+func (m *ModelInjector) Inject(frame []byte, seq int) ([]byte, bool) {
+	m.mu.Lock()
+	outcome := m.model.Next()
+	m.salt += 2654435761 // Knuth multiplicative step keeps flips varied
+	salt := m.salt
+	m.mu.Unlock()
+	switch outcome {
+	case channel.Corrupted:
+		packet.CorruptFrame(frame, salt^uint32(seq))
+		return frame, true
+	case channel.Lost:
+		return nil, false
+	default:
+		return frame, true
+	}
+}

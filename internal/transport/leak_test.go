@@ -1,0 +1,75 @@
+package transport
+
+import (
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"mobweb/internal/corpus"
+	"mobweb/internal/search"
+	"mobweb/internal/textproc"
+)
+
+// TestNoReaderGoroutineLeak reproduces the condition where a handler
+// exits while its reader goroutine already holds a parsed request: the
+// client sends a valid request followed immediately by more requests and
+// slams the connection shut. Without the handlerDone guard, each such
+// connection leaked one goroutine blocked on a channel send.
+func TestNoReaderGoroutineLeak(t *testing.T) {
+	engine := search.NewEngine(textproc.Options{})
+	docs, err := corpus.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range docs {
+		if err := engine.Add(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv, err := NewServer(engine, ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan struct{})
+	go func() {
+		defer close(serveDone)
+		srv.Serve(ln)
+	}()
+
+	baseline := runtime.NumGoroutine()
+	const conns = 30
+	for i := 0; i < conns; i++ {
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A fetch that starts a stream, then a mid-stream protocol
+		// violation plus one more queued request, then a hard close:
+		// the handler aborts with the third request possibly parsed.
+		writeJSON(conn, request{Op: "fetch", Doc: corpus.DraftName})
+		writeJSON(conn, request{Op: "search", Query: "x"})
+		writeJSON(conn, request{Op: "search", Query: "y"})
+		conn.Close()
+	}
+
+	// Give handlers time to unwind, then compare goroutine counts.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+3 {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	after := runtime.NumGoroutine()
+	if after > baseline+conns/2 {
+		t.Errorf("goroutines grew from %d to %d after %d abusive connections; reader leak", baseline, after, conns)
+	}
+
+	srv.Close()
+	<-serveDone
+}

@@ -1,0 +1,143 @@
+package transport
+
+import (
+	"testing"
+
+	"mobweb/internal/channel"
+	"mobweb/internal/content"
+	"mobweb/internal/corpus"
+	"mobweb/internal/document"
+)
+
+func TestPrefetchThenFetch(t *testing.T) {
+	client := startServer(t, ServerOptions{})
+	opts := FetchOptions{
+		Doc:    corpus.DraftName,
+		Query:  "mobile web",
+		LOD:    document.LODParagraph,
+		Notion: content.NotionQIC,
+	}
+	intact, err := client.Prefetch(opts, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if intact != 15 {
+		t.Errorf("prefetched %d intact packets on a clean channel, want 15", intact)
+	}
+	opts.Caching = true
+	res, err := client.Fetch(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PrefetchedPackets != 15 {
+		t.Errorf("fetch saw %d prefetched packets, want 15", res.PrefetchedPackets)
+	}
+	if res.Body == nil {
+		t.Fatal("fetch incomplete")
+	}
+	// The prefetched packets must not be re-sent: total received over the
+	// wire during fetch is N - 15.
+	if res.PacketsReceived >= 45 {
+		t.Errorf("fetch received %d packets; selective continuation failed", res.PacketsReceived)
+	}
+	// A second fetch has no primed receiver left.
+	res2, err := client.Fetch(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.PrefetchedPackets != 0 {
+		t.Errorf("primed receiver reused twice (%d packets)", res2.PrefetchedPackets)
+	}
+}
+
+func TestPrefetchTopUp(t *testing.T) {
+	client := startServer(t, ServerOptions{})
+	opts := FetchOptions{Doc: corpus.DraftName}
+	if _, err := client.Prefetch(opts, 10); err != nil {
+		t.Fatal(err)
+	}
+	intact, err := client.Prefetch(opts, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if intact != 20 {
+		t.Errorf("topped-up prefetch holds %d packets, want 20", intact)
+	}
+}
+
+func TestPrefetchShapeMismatchIgnored(t *testing.T) {
+	client := startServer(t, ServerOptions{})
+	if _, err := client.Prefetch(FetchOptions{Doc: corpus.DraftName, LOD: document.LODParagraph}, 10); err != nil {
+		t.Fatal(err)
+	}
+	// Fetch with a different LOD: the primed receiver must not be used.
+	res, err := client.Fetch(FetchOptions{Doc: corpus.DraftName, LOD: document.LODSection})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PrefetchedPackets != 0 {
+		t.Errorf("shape-mismatched prefetch reused (%d packets)", res.PrefetchedPackets)
+	}
+	if res.Body == nil {
+		t.Fatal("fetch incomplete")
+	}
+}
+
+func TestPrefetchValidation(t *testing.T) {
+	client := startServer(t, ServerOptions{})
+	if _, err := client.Prefetch(FetchOptions{}, 5); err == nil {
+		t.Error("empty doc accepted")
+	}
+	if _, err := client.Prefetch(FetchOptions{Doc: "x"}, 0); err == nil {
+		t.Error("zero budget accepted")
+	}
+	if _, err := client.Prefetch(FetchOptions{Doc: "missing.xml"}, 5); err == nil {
+		t.Error("unknown document accepted")
+	}
+}
+
+func TestPrefetchOverLossyChannelStillHelps(t *testing.T) {
+	model, err := channel.NewBernoulli(0.3, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := startServer(t, ServerOptions{Injector: NewModelInjector(model)})
+	opts := FetchOptions{Doc: corpus.DraftName, Caching: true, MaxRounds: 30}
+	intact, err := client.Prefetch(opts, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if intact == 0 {
+		t.Fatal("lossy prefetch delivered nothing")
+	}
+	res, err := client.Fetch(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PrefetchedPackets != intact {
+		t.Errorf("fetch saw %d prefetched, want %d", res.PrefetchedPackets, intact)
+	}
+	if res.Body == nil {
+		t.Fatal("fetch incomplete")
+	}
+}
+
+func TestPrefetchWholeDocumentShortCircuits(t *testing.T) {
+	// A budget covering the whole stream primes a fully reconstructible
+	// receiver; the subsequent fetch needs only the header exchange.
+	client := startServer(t, ServerOptions{})
+	opts := FetchOptions{Doc: "mobile-survey.html", Caching: true}
+	if _, err := client.Prefetch(opts, 10_000); err != nil {
+		t.Fatal(err)
+	}
+	res, err := client.Fetch(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Body == nil {
+		t.Fatal("fetch incomplete")
+	}
+	if res.PacketsReceived != 0 {
+		t.Errorf("fully-prefetched fetch still received %d packets", res.PacketsReceived)
+	}
+}

@@ -1,0 +1,136 @@
+// Package transport realizes the paper's prototype architecture
+// (Figure 1) over TCP with Go's standard library: a server combining the
+// database gateway (document collection + structural characteristics) and
+// the document transmitter, and a client combining the sequence manager
+// (packet bookkeeping, CRC verification, reconstruction) and the
+// rendering manager (progressive unit display). The CORBA object request
+// broker of the original prototype is replaced by a newline-delimited
+// JSON control channel plus length-prefixed binary packet frames.
+//
+// The protocol supports the paper's full §4.2 loop: QIC-ordered
+// fault-tolerant streaming, client stop ("the user has determined that
+// the document is irrelevant"), and selective retransmission rounds in
+// which the client reports the cooked packets it already caches.
+package transport
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"mobweb/internal/core"
+)
+
+// Protocol limits.
+const (
+	// MaxFrameSize bounds a single packet frame on the wire, guarding
+	// the length-prefixed reader against corrupt prefixes.
+	MaxFrameSize = 1 << 16
+	// MaxControlLine bounds one JSON control message.
+	MaxControlLine = 1 << 20
+)
+
+// Errors surfaced to protocol users.
+var (
+	// ErrServerClosed is returned by Serve after Close.
+	ErrServerClosed = errors.New("transport: server closed")
+	// ErrBadResponse signals a malformed server reply.
+	ErrBadResponse = errors.New("transport: malformed response")
+)
+
+// request is a client→server control message.
+type request struct {
+	// Op is "search", "fetch" or "stop".
+	Op string `json:"op"`
+	// Query is the keyword query (search: the search string; fetch: the
+	// query whose QIC orders units).
+	Query string `json:"query,omitempty"`
+	// Limit caps search results.
+	Limit int `json:"limit,omitempty"`
+	// Doc names the document to fetch.
+	Doc string `json:"doc,omitempty"`
+	// LOD is the ranking level of detail name (document.LOD.String()).
+	LOD string `json:"lod,omitempty"`
+	// Notion is "IC", "QIC" or "MQIC".
+	Notion string `json:"notion,omitempty"`
+	// Gamma is the redundancy ratio; zero uses the server default.
+	Gamma float64 `json:"gamma,omitempty"`
+	// Have lists cooked sequence numbers the client already holds
+	// intact, so the server transmits only the rest (retransmission
+	// rounds with caching).
+	Have []int `json:"have,omitempty"`
+}
+
+// hitSummary is one search result on the wire.
+type hitSummary struct {
+	Name  string  `json:"name"`
+	Title string  `json:"title"`
+	Score float64 `json:"score"`
+}
+
+// response is a server→client control message, sent before any packet
+// stream.
+type response struct {
+	OK    bool         `json:"ok"`
+	Error string       `json:"error,omitempty"`
+	Hits  []hitSummary `json:"hits,omitempty"`
+	// Layout carries the transmission geometry for fetch responses.
+	Layout *core.Layout `json:"layout,omitempty"`
+	// Sending is the number of frames that will follow.
+	Sending int `json:"sending,omitempty"`
+}
+
+// writeFrame writes one length-prefixed packet frame.
+func writeFrame(w io.Writer, frame []byte) error {
+	if len(frame) == 0 || len(frame) > MaxFrameSize {
+		return fmt.Errorf("transport: frame size %d outside (0, %d]", len(frame), MaxFrameSize)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(frame)
+	return err
+}
+
+// writeEndOfStream writes the zero-length terminator.
+func writeEndOfStream(w io.Writer) error {
+	var hdr [4]byte
+	_, err := w.Write(hdr[:])
+	return err
+}
+
+// readFrame reads one length-prefixed frame; it returns (nil, nil) at the
+// end-of-stream marker.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return nil, nil
+	}
+	if n > MaxFrameSize {
+		return nil, fmt.Errorf("transport: frame size %d exceeds %d", n, MaxFrameSize)
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(r, frame); err != nil {
+		return nil, err
+	}
+	return frame, nil
+}
+
+// writeJSON writes one newline-delimited control message.
+func writeJSON(w io.Writer, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

@@ -1,0 +1,317 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"mobweb/internal/content"
+	"mobweb/internal/core"
+	"mobweb/internal/document"
+	"mobweb/internal/search"
+	"mobweb/internal/textproc"
+)
+
+// ServerOptions tunes the document transmitter.
+type ServerOptions struct {
+	// Defaults are the plan parameters applied when a fetch request
+	// leaves them unset.
+	Defaults core.Config
+	// Injector emulates the wireless hop; nil means a clean channel.
+	Injector FaultInjector
+	// PacketDelay paces the stream (per frame), letting demos visualize
+	// progressive rendering; zero sends at full speed.
+	PacketDelay time.Duration
+	// IdleTimeout closes connections with no request activity; zero
+	// means 2 minutes.
+	IdleTimeout time.Duration
+}
+
+// Server is the database gateway plus document transmitter of Figure 1:
+// it indexes a document collection, answers keyword searches, and streams
+// documents as QIC-ordered fault-tolerant packet sequences.
+type Server struct {
+	engine *search.Engine
+	opts   ServerOptions
+
+	mu     sync.Mutex
+	ln     net.Listener
+	closed bool
+	conns  map[net.Conn]bool
+	wg     sync.WaitGroup
+}
+
+// NewServer wraps a search engine as a transmission server.
+func NewServer(engine *search.Engine, opts ServerOptions) (*Server, error) {
+	if engine == nil {
+		return nil, fmt.Errorf("transport: nil engine")
+	}
+	if opts.Injector == nil {
+		opts.Injector = NopInjector{}
+	}
+	if opts.IdleTimeout == 0 {
+		opts.IdleTimeout = 2 * time.Minute
+	}
+	return &Server{
+		engine: engine,
+		opts:   opts,
+		conns:  make(map[net.Conn]bool),
+	}, nil
+}
+
+// Serve accepts connections until Close; it always returns a non-nil
+// error (ErrServerClosed after a clean shutdown).
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return ErrServerClosed
+		}
+		s.conns[conn] = true
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops accepting, closes live connections, and waits for handlers
+// to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// handle runs one connection's request loop. A dedicated reader goroutine
+// feeds control messages through a channel so that a "stop" arriving
+// mid-stream can abort the packet stream promptly. The handlerDone
+// channel keeps the reader from blocking forever on a send after the
+// handler has returned (e.g. a write error mid-stream with a request
+// already parsed), which would otherwise leak one goroutine per failed
+// connection.
+func (s *Server) handle(conn net.Conn) {
+	requests := make(chan request)
+	handlerDone := make(chan struct{})
+	defer close(handlerDone)
+	go func() {
+		defer close(requests)
+		scan := bufio.NewScanner(conn)
+		scan.Buffer(make([]byte, 0, 4096), MaxControlLine)
+		for scan.Scan() {
+			var req request
+			if err := json.Unmarshal(scan.Bytes(), &req); err != nil {
+				return
+			}
+			select {
+			case requests <- req:
+			case <-handlerDone:
+				return
+			}
+		}
+	}()
+
+	w := bufio.NewWriter(conn)
+	for {
+		if err := conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout)); err != nil {
+			return
+		}
+		req, ok := <-requests
+		if !ok {
+			return
+		}
+		var err error
+		switch req.Op {
+		case "search":
+			err = s.handleSearch(w, req)
+		case "fetch":
+			err = s.handleFetch(w, req, requests)
+		case "stop":
+			// A stale stop from a stream that already ended; ignore.
+			continue
+		default:
+			err = writeJSON(w, response{Error: fmt.Sprintf("unknown op %q", req.Op)})
+			if err == nil {
+				err = w.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handleSearch(w *bufio.Writer, req request) error {
+	limit := req.Limit
+	if limit <= 0 {
+		limit = 10
+	}
+	hits := s.engine.Search(req.Query, limit)
+	summaries := make([]hitSummary, len(hits))
+	for i, h := range hits {
+		summaries[i] = hitSummary{Name: h.Name, Title: h.Title, Score: h.Score}
+	}
+	if err := writeJSON(w, response{OK: true, Hits: summaries}); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+func (s *Server) handleFetch(w *bufio.Writer, req request, requests <-chan request) error {
+	plan, errMsg := s.buildPlan(req)
+	if errMsg != "" {
+		if err := writeJSON(w, response{Error: errMsg}); err != nil {
+			return err
+		}
+		return w.Flush()
+	}
+
+	have := make(map[int]bool, len(req.Have))
+	for _, seq := range req.Have {
+		have[seq] = true
+	}
+	sending := 0
+	for seq := 0; seq < plan.N(); seq++ {
+		if !have[seq] {
+			sending++
+		}
+	}
+	layout := plan.Layout()
+	if err := writeJSON(w, response{OK: true, Layout: &layout, Sending: sending}); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+
+stream:
+	for seq := 0; seq < plan.N(); seq++ {
+		if have[seq] {
+			continue
+		}
+		// A stop request aborts the stream; connection closure (reader
+		// channel closed) aborts the whole handler.
+		select {
+		case req, ok := <-requests:
+			if !ok {
+				return io.EOF
+			}
+			if req.Op == "stop" {
+				break stream
+			}
+			// Any other mid-stream request is a protocol violation.
+			return fmt.Errorf("transport: %q request during stream", req.Op)
+		default:
+		}
+		frame, err := plan.Frame(seq)
+		if err != nil {
+			return err
+		}
+		out, send := s.opts.Injector.Inject(frame, seq)
+		if !send {
+			continue
+		}
+		if err := writeFrame(w, out); err != nil {
+			return err
+		}
+		if s.opts.PacketDelay > 0 {
+			if err := w.Flush(); err != nil {
+				return err
+			}
+			time.Sleep(s.opts.PacketDelay)
+		}
+	}
+	if err := writeEndOfStream(w); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// buildPlan resolves a fetch request into a transmission plan; it returns
+// a client-facing error message rather than an error for request-level
+// problems.
+func (s *Server) buildPlan(req request) (*core.Plan, string) {
+	sc, ok := s.engine.SC(req.Doc)
+	if !ok {
+		return nil, fmt.Sprintf("unknown document %q", req.Doc)
+	}
+	cfg := s.opts.Defaults
+	if req.LOD != "" {
+		lod, err := document.ParseLOD(req.LOD)
+		if err != nil {
+			return nil, err.Error()
+		}
+		cfg.LOD = lod
+	}
+	switch req.Notion {
+	case "":
+	case "IC":
+		cfg.Notion = content.NotionIC
+	case "QIC":
+		cfg.Notion = content.NotionQIC
+	case "MQIC":
+		cfg.Notion = content.NotionMQIC
+	default:
+		return nil, fmt.Sprintf("unknown notion %q", req.Notion)
+	}
+	if req.Gamma != 0 {
+		cfg.Gamma = req.Gamma
+	}
+	var queryVec map[string]int
+	if req.Query != "" {
+		queryVec = textproc.QueryVector(req.Query)
+	}
+	plan, err := core.NewPlan(sc, queryVec, cfg)
+	if err != nil {
+		return nil, err.Error()
+	}
+	return plan, ""
+}
+
+var _ io.Closer = (*Server)(nil)
