@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench figures paperscale fuzz clean
+.PHONY: all build test race bench figures paperscale fuzz verify clean
 
 all: build test
 
@@ -12,6 +12,13 @@ test:
 	go test ./...
 
 race:
+	go test -race ./...
+
+# The CI gate: static checks plus the full suite under the race detector
+# (the planner's concurrent plan cache and core's lazy parity encoding
+# are exercised by dedicated -race stress tests).
+verify:
+	go vet ./...
 	go test -race ./...
 
 bench:
@@ -29,6 +36,7 @@ fuzz:
 	go test -fuzz=FuzzParseHTML -fuzztime=30s ./internal/markup
 	go test -fuzz=FuzzParseXML -fuzztime=30s ./internal/markup
 	go test -fuzz=FuzzUnmarshal -fuzztime=30s ./internal/packet
+	go test -fuzz=FuzzRequestDecode -fuzztime=30s ./internal/transport
 
 clean:
 	go clean ./...

@@ -19,6 +19,8 @@ import (
 	"mobweb/internal/erasure"
 	"mobweb/internal/figures"
 	"mobweb/internal/nbinom"
+	"mobweb/internal/planner"
+	"mobweb/internal/search"
 	"mobweb/internal/sim"
 	"mobweb/internal/textproc"
 )
@@ -445,6 +447,69 @@ func BenchmarkExtBurst(b *testing.B) {
 		ratio = burst / iid
 	}
 	b.ReportMetric(ratio, "burst-vs-iid(Caching,α=0.3)")
+}
+
+// BenchmarkFetchCachedVsUncached measures the server-side cost of a
+// second-round retransmission fetch — resolve the (doc, query, LOD,
+// notion, γ) tuple again and frame the packets the client is missing —
+// with and without the planner's plan cache. Uncached, every round pays
+// for ranking, permutation and packetization again; cached, the round is
+// a map lookup plus framing, and (with lazy parity already materialized
+// by round one) zero GF(2^8) work.
+func BenchmarkFetchCachedVsUncached(b *testing.B) {
+	doc, err := corpus.Load(corpus.DraftName)
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine := search.NewEngine(textproc.Options{})
+	if err := engine.Add(doc); err != nil {
+		b.Fatal(err)
+	}
+	req := planner.Request{
+		Doc:    corpus.DraftName,
+		Query:  "mobile web browsing",
+		LOD:    "paragraph",
+		Notion: "QIC",
+	}
+	// The retransmission round resends every third packet (the client
+	// reports the rest as held), mixing clear-text and parity frames.
+	round := func(b *testing.B, pl *planner.Planner) {
+		plan, err := pl.Resolve(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for seq := 0; seq < plan.N(); seq += 3 {
+			if _, err := plan.Frame(seq); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("uncached", func(b *testing.B) {
+		pl, err := planner.New(engine, planner.Options{CacheBytes: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		round(b, pl) // first round: the fetch being retransmitted
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			round(b, pl)
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		pl, err := planner.New(engine, planner.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		round(b, pl)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			round(b, pl)
+		}
+		b.StopTimer()
+		if st := pl.Stats(); st.Builds != 1 {
+			b.Fatalf("cached rounds rebuilt the plan: %+v", st)
+		}
+	})
 }
 
 // BenchmarkLiveFetch measures a full in-process public-API round trip:

@@ -22,6 +22,7 @@ import (
 	"mobweb/internal/core"
 	"mobweb/internal/corpus"
 	"mobweb/internal/gateway"
+	"mobweb/internal/planner"
 	"mobweb/internal/search"
 	"mobweb/internal/textproc"
 	"mobweb/internal/transport"
@@ -44,6 +45,8 @@ func run(args []string) error {
 	gamma := fs.Float64("gamma", core.DefaultGamma, "default redundancy ratio")
 	delay := fs.Duration("delay", 0, "per-packet pacing delay (e.g. 100ms emulates 19.2 kbps feel)")
 	noCorpus := fs.Bool("nocorpus", false, "skip the embedded corpus")
+	cacheMB := fs.Int64("plancache-mb", 64, "plan-cache byte budget in MiB (0 disables caching)")
+	cacheEntries := fs.Int("plancache-entries", 0, "plan-cache entry cap (0 means byte budget only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -70,8 +73,24 @@ func run(args []string) error {
 		return fmt.Errorf("no documents to serve")
 	}
 
+	// One planner shared between the TCP transport and the HTTP gateway:
+	// a plan built for either front end serves retransmission rounds (and
+	// layout bootstraps) on both.
+	cacheBytes := *cacheMB << 20
+	if cacheBytes == 0 {
+		cacheBytes = -1 // planner: negative disables, zero means default
+	}
+	pl, err := planner.New(engine, planner.Options{
+		Defaults:   core.Config{Gamma: *gamma},
+		CacheBytes: cacheBytes,
+		MaxEntries: *cacheEntries,
+	})
+	if err != nil {
+		return err
+	}
 	opts := transport.ServerOptions{
 		Defaults:    core.Config{Gamma: *gamma},
+		Planner:     pl,
 		PacketDelay: *delay,
 	}
 	if *alpha > 0 {
@@ -92,7 +111,7 @@ func run(args []string) error {
 
 	var httpSrv *http.Server
 	if *httpAddr != "" {
-		gw, err := gateway.New(engine)
+		gw, err := gateway.NewWithPlanner(engine, pl)
 		if err != nil {
 			return err
 		}
@@ -109,11 +128,12 @@ func run(args []string) error {
 		fmt.Printf("http gateway on %s (/search, /sc/{name}, /doc/{name})\n", httpLn.Addr())
 		defer httpSrv.Close()
 	}
-	fmt.Printf("serving %d documents on %s (alpha=%.2f, gamma=%.2f, delay=%v)\n",
-		engine.Len(), ln.Addr(), *alpha, *gamma, *delay)
+	fmt.Printf("serving %d documents on %s (alpha=%.2f, gamma=%.2f, delay=%v, plancache=%dMiB)\n",
+		engine.Len(), ln.Addr(), *alpha, *gamma, *delay, *cacheMB)
 	start := time.Now()
 	err = srv.Serve(ln)
 	fmt.Printf("server stopped after %v: %v\n", time.Since(start).Round(time.Second), err)
+	fmt.Println(pl.Stats())
 	return nil
 }
 

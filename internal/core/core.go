@@ -93,6 +93,12 @@ func (c Config) withDefaults() (Config, error) {
 	return c, nil
 }
 
+// Canonical returns the config with all defaults applied — the form
+// under which two configs produce identical plans. The planner keys its
+// cache on canonical configs so an explicit default (e.g. Gamma 1.5) and
+// an implicit one share a cache entry.
+func (c Config) Canonical() (Config, error) { return c.withDefaults() }
+
 // cookedFor returns N for a generation of m raw packets.
 func (c Config) cookedFor(m int) int {
 	n := int(float64(m)*c.Gamma + 0.999999)

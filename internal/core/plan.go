@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"mobweb/internal/content"
 	"mobweb/internal/document"
@@ -26,17 +28,41 @@ type UnitSegment struct {
 	Length int
 }
 
-// generation is one independently-encoded dispersal group.
+// generation is one independently-encoded dispersal group. The first M
+// cooked packets are byte-identical to the raw packets (systematic
+// property), so only the parity tail needs GF(2^8) work — and that work
+// is deferred to the first access past M. A client that terminates early
+// on relevance judgment (the paper's headline scenario) therefore never
+// triggers encoding at all.
 type generation struct {
 	coder     *erasure.Coder
-	rawOff    int // first raw packet index (global)
-	cookedOff int // first cooked sequence number (global)
-	cooked    [][]byte
+	rawOff    int      // first raw packet index (global)
+	cookedOff int      // first cooked sequence number (global)
+	raw       [][]byte // this group's raw packets (clear-text prefix)
+
+	parityOnce sync.Once
+	parity     [][]byte // cooked[M:], encoded lazily
+	parityErr  error
+}
+
+// ensureParity encodes the redundancy packets on first use. encodes
+// counts completed encodes plan-wide, for observability (the planner's
+// zero-encode acceptance assertion).
+func (g *generation) ensureParity(encodes *atomic.Int64) ([][]byte, error) {
+	g.parityOnce.Do(func() {
+		g.parity, g.parityErr = g.coder.EncodeParity(g.raw)
+		if g.parityErr == nil {
+			encodes.Add(1)
+		}
+	})
+	return g.parity, g.parityErr
 }
 
 // Plan is an immutable transmission plan for one document: the ranked
 // unit permutation, the packetized permuted stream, and the cooked
-// packets of every generation. Plans are safe for concurrent use.
+// packets of every generation. Plans are safe for concurrent use; parity
+// packets are encoded lazily (once, guarded) on first access past each
+// generation's clear-text prefix.
 type Plan struct {
 	doc      *document.Document
 	cfg      Config
@@ -46,7 +72,10 @@ type Plan struct {
 	permuted []byte        // ranked concatenation of unit extents
 	m        int           // total raw packets
 	n        int           // total cooked packets
-	gens     []generation
+	gens     []*generation
+
+	// parityEncodes counts generations whose parity has been encoded.
+	parityEncodes atomic.Int64
 }
 
 // NewPlan ranks the document's units by the SC's scores for the query and
@@ -179,15 +208,11 @@ func newPlan(doc *document.Document, ranked []*document.Unit, scores map[int]flo
 		if err != nil {
 			return nil, fmt.Errorf("generation at raw %d: %w", rawOff, err)
 		}
-		cooked, err := coder.Encode(raw[rawOff:end])
-		if err != nil {
-			return nil, fmt.Errorf("generation at raw %d: %w", rawOff, err)
-		}
-		p.gens = append(p.gens, generation{
+		p.gens = append(p.gens, &generation{
 			coder:     coder,
 			rawOff:    rawOff,
 			cookedOff: cookedSeq,
-			cooked:    cooked,
+			raw:       raw[rawOff:end],
 		})
 		cookedSeq += nb
 	}
@@ -231,14 +256,30 @@ func (p *Plan) segmentContaining(leaf *document.Unit) (UnitSegment, bool) {
 }
 
 // CookedPayload returns the cooked packet payload for a global sequence
-// number.
+// number. The returned slice is shared with the plan; callers must not
+// modify it. A seq inside a generation's clear-text prefix is served
+// straight from the raw packets; the first seq past a prefix triggers
+// that generation's one-time parity encode.
 func (p *Plan) CookedPayload(seq int) ([]byte, error) {
 	g, idx, err := p.locate(seq)
 	if err != nil {
 		return nil, err
 	}
-	return p.gens[g].cooked[idx], nil
+	gen := p.gens[g]
+	if idx < gen.coder.M() {
+		return gen.raw[idx], nil
+	}
+	parity, err := gen.ensureParity(&p.parityEncodes)
+	if err != nil {
+		return nil, err
+	}
+	return parity[idx-gen.coder.M()], nil
 }
+
+// ParityEncodes returns how many generations have had their parity
+// packets encoded so far. It is zero until some caller asks for a cooked
+// packet past a clear-text prefix — the lazy-parity invariant.
+func (p *Plan) ParityEncodes() int64 { return p.parityEncodes.Load() }
 
 // Frame marshals the cooked packet at seq into its wire frame
 // (sequence number + CRC + payload).

@@ -104,6 +104,31 @@ func (c *Coder) Encode(raw [][]byte) ([][]byte, error) {
 	return cooked, nil
 }
 
+// EncodeParity computes only the redundancy packets — cooked indices
+// m..n-1 — skipping the systematic clear-text prefix entirely. It backs
+// lazy plan encoding: a transmission plan whose receiver never asks past
+// the clear prefix pays for no GF(2^8) work at all. The returned slice
+// holds n-m freshly allocated packets (empty when n == m).
+func (c *Coder) EncodeParity(raw [][]byte) ([][]byte, error) {
+	if len(raw) != c.m {
+		return nil, fmt.Errorf("erasure: got %d raw packets, want %d", len(raw), c.m)
+	}
+	size := -1
+	for i, p := range raw {
+		if size == -1 {
+			size = len(p)
+		} else if len(p) != size {
+			return nil, fmt.Errorf("erasure: raw packet %d has %d bytes, want %d", i, len(p), size)
+		}
+	}
+	parity := make([][]byte, c.n-c.m)
+	for i := range parity {
+		parity[i] = make([]byte, size)
+		accumulateRow(parity[i], c.dispersal.Row(c.m+i), raw)
+	}
+	return parity, nil
+}
+
 // EncodeInto is the allocation-free variant of Encode for hot transmission
 // loops: cooked must contain n slices of the raw packet size.
 func (c *Coder) EncodeInto(cooked, raw [][]byte) error {

@@ -19,32 +19,54 @@ package gateway
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
-	"strings"
 
 	"mobweb/internal/content"
 	"mobweb/internal/core"
 	"mobweb/internal/document"
+	"mobweb/internal/planner"
 	"mobweb/internal/search"
 	"mobweb/internal/textproc"
 )
 
-// Handler serves the gateway endpoints. Construct with New.
+// Handler serves the gateway endpoints. Construct with New or
+// NewWithPlanner.
 type Handler struct {
-	engine *search.Engine
-	mux    *http.ServeMux
+	engine  *search.Engine
+	planner *planner.Planner
+	mux     *http.ServeMux
 }
 
 var _ http.Handler = (*Handler)(nil)
 
-// New wraps a search engine as an HTTP gateway.
+// New wraps a search engine as an HTTP gateway with its own
+// default-configured planning service.
 func New(engine *search.Engine) (*Handler, error) {
 	if engine == nil {
 		return nil, fmt.Errorf("gateway: nil engine")
 	}
-	h := &Handler{engine: engine, mux: http.NewServeMux()}
+	pl, err := planner.New(engine, planner.Options{
+		Defaults: core.Config{LOD: document.LODParagraph, Notion: content.NotionQIC},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return NewWithPlanner(engine, pl)
+}
+
+// NewWithPlanner wraps a search engine as an HTTP gateway sharing a
+// planning service (and hence its plan cache) with other front ends.
+func NewWithPlanner(engine *search.Engine, pl *planner.Planner) (*Handler, error) {
+	if engine == nil {
+		return nil, fmt.Errorf("gateway: nil engine")
+	}
+	if pl == nil {
+		return nil, fmt.Errorf("gateway: nil planner")
+	}
+	h := &Handler{engine: engine, planner: pl, mux: http.NewServeMux()}
 	h.mux.HandleFunc("GET /search", h.handleSearch)
 	h.mux.HandleFunc("GET /sc/{name}", h.handleSC)
 	h.mux.HandleFunc("GET /doc/{name}", h.handleDoc)
@@ -123,38 +145,48 @@ func (h *Handler) handleSC(w http.ResponseWriter, r *http.Request) {
 // handleLayout returns the FT-MRT transmission geometry for a document,
 // letting an HTTP-bootstrapped client build a core.Receiver and then
 // consume the packet transport for the wireless hop. Query parameters
-// mirror /doc: q, lod, notion, plus gamma.
+// mirror /doc: q, lod, notion, plus gamma. Resolution goes through the
+// shared planner, so repeated layout requests (each retransmission
+// bootstrap) hit the plan cache.
 func (h *Handler) handleLayout(w http.ResponseWriter, r *http.Request) {
-	sc, ok := h.engine.SC(r.PathValue("name"))
-	if !ok {
-		http.Error(w, "unknown document", http.StatusNotFound)
-		return
-	}
 	query := r.URL.Query()
-	cfg := core.Config{LOD: document.LODParagraph, Notion: content.NotionQIC}
-	if s := query.Get("lod"); s != "" {
-		lod, err := document.ParseLOD(s)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		cfg.LOD = lod
+	req := planner.Request{
+		Doc:    r.PathValue("name"),
+		Query:  query.Get("q"),
+		LOD:    query.Get("lod"),
+		Notion: query.Get("notion"),
 	}
 	if s := query.Get("gamma"); s != "" {
 		g, err := strconv.ParseFloat(s, 64)
-		if err != nil || g < 1 {
-			http.Error(w, "gamma must be >= 1", http.StatusBadRequest)
+		if err != nil || g == 0 {
+			// An explicit gamma=0 is a bad request here, not "use the
+			// default" as the zero value means inside the planner.
+			http.Error(w, "gamma must be a finite number >= 1", http.StatusBadRequest)
 			return
 		}
-		cfg.Gamma = g
+		req.Gamma = g
 	}
-	qv := textproc.QueryVector(query.Get("q"))
-	plan, err := core.NewPlan(sc, qv, cfg)
+	plan, err := h.planner.Resolve(req)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writePlanError(w, err)
 		return
 	}
 	writeJSON(w, plan.Layout())
+}
+
+// writePlanError maps planner errors onto HTTP statuses: unknown document
+// → 404, bad parameter → 400, build failure → 500.
+func writePlanError(w http.ResponseWriter, err error) {
+	var reqErr *planner.RequestError
+	if errors.As(err, &reqErr) {
+		status := http.StatusBadRequest
+		if reqErr.NotFound {
+			status = http.StatusNotFound
+		}
+		http.Error(w, reqErr.Msg, status)
+		return
+	}
+	http.Error(w, err.Error(), http.StatusInternalServerError)
 }
 
 func (h *Handler) handleDoc(w http.ResponseWriter, r *http.Request) {
@@ -167,24 +199,20 @@ func (h *Handler) handleDoc(w http.ResponseWriter, r *http.Request) {
 
 	cfg := core.Config{LOD: document.LODParagraph, Notion: content.NotionQIC}
 	if s := query.Get("lod"); s != "" {
-		lod, err := document.ParseLOD(s)
+		lod, err := planner.ParseLOD(s)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
 		cfg.LOD = lod
 	}
-	switch strings.ToUpper(query.Get("notion")) {
-	case "":
-	case "IC":
-		cfg.Notion = content.NotionIC
-	case "QIC":
-		cfg.Notion = content.NotionQIC
-	case "MQIC":
-		cfg.Notion = content.NotionMQIC
-	default:
-		http.Error(w, "unknown notion", http.StatusBadRequest)
-		return
+	if s := query.Get("notion"); s != "" {
+		notion, err := planner.ParseNotion(s)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		cfg.Notion = notion
 	}
 	icCut := 1.0
 	if s := query.Get("ic"); s != "" {

@@ -1,0 +1,88 @@
+package planner
+
+import (
+	"math"
+	"testing"
+
+	"mobweb/internal/content"
+	"mobweb/internal/document"
+)
+
+// TestParseNotionSpellings covers every accepted and rejected spelling of
+// the notion parameter — the parsing both front ends now share.
+func TestParseNotionSpellings(t *testing.T) {
+	accepted := []struct {
+		in   string
+		want content.Notion
+	}{
+		{"IC", content.NotionIC},
+		{"ic", content.NotionIC},
+		{"Ic", content.NotionIC},
+		{"QIC", content.NotionQIC},
+		{"qic", content.NotionQIC},
+		{"qIc", content.NotionQIC},
+		{"MQIC", content.NotionMQIC},
+		{"mqic", content.NotionMQIC},
+		{"Mqic", content.NotionMQIC},
+	}
+	for _, tc := range accepted {
+		got, err := ParseNotion(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseNotion(%q) = (%v, %v), want (%v, nil)", tc.in, got, err, tc.want)
+		}
+	}
+	rejected := []string{"", "ZIC", "I C", "QIC ", " QIC", "ICQ", "0", "query"}
+	for _, in := range rejected {
+		if _, err := ParseNotion(in); err == nil {
+			t.Errorf("ParseNotion(%q) accepted, want error", in)
+		}
+	}
+}
+
+// TestParseLODSpellings covers every accepted and rejected spelling of
+// the LOD parameter.
+func TestParseLODSpellings(t *testing.T) {
+	accepted := []struct {
+		in   string
+		want document.LOD
+	}{
+		{"document", document.LODDocument},
+		{"Document", document.LODDocument},
+		{"DOCUMENT", document.LODDocument},
+		{"section", document.LODSection},
+		{"Section", document.LODSection},
+		{"subsection", document.LODSubsection},
+		{"SubSection", document.LODSubsection},
+		{"subsubsection", document.LODSubsubsection},
+		{"paragraph", document.LODParagraph},
+		{"PARAGRAPH", document.LODParagraph},
+	}
+	for _, tc := range accepted {
+		got, err := ParseLOD(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseLOD(%q) = (%v, %v), want (%v, nil)", tc.in, got, err, tc.want)
+		}
+	}
+	rejected := []string{"", "chapter", "para", "sect", "document ", "sub-section", "3"}
+	for _, in := range rejected {
+		if _, err := ParseLOD(in); err == nil {
+			t.Errorf("ParseLOD(%q) accepted, want error", in)
+		}
+	}
+}
+
+// TestValidateGamma vets the client-facing gamma validation: zero means
+// "use the default"; NaN, infinities, negatives and sub-1 ratios are
+// rejected before they can reach core/erasure.
+func TestValidateGamma(t *testing.T) {
+	for _, g := range []float64{0, 1, 1.5, 2, 10, 255} {
+		if err := ValidateGamma(g); err != nil {
+			t.Errorf("ValidateGamma(%v) = %v, want nil", g, err)
+		}
+	}
+	for _, g := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -1, -0.5, 0.5, 0.999} {
+		if err := ValidateGamma(g); err == nil {
+			t.Errorf("ValidateGamma(%v) accepted, want error", g)
+		}
+	}
+}

@@ -1,0 +1,356 @@
+// Package planner is the shared planning service between the front ends
+// (TCP transport, HTTP gateway) and the FT-MRT core. Both front ends used
+// to re-rank the document and re-encode every erasure generation from
+// scratch on every fetch — including each retransmission round of the
+// same (doc, query, LOD, notion, γ) tuple — in two independent copies of
+// the request-resolution logic. The planner owns that logic once:
+//
+//   - canonical plan keys: document name + resolved LOD + notion + γ +
+//     packet geometry + a canonicalized query-vector hash, so textually
+//     different queries with the same occurrence vector share a plan;
+//   - a bounded, byte-budgeted LRU of immutable *core.Plan values with
+//     hit/miss/eviction/build-latency counters behind an expvar-style
+//     Stats() snapshot;
+//   - singleflight deduplication, so N concurrent fetches of one key
+//     trigger exactly one core.NewPlan build;
+//   - client-facing parameter validation (LOD/notion spellings, γ), so
+//     malformed requests fail fast with a safe message instead of a deep
+//     core/erasure error string.
+//
+// Together with core's lazy parity encoding, a repeat fetch of a cached
+// plan performs zero ranking work and zero GF(2^8) encodes — the
+// retransmission hot path of the paper's Caching strategy becomes a map
+// lookup.
+package planner
+
+import (
+	"container/list"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"mobweb/internal/content"
+	"mobweb/internal/core"
+	"mobweb/internal/search"
+	"mobweb/internal/textproc"
+)
+
+// DefaultCacheBytes is the plan-cache byte budget applied when
+// Options.CacheBytes is zero.
+const DefaultCacheBytes = 64 << 20
+
+// Options tunes a Planner.
+type Options struct {
+	// Defaults are the plan parameters applied when a request leaves
+	// them unset (the transport server's ServerOptions.Defaults).
+	Defaults core.Config
+	// CacheBytes bounds the estimated total bytes of cached plans. Zero
+	// selects DefaultCacheBytes; a negative value disables caching
+	// (every resolution builds, though concurrent identical builds are
+	// still deduplicated).
+	CacheBytes int64
+	// MaxEntries additionally bounds the number of cached plans; zero
+	// means no entry cap (the byte budget alone governs).
+	MaxEntries int
+}
+
+// Request names one plan to resolve, in wire spellings. Empty LOD/Notion
+// and zero Gamma fall back to the planner's defaults.
+type Request struct {
+	// Doc is the document name.
+	Doc string
+	// Query is the free-text query whose occurrence vector orders units.
+	Query string
+	// LOD is the level-of-detail spelling (see ParseLOD).
+	LOD string
+	// Notion is the content-notion spelling (see ParseNotion).
+	Notion string
+	// Gamma is the redundancy ratio; zero uses the default.
+	Gamma float64
+}
+
+// RequestError is a client-caused resolution failure carrying a message
+// safe to surface verbatim to the client.
+type RequestError struct {
+	// NotFound distinguishes "no such document" (HTTP 404) from a bad
+	// parameter (HTTP 400).
+	NotFound bool
+	// Msg is the client-facing message.
+	Msg string
+}
+
+// Error implements error.
+func (e *RequestError) Error() string { return e.Msg }
+
+func badRequest(format string, args ...any) *RequestError {
+	return &RequestError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// Stats is a point-in-time snapshot of the planner's counters, in the
+// spirit of an expvar export.
+type Stats struct {
+	// Hits counts resolutions served from the cache.
+	Hits int64
+	// Misses counts resolutions that required (or joined) a build.
+	Misses int64
+	// Coalesced counts resolutions that joined an in-flight build
+	// instead of starting their own (singleflight savings).
+	Coalesced int64
+	// Builds counts completed core.NewPlan calls.
+	Builds int64
+	// BuildTime is the cumulative wall time spent inside core.NewPlan.
+	BuildTime time.Duration
+	// Evictions counts cache entries dropped to respect the budget.
+	Evictions int64
+	// Invalidations counts cached plans dropped because their document
+	// was re-indexed since the plan was built.
+	Invalidations int64
+	// Entries and Bytes describe the cache's current occupancy.
+	Entries int
+	Bytes   int64
+}
+
+// cacheEntry is one cached plan plus the identity needed to detect
+// staleness: the SC pointer the plan was ranked against. Re-adding a
+// document to the engine swaps its SC, which invalidates the entry on
+// next lookup.
+type cacheEntry struct {
+	key  string
+	sc   *content.SC
+	plan *core.Plan
+	cost int64
+}
+
+// flightCall is one in-progress build that concurrent resolutions of the
+// same key wait on.
+type flightCall struct {
+	wg   sync.WaitGroup
+	plan *core.Plan
+	err  error
+}
+
+// Planner resolves fetch requests into immutable transmission plans,
+// caching and deduplicating builds. It is safe for concurrent use.
+type Planner struct {
+	engine *search.Engine
+	opts   Options
+
+	mu      sync.Mutex
+	ll      *list.List               // front = most recently used
+	entries map[string]*list.Element // key → element (value *cacheEntry)
+	bytes   int64
+	flight  map[string]*flightCall
+
+	hits, misses, coalesced    int64
+	builds, evictions, invalid int64
+	buildNanos                 int64
+}
+
+// New wraps a search engine as a planning service.
+func New(engine *search.Engine, opts Options) (*Planner, error) {
+	if engine == nil {
+		return nil, fmt.Errorf("planner: nil engine")
+	}
+	if opts.CacheBytes == 0 {
+		opts.CacheBytes = DefaultCacheBytes
+	}
+	return &Planner{
+		engine:  engine,
+		opts:    opts,
+		ll:      list.New(),
+		entries: make(map[string]*list.Element),
+		flight:  make(map[string]*flightCall),
+	}, nil
+}
+
+// Resolve returns the plan for a request, from cache when possible. A
+// *RequestError signals a client-caused failure whose message is safe to
+// forward; any other error is an internal build failure.
+func (p *Planner) Resolve(req Request) (*core.Plan, error) {
+	sc, cfg, queryVec, err := p.resolveParams(req)
+	if err != nil {
+		return nil, err
+	}
+	key := cacheKey(req.Doc, cfg, queryVec)
+
+	p.mu.Lock()
+	if elem, ok := p.entries[key]; ok {
+		ent := elem.Value.(*cacheEntry)
+		if ent.sc == sc {
+			p.ll.MoveToFront(elem)
+			p.hits++
+			plan := ent.plan
+			p.mu.Unlock()
+			return plan, nil
+		}
+		// The document was re-indexed since this plan was built.
+		p.removeLocked(elem)
+		p.invalid++
+	}
+	if call, ok := p.flight[key]; ok {
+		p.coalesced++
+		p.mu.Unlock()
+		call.wg.Wait()
+		return call.plan, call.err
+	}
+	call := &flightCall{}
+	call.wg.Add(1)
+	p.flight[key] = call
+	p.misses++
+	p.mu.Unlock()
+
+	start := time.Now()
+	plan, buildErr := core.NewPlan(sc, queryVec, cfg)
+	elapsed := time.Since(start)
+
+	p.mu.Lock()
+	delete(p.flight, key)
+	p.builds++
+	p.buildNanos += elapsed.Nanoseconds()
+	if buildErr == nil {
+		p.insertLocked(key, sc, plan)
+	}
+	p.mu.Unlock()
+
+	call.plan, call.err = plan, buildErr
+	call.wg.Done()
+	return plan, buildErr
+}
+
+// Stats returns a snapshot of the planner's counters.
+func (p *Planner) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Stats{
+		Hits:          p.hits,
+		Misses:        p.misses,
+		Coalesced:     p.coalesced,
+		Builds:        p.builds,
+		BuildTime:     time.Duration(p.buildNanos),
+		Evictions:     p.evictions,
+		Invalidations: p.invalid,
+		Entries:       p.ll.Len(),
+		Bytes:         p.bytes,
+	}
+}
+
+// String formats the snapshot for logs.
+func (s Stats) String() string {
+	return fmt.Sprintf("planner{hits %d, misses %d, coalesced %d, builds %d (%v), evictions %d, entries %d, %d bytes}",
+		s.Hits, s.Misses, s.Coalesced, s.Builds, s.BuildTime.Round(time.Microsecond), s.Evictions, s.Entries, s.Bytes)
+}
+
+// resolveParams validates the request against the engine and defaults,
+// returning the SC to rank, the canonical config and the query vector.
+func (p *Planner) resolveParams(req Request) (*content.SC, core.Config, map[string]int, error) {
+	sc, ok := p.engine.SC(req.Doc)
+	if !ok {
+		return nil, core.Config{}, nil, &RequestError{NotFound: true, Msg: fmt.Sprintf("unknown document %q", req.Doc)}
+	}
+	cfg := p.opts.Defaults
+	if req.LOD != "" {
+		lod, err := ParseLOD(req.LOD)
+		if err != nil {
+			return nil, core.Config{}, nil, badRequest("%s", err)
+		}
+		cfg.LOD = lod
+	}
+	if req.Notion != "" {
+		notion, err := ParseNotion(req.Notion)
+		if err != nil {
+			return nil, core.Config{}, nil, badRequest("%s", err)
+		}
+		cfg.Notion = notion
+	}
+	if err := ValidateGamma(req.Gamma); err != nil {
+		return nil, core.Config{}, nil, badRequest("%s", err)
+	}
+	if req.Gamma != 0 {
+		cfg.Gamma = req.Gamma
+	}
+	canonical, err := cfg.Canonical()
+	if err != nil {
+		// A bad server default (not client input) — still client-visible,
+		// matching the pre-planner behaviour of surfacing the message.
+		return nil, core.Config{}, nil, badRequest("%s", err)
+	}
+	var queryVec map[string]int
+	if req.Query != "" {
+		queryVec = textproc.QueryVector(req.Query)
+	}
+	return sc, canonical, queryVec, nil
+}
+
+// cacheKey canonicalizes a resolved request. Everything that changes the
+// resulting plan participates; the query enters as a hash of its sorted
+// occurrence vector, so queries that stem to the same vector share a key.
+func cacheKey(doc string, cfg core.Config, queryVec map[string]int) string {
+	h := fnv.New64a()
+	terms := make([]string, 0, len(queryVec))
+	for t := range queryVec {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	for _, t := range terms {
+		fmt.Fprintf(h, "%s=%d;", t, queryVec[t])
+	}
+	return doc + "\x00" +
+		strconv.Itoa(int(cfg.LOD)) + "\x00" +
+		strconv.Itoa(int(cfg.Notion)) + "\x00" +
+		strconv.FormatUint(math.Float64bits(cfg.Gamma), 16) + "\x00" +
+		strconv.Itoa(cfg.PacketSize) + "\x00" +
+		strconv.Itoa(cfg.MaxGeneration) + "\x00" +
+		strconv.FormatUint(h.Sum64(), 16)
+}
+
+// planCost estimates a plan's resident bytes once its parity is encoded:
+// body + permuted copies, the eventual cooked packets, and per-segment
+// bookkeeping. Charging the full post-encode size up front keeps the
+// budget stable as lazy parity materializes.
+func planCost(plan *core.Plan) int64 {
+	segs := len(plan.Segments()) + len(plan.AccrualSegments())
+	return int64(2*plan.BodySize()) +
+		int64(plan.N()*plan.Config().PacketSize) +
+		int64(128*segs) + 512
+}
+
+// insertLocked caches a freshly built plan and evicts from the LRU tail
+// until the budget holds. Oversized plans (cost beyond the whole budget)
+// are served but never cached. Callers hold p.mu.
+func (p *Planner) insertLocked(key string, sc *content.SC, plan *core.Plan) {
+	if p.opts.CacheBytes < 0 {
+		return
+	}
+	cost := planCost(plan)
+	if cost > p.opts.CacheBytes {
+		return
+	}
+	if elem, ok := p.entries[key]; ok {
+		// A concurrent build of an invalidated key may have raced us in;
+		// replace it.
+		p.removeLocked(elem)
+	}
+	ent := &cacheEntry{key: key, sc: sc, plan: plan, cost: cost}
+	p.entries[key] = p.ll.PushFront(ent)
+	p.bytes += cost
+	for p.bytes > p.opts.CacheBytes || (p.opts.MaxEntries > 0 && p.ll.Len() > p.opts.MaxEntries) {
+		oldest := p.ll.Back()
+		if oldest == nil || oldest == p.ll.Front() {
+			break
+		}
+		p.removeLocked(oldest)
+		p.evictions++
+	}
+}
+
+// removeLocked drops one cache element. Callers hold p.mu.
+func (p *Planner) removeLocked(elem *list.Element) {
+	ent := elem.Value.(*cacheEntry)
+	p.ll.Remove(elem)
+	delete(p.entries, ent.key)
+	p.bytes -= ent.cost
+}

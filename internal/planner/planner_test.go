@@ -1,0 +1,409 @@
+package planner
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"mobweb/internal/core"
+	"mobweb/internal/document"
+	"mobweb/internal/search"
+	"mobweb/internal/textproc"
+)
+
+// synthDoc builds a deterministic document with enough bulk to span
+// several raw packets.
+func synthDoc(t *testing.T, name string, paragraphs int) *document.Document {
+	t.Helper()
+	b := document.NewBuilder()
+	b.Open(document.LODSection, "1", "Mobile Browsing")
+	for i := 0; i < paragraphs; i++ {
+		b.Paragraph(fmt.Sprintf("paragraph %d mobile web browsing weakly connected channel %s",
+			i, strings.Repeat("payload ", 40)))
+	}
+	doc, err := b.Build(name, "Synthetic "+name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+// newTestPlanner indexes the named synthetic documents and wraps them in
+// a planner.
+func newTestPlanner(t *testing.T, opts Options, docs ...string) (*Planner, *search.Engine) {
+	t.Helper()
+	engine := search.NewEngine(textproc.Options{})
+	for _, name := range docs {
+		if err := engine.Add(synthDoc(t, name, 12)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := New(engine, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, engine
+}
+
+// clearSeqs enumerates the global sequence numbers inside every
+// generation's clear-text prefix — the frames an early-terminating client
+// consumes.
+func clearSeqs(plan *core.Plan) []int {
+	var out []int
+	cookedOff := 0
+	for _, s := range plan.Layout().Shapes {
+		for i := 0; i < s.M; i++ {
+			out = append(out, cookedOff+i)
+		}
+		cookedOff += s.N
+	}
+	return out
+}
+
+var baseReq = Request{Doc: "a.xml", Query: "mobile web browsing", LOD: "paragraph", Notion: "QIC"}
+
+// TestRepeatFetchZeroBuildsZeroEncodes is the acceptance criterion: a
+// repeat fetch of the same (doc, query, LOD, notion, γ) performs zero
+// core.NewPlan calls, and as long as no one asks past a clear-text
+// prefix, zero GF(2^8) parity encodes.
+func TestRepeatFetchZeroBuildsZeroEncodes(t *testing.T) {
+	p, _ := newTestPlanner(t, Options{}, "a.xml")
+
+	// Round 1: resolve and stream only the clear prefix (the paper's
+	// early-abort scenario).
+	plan, err := p.Resolve(baseReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seq := range clearSeqs(plan) {
+		if _, err := plan.Frame(seq); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := plan.ParityEncodes(); got != 0 {
+		t.Fatalf("clear-prefix fetch triggered %d parity encodes, want 0", got)
+	}
+
+	// Round 2: the retransmission round — same tuple, zero builds.
+	again, err := p.Resolve(baseReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != plan {
+		t.Fatal("repeat resolve returned a different plan instance")
+	}
+	if st := p.Stats(); st.Builds != 1 || st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("after repeat resolve: %+v, want 1 build / 1 hit / 1 miss", st)
+	}
+	if got := plan.ParityEncodes(); got != 0 {
+		t.Fatalf("repeat resolve triggered %d parity encodes, want 0", got)
+	}
+
+	// A full fetch encodes each generation exactly once...
+	for seq := 0; seq < plan.N(); seq++ {
+		if _, err := plan.Frame(seq); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gens := int64(plan.Generations())
+	if got := plan.ParityEncodes(); got != gens {
+		t.Fatalf("full fetch encoded %d generations, want %d", got, gens)
+	}
+
+	// ...and a second full fetch encodes nothing new and builds nothing.
+	if _, err := p.Resolve(baseReq); err != nil {
+		t.Fatal(err)
+	}
+	for seq := 0; seq < plan.N(); seq++ {
+		if _, err := plan.Frame(seq); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := plan.ParityEncodes(); got != gens {
+		t.Fatalf("repeat full fetch encoded %d generations, want %d", got, gens)
+	}
+	if st := p.Stats(); st.Builds != 1 {
+		t.Fatalf("repeat full fetch rebuilt the plan: %+v", st)
+	}
+}
+
+// TestSingleflight fires N concurrent resolutions of one key and demands
+// exactly one build.
+func TestSingleflight(t *testing.T) {
+	p, _ := newTestPlanner(t, Options{}, "a.xml")
+	const n = 32
+	start := make(chan struct{})
+	plans := make([]*core.Plan, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			plans[i], errs[i] = p.Resolve(baseReq)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+		if plans[i] != plans[0] {
+			t.Fatalf("goroutine %d got a different plan instance", i)
+		}
+	}
+	st := p.Stats()
+	if st.Builds != 1 {
+		t.Fatalf("%d concurrent resolves ran %d builds, want 1 (stats %+v)", n, st.Builds, st)
+	}
+	if got := st.Hits + st.Misses + st.Coalesced; got != n {
+		t.Fatalf("counters account for %d of %d resolves: %+v", got, n, st)
+	}
+}
+
+// TestEvictionOrder verifies least-recently-used ordering under a byte
+// budget that fits exactly two plans.
+func TestEvictionOrder(t *testing.T) {
+	p, _ := newTestPlanner(t, Options{CacheBytes: 1}, "a.xml", "b.xml", "c.xml")
+	req := func(doc string) Request {
+		r := baseReq
+		r.Doc = doc
+		return r
+	}
+	// Size the budget from a real plan: exactly two entries fit.
+	probe, err := p.Resolve(req("a.xml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := newTestPlanner(t, Options{CacheBytes: 2*planCost(probe) + planCost(probe)/2}, "a.xml", "b.xml", "c.xml")
+
+	mustResolve := func(doc string) {
+		t.Helper()
+		if _, err := p2.Resolve(req(doc)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustResolve("a.xml") // miss, builds 1
+	mustResolve("b.xml") // miss, builds 2
+	mustResolve("a.xml") // hit — A becomes most recent
+	mustResolve("c.xml") // miss, builds 3, evicts LRU = B
+	if st := p2.Stats(); st.Builds != 3 || st.Evictions != 1 {
+		t.Fatalf("after insert of third plan: %+v, want 3 builds / 1 eviction", st)
+	}
+	mustResolve("a.xml") // must still be cached: it was recently used
+	if st := p2.Stats(); st.Builds != 3 {
+		t.Fatalf("recently-used entry was evicted: %+v", st)
+	}
+	mustResolve("b.xml") // was LRU at eviction time → rebuilt
+	if st := p2.Stats(); st.Builds != 4 {
+		t.Fatalf("expected LRU entry to have been evicted: %+v", st)
+	}
+}
+
+// TestCacheDisabled: a negative byte budget builds every time but still
+// deduplicates concurrent builds.
+func TestCacheDisabled(t *testing.T) {
+	p, _ := newTestPlanner(t, Options{CacheBytes: -1}, "a.xml")
+	for i := 0; i < 3; i++ {
+		if _, err := p.Resolve(baseReq); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := p.Stats()
+	if st.Builds != 3 || st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("disabled cache: %+v, want 3 builds and an empty cache", st)
+	}
+}
+
+// TestMaxEntriesCap: the entry cap evicts even when bytes fit.
+func TestMaxEntriesCap(t *testing.T) {
+	p, _ := newTestPlanner(t, Options{MaxEntries: 1}, "a.xml", "b.xml")
+	reqB := baseReq
+	reqB.Doc = "b.xml"
+	if _, err := p.Resolve(baseReq); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Resolve(reqB); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.Entries != 1 || st.Evictions != 1 {
+		t.Fatalf("entry cap: %+v, want 1 entry / 1 eviction", st)
+	}
+}
+
+// TestGammaValidation: NaN, negative and sub-1 gammas fail at resolution
+// time with a client-facing message, not a deep core/erasure string.
+func TestGammaValidation(t *testing.T) {
+	p, _ := newTestPlanner(t, Options{}, "a.xml")
+	for _, g := range []float64{math.NaN(), math.Inf(1), -2, 0.5} {
+		req := baseReq
+		req.Gamma = g
+		_, err := p.Resolve(req)
+		reqErr, ok := err.(*RequestError)
+		if !ok {
+			t.Fatalf("gamma %v: error %v (%T), want *RequestError", g, err, err)
+		}
+		if reqErr.NotFound || !strings.Contains(reqErr.Msg, "gamma") {
+			t.Errorf("gamma %v: message %q", g, reqErr.Msg)
+		}
+	}
+	if st := p.Stats(); st.Builds != 0 {
+		t.Fatalf("invalid gammas reached the builder: %+v", st)
+	}
+	req := baseReq
+	req.Gamma = 2
+	if _, err := p.Resolve(req); err != nil {
+		t.Fatalf("gamma 2 rejected: %v", err)
+	}
+}
+
+// TestUnknownDocument surfaces NotFound for missing documents.
+func TestUnknownDocument(t *testing.T) {
+	p, _ := newTestPlanner(t, Options{}, "a.xml")
+	req := baseReq
+	req.Doc = "ghost.xml"
+	_, err := p.Resolve(req)
+	reqErr, ok := err.(*RequestError)
+	if !ok || !reqErr.NotFound {
+		t.Fatalf("unknown doc: error %v, want NotFound RequestError", err)
+	}
+}
+
+// TestBadSpellingsRejected: parameter errors arrive as RequestError.
+func TestBadSpellingsRejected(t *testing.T) {
+	p, _ := newTestPlanner(t, Options{}, "a.xml")
+	for _, mutate := range []func(*Request){
+		func(r *Request) { r.LOD = "chapter" },
+		func(r *Request) { r.Notion = "ZIC" },
+	} {
+		req := baseReq
+		mutate(&req)
+		if _, err := p.Resolve(req); err == nil {
+			t.Errorf("request %+v accepted", req)
+		} else if _, ok := err.(*RequestError); !ok {
+			t.Errorf("request %+v: error %T, want *RequestError", req, err)
+		}
+	}
+}
+
+// TestQueryVectorCanonicalization: queries that produce the same
+// occurrence vector share one cache entry regardless of word order.
+func TestQueryVectorCanonicalization(t *testing.T) {
+	q1, q2 := "mobile web browsing", "browsing web mobile"
+	if !reflect.DeepEqual(textproc.QueryVector(q1), textproc.QueryVector(q2)) {
+		t.Skipf("queries %q and %q do not share an occurrence vector", q1, q2)
+	}
+	p, _ := newTestPlanner(t, Options{}, "a.xml")
+	r1, r2 := baseReq, baseReq
+	r1.Query, r2.Query = q1, q2
+	if _, err := p.Resolve(r1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Resolve(r2); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.Builds != 1 || st.Hits != 1 {
+		t.Fatalf("reordered query missed the cache: %+v", st)
+	}
+}
+
+// TestCanonicalDefaultsShareEntry: an explicit default (γ=1.5) and the
+// implicit one resolve to the same cache entry.
+func TestCanonicalDefaultsShareEntry(t *testing.T) {
+	p, _ := newTestPlanner(t, Options{}, "a.xml")
+	if _, err := p.Resolve(baseReq); err != nil {
+		t.Fatal(err)
+	}
+	req := baseReq
+	req.Gamma = core.DefaultGamma
+	if _, err := p.Resolve(req); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.Builds != 1 || st.Hits != 1 {
+		t.Fatalf("explicit default gamma missed the cache: %+v", st)
+	}
+}
+
+// TestReindexInvalidates: re-adding a document swaps its SC, which must
+// invalidate cached plans ranked against the old one.
+func TestReindexInvalidates(t *testing.T) {
+	p, engine := newTestPlanner(t, Options{}, "a.xml")
+	if _, err := p.Resolve(baseReq); err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.Add(synthDoc(t, "a.xml", 12)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Resolve(baseReq); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.Invalidations != 1 || st.Builds != 2 {
+		t.Fatalf("after re-index: %+v, want 1 invalidation / 2 builds", st)
+	}
+}
+
+// TestCachedPlanFrameStress hammers one cached plan's Frame from many
+// goroutines across the full cooked range, so the race detector gets a
+// clean shot at the lazy parity encoding, and every frame must match the
+// frames of an independently built plan.
+func TestCachedPlanFrameStress(t *testing.T) {
+	p, _ := newTestPlanner(t, Options{}, "a.xml")
+	plan, err := p.Resolve(baseReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: a second, independent planner (its own build), fully
+	// materialized up front. Plan construction is deterministic.
+	pRef, _ := newTestPlanner(t, Options{}, "a.xml")
+	ref, err := pRef.Resolve(baseReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([][]byte, ref.N())
+	for seq := 0; seq < ref.N(); seq++ {
+		if want[seq], err = ref.Frame(seq); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const workers = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Stagger start offsets so goroutines collide on different
+			// generations' first-parity access.
+			for i := 0; i < plan.N(); i++ {
+				seq := (i + w*7) % plan.N()
+				frame, err := plan.Frame(seq)
+				if err != nil {
+					errs <- fmt.Errorf("worker %d seq %d: %w", w, seq, err)
+					return
+				}
+				if !bytes.Equal(frame, want[seq]) {
+					errs <- fmt.Errorf("worker %d seq %d: frame mismatch", w, seq)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got, gens := plan.ParityEncodes(), int64(plan.Generations()); got != gens {
+		t.Fatalf("stress encoded %d generations, want exactly %d", got, gens)
+	}
+}

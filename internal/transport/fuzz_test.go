@@ -1,0 +1,74 @@
+package transport
+
+import (
+	"testing"
+	"unicode/utf8"
+
+	"mobweb/internal/corpus"
+	"mobweb/internal/search"
+	"mobweb/internal/textproc"
+)
+
+// FuzzRequestDecode feeds arbitrary bytes through the same path the
+// connection handler runs on every control line — JSON decoding followed
+// by plan resolution for fetch ops — and demands that nothing panics.
+// Malformed frames must come back as errors or client-facing messages,
+// never as a downed handler.
+func FuzzRequestDecode(f *testing.F) {
+	// Seed corpus: the documented ops, boundary parameter values, and a
+	// few deliberately broken lines.
+	seeds := []string{
+		`{"op":"search","query":"mobile web","limit":5}`,
+		`{"op":"fetch","doc":"draft.xml","query":"mobile web browsing","lod":"paragraph","notion":"QIC","gamma":1.5}`,
+		`{"op":"fetch","doc":"draft.xml","lod":"section","notion":"mqic"}`,
+		`{"op":"fetch","doc":"draft.xml","gamma":-1}`,
+		`{"op":"fetch","doc":"draft.xml","gamma":0.5}`,
+		`{"op":"fetch","doc":"draft.xml","gamma":1e308}`,
+		`{"op":"fetch","doc":"","lod":"chapter","notion":"ZIC"}`,
+		`{"op":"fetch","doc":"ghost.xml","have":[0,1,2,-7,99999]}`,
+		`{"op":"stop"}`,
+		`{"op":"noop"}`,
+		`{}`,
+		`{"op":`,
+		`[]`,
+		`null`,
+		`{"op":"fetch","doc":"draft.xml","gamma":"NaN"}`,
+		"\x00\x01\x02",
+		`{"op":"fetch","doc":"draft.xml","lod":"PARAGRAPH","notion":"qic","gamma":255}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+
+	engine := search.NewEngine(textproc.Options{})
+	doc, err := corpus.Load(corpus.DraftName)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := engine.Add(doc); err != nil {
+		f.Fatal(err)
+	}
+	srv, err := NewServer(engine, ServerOptions{})
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Fuzz(func(t *testing.T, line []byte) {
+		req, err := decodeRequest(line)
+		if err != nil {
+			return // handler drops the connection; nothing else runs
+		}
+		switch req.Op {
+		case "fetch":
+			plan, msg := srv.buildPlan(req)
+			if plan == nil && msg == "" {
+				t.Fatalf("buildPlan returned neither plan nor message for %q", line)
+			}
+			if plan != nil && !utf8.ValidString(msg) {
+				t.Fatalf("invalid message %q", msg)
+			}
+		case "search":
+			srv.engine.Search(req.Query, req.Limit)
+		}
+	})
+}

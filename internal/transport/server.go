@@ -9,11 +9,9 @@ import (
 	"sync"
 	"time"
 
-	"mobweb/internal/content"
 	"mobweb/internal/core"
-	"mobweb/internal/document"
+	"mobweb/internal/planner"
 	"mobweb/internal/search"
-	"mobweb/internal/textproc"
 )
 
 // ServerOptions tunes the document transmitter.
@@ -21,6 +19,14 @@ type ServerOptions struct {
 	// Defaults are the plan parameters applied when a fetch request
 	// leaves them unset.
 	Defaults core.Config
+	// PlannerOptions tunes the shared planning service (plan-cache byte
+	// budget, entry cap). Its Defaults field is overridden by the
+	// Defaults above so the two cannot disagree.
+	PlannerOptions planner.Options
+	// Planner, when non-nil, is a pre-built planning service shared with
+	// other front ends (e.g. the HTTP gateway); it overrides
+	// PlannerOptions and Defaults.
+	Planner *planner.Planner
 	// Injector emulates the wireless hop; nil means a clean channel.
 	Injector FaultInjector
 	// PacketDelay paces the stream (per frame), letting demos visualize
@@ -33,10 +39,14 @@ type ServerOptions struct {
 
 // Server is the database gateway plus document transmitter of Figure 1:
 // it indexes a document collection, answers keyword searches, and streams
-// documents as QIC-ordered fault-tolerant packet sequences.
+// documents as QIC-ordered fault-tolerant packet sequences. Plan
+// resolution goes through the shared planner, so retransmission rounds of
+// one (doc, query, LOD, notion, γ) tuple reuse a cached plan instead of
+// re-ranking and re-encoding.
 type Server struct {
-	engine *search.Engine
-	opts   ServerOptions
+	engine  *search.Engine
+	planner *planner.Planner
+	opts    ServerOptions
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -56,12 +66,26 @@ func NewServer(engine *search.Engine, opts ServerOptions) (*Server, error) {
 	if opts.IdleTimeout == 0 {
 		opts.IdleTimeout = 2 * time.Minute
 	}
+	pl := opts.Planner
+	if pl == nil {
+		po := opts.PlannerOptions
+		po.Defaults = opts.Defaults
+		var err error
+		pl, err = planner.New(engine, po)
+		if err != nil {
+			return nil, err
+		}
+	}
 	return &Server{
-		engine: engine,
-		opts:   opts,
-		conns:  make(map[net.Conn]bool),
+		engine:  engine,
+		planner: pl,
+		opts:    opts,
+		conns:   make(map[net.Conn]bool),
 	}, nil
 }
+
+// PlannerStats snapshots the planning service's cache counters.
+func (s *Server) PlannerStats() planner.Stats { return s.planner.Stats() }
 
 // Serve accepts connections until Close; it always returns a non-nil
 // error (ErrServerClosed after a clean shutdown).
@@ -145,8 +169,8 @@ func (s *Server) handle(conn net.Conn) {
 		scan := bufio.NewScanner(conn)
 		scan.Buffer(make([]byte, 0, 4096), MaxControlLine)
 		for scan.Scan() {
-			var req request
-			if err := json.Unmarshal(scan.Bytes(), &req); err != nil {
+			req, err := decodeRequest(scan.Bytes())
+			if err != nil {
 				return
 			}
 			select {
@@ -273,41 +297,29 @@ stream:
 	return w.Flush()
 }
 
-// buildPlan resolves a fetch request into a transmission plan; it returns
-// a client-facing error message rather than an error for request-level
-// problems.
+// decodeRequest parses one JSON control line. It is the single entry
+// point for untrusted control data (see FuzzRequestDecode).
+func decodeRequest(line []byte) (request, error) {
+	var req request
+	if err := json.Unmarshal(line, &req); err != nil {
+		return request{}, err
+	}
+	return req, nil
+}
+
+// buildPlan resolves a fetch request through the shared planner; it
+// returns a client-facing error message rather than an error for
+// request-level problems. Planner errors are safe to forward: request
+// problems carry curated messages and build failures match what this
+// layer historically surfaced.
 func (s *Server) buildPlan(req request) (*core.Plan, string) {
-	sc, ok := s.engine.SC(req.Doc)
-	if !ok {
-		return nil, fmt.Sprintf("unknown document %q", req.Doc)
-	}
-	cfg := s.opts.Defaults
-	if req.LOD != "" {
-		lod, err := document.ParseLOD(req.LOD)
-		if err != nil {
-			return nil, err.Error()
-		}
-		cfg.LOD = lod
-	}
-	switch req.Notion {
-	case "":
-	case "IC":
-		cfg.Notion = content.NotionIC
-	case "QIC":
-		cfg.Notion = content.NotionQIC
-	case "MQIC":
-		cfg.Notion = content.NotionMQIC
-	default:
-		return nil, fmt.Sprintf("unknown notion %q", req.Notion)
-	}
-	if req.Gamma != 0 {
-		cfg.Gamma = req.Gamma
-	}
-	var queryVec map[string]int
-	if req.Query != "" {
-		queryVec = textproc.QueryVector(req.Query)
-	}
-	plan, err := core.NewPlan(sc, queryVec, cfg)
+	plan, err := s.planner.Resolve(planner.Request{
+		Doc:    req.Doc,
+		Query:  req.Query,
+		LOD:    req.LOD,
+		Notion: req.Notion,
+		Gamma:  req.Gamma,
+	})
 	if err != nil {
 		return nil, err.Error()
 	}

@@ -50,6 +50,7 @@ import (
 	"mobweb/internal/ewma"
 	"mobweb/internal/gateway"
 	"mobweb/internal/markup"
+	"mobweb/internal/planner"
 	"mobweb/internal/prefetch"
 	"mobweb/internal/profile"
 	"mobweb/internal/search"
@@ -92,8 +93,17 @@ type (
 	Hit = search.Hit
 	// Server streams documents with FT-MRT over TCP.
 	Server = transport.Server
-	// ServerOptions tunes the server.
+	// ServerOptions tunes the server, including its PlannerOptions.
 	ServerOptions = transport.ServerOptions
+	// Planner is the shared planning service: canonical plan keys, a
+	// byte-budgeted LRU plan cache, and singleflight build deduplication.
+	Planner = planner.Planner
+	// PlannerOptions tunes plan caching and request resolution.
+	PlannerOptions = planner.Options
+	// PlannerRequest names one plan to resolve in wire spellings.
+	PlannerRequest = planner.Request
+	// PlannerStats snapshots the planner's cache counters.
+	PlannerStats = planner.Stats
 	// Client fetches documents over TCP with caching and progressive
 	// rendering.
 	Client = transport.Client
@@ -227,6 +237,12 @@ func NewServer(engine *Engine, opts ServerOptions) (*Server, error) {
 	return transport.NewServer(engine, opts)
 }
 
+// NewPlanner wraps an engine as a planning service, for sharing one plan
+// cache between the TCP server and the HTTP gateway.
+func NewPlanner(engine *Engine, opts PlannerOptions) (*Planner, error) {
+	return planner.New(engine, opts)
+}
+
 // Dial connects a client to a transmission server.
 func Dial(addr string) (*Client, error) { return transport.Dial(addr) }
 
@@ -245,6 +261,12 @@ func BernoulliInjector(alpha float64, seed int64) (FaultInjector, error) {
 // server: /search, /sc/{name} and /doc/{name} endpoints that expose
 // multi-resolution content to conventional browsers.
 func NewGateway(engine *Engine) (http.Handler, error) { return gateway.New(engine) }
+
+// NewGatewayWithPlanner is NewGateway sharing an existing planning
+// service (and hence its plan cache) with other front ends.
+func NewGatewayWithPlanner(engine *Engine, pl *Planner) (http.Handler, error) {
+	return gateway.NewWithPlanner(engine, pl)
+}
 
 // NewCluster starts an empty page cluster rooted at rootName.
 func NewCluster(name, rootName string) (*Cluster, error) { return cluster.New(name, rootName) }
