@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench figures paperscale fuzz verify clean
+.PHONY: all build test race bench figures paperscale fuzz lint vulncheck verify clean
 
 all: build test
 
@@ -14,10 +14,25 @@ test:
 race:
 	go test -race ./...
 
+# The repo's own invariant analyzers (planmut, gfarith, lockscope,
+# errwrap) plus the selected go vet passes; see DESIGN.md §8.
+lint:
+	go run ./cmd/mobweblint ./...
+
+# Known-vulnerability scan. Best effort: govulncheck is an external tool
+# and needs network access for its database, so its absence (or an
+# offline environment) warns instead of failing the gate.
+vulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./... || echo "warning: govulncheck failed (offline vulndb?); continuing"; \
+	else \
+		echo "warning: govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
+
 # The CI gate: static checks plus the full suite under the race detector
 # (the planner's concurrent plan cache and core's lazy parity encoding
 # are exercised by dedicated -race stress tests).
-verify:
+verify: lint vulncheck
 	go vet ./...
 	go test -race ./...
 

@@ -1,0 +1,94 @@
+// Command mobweblint is the repository's multichecker: it runs the
+// custom invariant analyzers from internal/lint (planmut, gfarith,
+// lockscope, errwrap) plus a selected set of go vet passes over the
+// given packages.
+//
+//	go run ./cmd/mobweblint ./...          # everything (the CI gate)
+//	go run ./cmd/mobweblint -vet=false ./internal/core
+//	go run ./cmd/mobweblint -only=lockscope ./internal/transport
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure — the vet
+// convention. Individual lines can be suppressed with a trailing
+// `//lint:allow <analyzer>` comment; suppressions should carry a reason
+// in parentheses.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"mobweb/internal/lint"
+)
+
+// vetPasses are the go vet analyzers run alongside the custom suite:
+// the concurrency-adjacent ones (a copied mutex or a lost context
+// cancel is the same bug family lockscope hunts) plus printf, which
+// backstops errwrap's format-string parsing.
+var vetPasses = []string{"copylocks", "lostcancel", "atomic", "printf"}
+
+func main() {
+	runVet := flag.Bool("vet", true, "also run the selected go vet passes")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: mobweblint [flags] [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-10s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(flag.CommandLine.Output(), "\nFlags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	analyzers := lint.Analyzers()
+	if *only != "" {
+		byName := make(map[string]*lint.Analyzer)
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "mobweblint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	diags, err := lint.Run(".", patterns, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mobweblint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+
+	vetFailed := false
+	if *runVet {
+		args := []string{"vet"}
+		for _, p := range vetPasses {
+			args = append(args, "-"+p)
+		}
+		args = append(args, patterns...)
+		cmd := exec.Command("go", args...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			vetFailed = true
+		}
+	}
+
+	if len(diags) > 0 || vetFailed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"testing"
+
+	"mobweb/internal/lint"
+)
+
+// The acceptance gate: the committed tree must lint clean under the
+// full analyzer suite. Run from the module root so "mobweb/..." matches
+// every production package (testdata fixtures are excluded by design).
+func TestTreeLintsClean(t *testing.T) {
+	diags, err := lint.Run("../..", []string{"mobweb/..."}, lint.Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("lint finding in committed tree: %s", d)
+	}
+}
+
+// The multichecker must register the full suite.
+func TestAnalyzersRegistered(t *testing.T) {
+	as := lint.Analyzers()
+	if len(as) < 4 {
+		t.Fatalf("got %d analyzers, want at least 4", len(as))
+	}
+	want := map[string]bool{"planmut": false, "gfarith": false, "lockscope": false, "errwrap": false}
+	for _, a := range as {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing Name/Doc/Run", a)
+		}
+		if _, ok := want[a.Name]; ok {
+			want[a.Name] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("analyzer %s not registered", name)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package lint_test
+
+import (
+	"testing"
+
+	"mobweb/internal/lint"
+	"mobweb/internal/lint/linttest"
+)
+
+func TestErrWrap(t *testing.T) {
+	const fixture = "mobweb/internal/lint/testdata/src/errwrap"
+	lint.ErrwrapPackages[fixture] = true
+	defer delete(lint.ErrwrapPackages, fixture)
+	linttest.Run(t, lint.ErrWrap, "./testdata/src/errwrap")
+}
+
+// Outside the boundary packages the analyzer must stay silent even for
+// chain-severing Errorf calls: the same fixture, NOT registered in
+// ErrwrapPackages, must produce zero diagnostics.
+func TestErrWrapIgnoresNonBoundaryPackages(t *testing.T) {
+	diags, err := lint.Run(".", []string{"./testdata/src/errwrap"}, []*lint.Analyzer{lint.ErrWrap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic outside the boundary: %s", d)
+	}
+}

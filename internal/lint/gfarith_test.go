@@ -1,0 +1,38 @@
+package lint_test
+
+import (
+	"testing"
+
+	"mobweb/internal/lint"
+	"mobweb/internal/lint/linttest"
+)
+
+func TestGFArith(t *testing.T) {
+	linttest.Run(t, lint.GFArith, "./testdata/src/gfarith")
+}
+
+// gf256 implements the field helpers with machine arithmetic on its
+// log/exp tables; the analyzer must exempt it rather than flag its own
+// substrate.
+func TestGFArithExemptsGF256Itself(t *testing.T) {
+	diags, err := lint.Run(".", []string{"mobweb/internal/gf256"}, []*lint.Analyzer{lint.GFArith})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic in gf256: %s", d)
+	}
+}
+
+// matrix and erasure are the heaviest gf256 users (inversion,
+// encode/decode kernels); they must already be clean — all field math
+// goes through gf256 helpers, and index arithmetic is not flagged.
+func TestGFArithCleanOnFieldUsers(t *testing.T) {
+	diags, err := lint.Run(".", []string{"mobweb/internal/matrix", "mobweb/internal/erasure"}, []*lint.Analyzer{lint.GFArith})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}

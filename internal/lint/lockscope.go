@@ -1,0 +1,394 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// lockscopeBlockers are calls that block (or can block) for unbounded
+// time; holding a mutex across one is the singleflight-deadlock shape
+// the planner avoids by dropping p.mu around core.NewPlan. Method names
+// use types.Func.FullName form.
+var lockscopeBlockers = map[string]string{
+	"mobweb/internal/core.NewPlan":                 "a plan build (ranking + packetization)",
+	"mobweb/internal/core.NewPlanWithScores":       "a plan build (ranking + packetization)",
+	"(*mobweb/internal/planner.Planner).Resolve":   "a plan resolution (may build)",
+	"(*sync.WaitGroup).Wait":                       "sync.WaitGroup.Wait",
+	"time.Sleep":                                   "time.Sleep",
+	"(*golang.org/x/sync/singleflight.Group).Do":   "a singleflight build",
+	"(*mobweb/internal/transport.Client).Fetch":    "a network fetch",
+	"(*mobweb/internal/transport.Client).Prefetch": "a network prefetch",
+}
+
+// LockScope flags sync.Mutex / sync.RWMutex critical sections that span
+// channel operations, network I/O (any net-package call), plan builds,
+// WaitGroup waits, or sleeps.
+//
+// The walk is block-structured rather than a full CFG: after x.Lock(),
+// statements are scanned in source order; x.Unlock() releases; an
+// unlock on an early-return path (if cond { x.Unlock(); return }) does
+// NOT release the fall-through path; `defer x.Unlock()` holds the lock
+// to function end. Function literals are analyzed as their own
+// functions (a goroutine body does not run under the spawner's lock).
+// The approximation errs toward silence: a release on any falling-
+// through branch counts as released, so findings are high-confidence.
+var LockScope = &Analyzer{
+	Name: "lockscope",
+	Doc: "flag mutexes held across channel ops, network I/O, plan builds, WaitGroup waits or sleeps " +
+		"(the deadlock/convoy shape the planner's drop-lock-around-build discipline exists to prevent)",
+	Run: runLockScope,
+}
+
+func runLockScope(pass *Pass) error {
+	// Collect every function body, including literals, each analyzed
+	// independently.
+	var bodies []*ast.BlockStmt
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				bodies = append(bodies, fd.Body)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok && lit.Body != nil {
+				bodies = append(bodies, lit.Body)
+			}
+			return true
+		})
+	}
+	for _, body := range bodies {
+		for _, recv := range lockReceivers(pass, body) {
+			w := &lockWalker{pass: pass, recv: recv}
+			w.walkList(body.List, false)
+		}
+	}
+	return nil
+}
+
+// lockReceivers returns the distinct receiver spellings (types.ExprString)
+// locked anywhere in the body, excluding nested function literals.
+func lockReceivers(pass *Pass, body *ast.BlockStmt) []string {
+	seen := make(map[string]bool)
+	var out []string
+	inspectSkippingFuncLits(body, func(n ast.Node) {
+		if recv, kind := mutexCall(pass, n); kind == "Lock" || kind == "RLock" {
+			if !seen[recv] {
+				seen[recv] = true
+				out = append(out, recv)
+			}
+		}
+	})
+	return out
+}
+
+// mutexCall classifies n as a sync mutex method call, returning the
+// receiver spelling and the method name ("Lock", "Unlock", "RLock",
+// "RUnlock", "TryLock"...), or ("", "").
+func mutexCall(pass *Pass, n ast.Node) (recv, method string) {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return "", ""
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	named := namedOrPointee(pass.Info.Types[sel.X].Type)
+	if named == nil || (named.Obj().Name() != "Mutex" && named.Obj().Name() != "RWMutex") {
+		return "", ""
+	}
+	return types.ExprString(sel.X), fn.Name()
+}
+
+// lockWalker tracks one receiver's lock state through one function body.
+type lockWalker struct {
+	pass *Pass
+	recv string
+	// deferred means a `defer recv.Unlock()` is pending: the lock is
+	// held to function end regardless of explicit unlocks.
+	deferred bool
+}
+
+// walkList scans a statement list, returning the lock state after it.
+func (w *lockWalker) walkList(stmts []ast.Stmt, locked bool) bool {
+	for _, st := range stmts {
+		locked = w.walkStmt(st, locked)
+	}
+	return locked
+}
+
+func (w *lockWalker) walkStmt(st ast.Stmt, locked bool) bool {
+	switch s := st.(type) {
+	case *ast.ExprStmt:
+		if recv, method := mutexCall(w.pass, s.X); recv == w.recv {
+			switch method {
+			case "Lock", "RLock":
+				return true
+			case "Unlock", "RUnlock":
+				if w.deferred {
+					return locked
+				}
+				return false
+			}
+		}
+		w.checkExpr(s.X, locked)
+		return locked
+	case *ast.DeferStmt:
+		if w.deferContainsUnlock(s) {
+			if locked {
+				w.deferred = true
+			}
+			return locked
+		}
+		// Argument expressions evaluate now; the call itself runs later.
+		for _, arg := range s.Call.Args {
+			w.checkExpr(arg, locked)
+		}
+		return locked
+	case *ast.GoStmt:
+		for _, arg := range s.Call.Args {
+			w.checkExpr(arg, locked)
+		}
+		return locked
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.checkExpr(e, locked)
+		}
+		for _, e := range s.Lhs {
+			w.checkExpr(e, locked)
+		}
+		return locked
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.checkExpr(e, locked)
+		}
+		return locked
+	case *ast.SendStmt:
+		if locked {
+			w.report(s.Pos(), "a channel send")
+		}
+		w.checkExpr(s.Value, locked)
+		return locked
+	case *ast.SelectStmt:
+		if locked {
+			w.report(s.Pos(), "a select")
+		}
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				w.walkList(cc.Body, locked)
+			}
+		}
+		return locked
+	case *ast.IfStmt:
+		if s.Init != nil {
+			locked = w.walkStmt(s.Init, locked)
+		}
+		w.checkExpr(s.Cond, locked)
+		bodyLocked := w.walkList(s.Body.List, locked)
+		elseLocked := locked
+		elseFalls := true
+		if s.Else != nil {
+			elseLocked = w.walkStmt(s.Else, locked)
+			elseFalls = fallsThrough(s.Else)
+		}
+		return mergeBranches(locked,
+			branch{bodyLocked, fallsThroughList(s.Body.List)},
+			branch{elseLocked, elseFalls})
+	case *ast.ForStmt:
+		if s.Init != nil {
+			locked = w.walkStmt(s.Init, locked)
+		}
+		if s.Cond != nil {
+			w.checkExpr(s.Cond, locked)
+		}
+		w.walkList(s.Body.List, locked)
+		return locked
+	case *ast.RangeStmt:
+		if t := w.pass.Info.Types[s.X].Type; t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); isChan && locked {
+				w.report(s.Pos(), "a channel range")
+			}
+		}
+		w.checkExpr(s.X, locked)
+		w.walkList(s.Body.List, locked)
+		return locked
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			locked = w.walkStmt(s.Init, locked)
+		}
+		if s.Tag != nil {
+			w.checkExpr(s.Tag, locked)
+		}
+		return w.walkCases(s.Body, locked)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			locked = w.walkStmt(s.Init, locked)
+		}
+		return w.walkCases(s.Body, locked)
+	case *ast.BlockStmt:
+		return w.walkList(s.List, locked)
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, locked)
+	case *ast.IncDecStmt:
+		w.checkExpr(s.X, locked)
+		return locked
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.checkExpr(v, locked)
+					}
+				}
+			}
+		}
+		return locked
+	default:
+		return locked
+	}
+}
+
+func (w *lockWalker) walkCases(body *ast.BlockStmt, locked bool) bool {
+	branches := make([]branch, 0, len(body.List))
+	for _, clause := range body.List {
+		if cc, ok := clause.(*ast.CaseClause); ok {
+			after := w.walkList(cc.Body, locked)
+			branches = append(branches, branch{after, fallsThroughList(cc.Body)})
+		}
+	}
+	return mergeBranches(locked, branches...)
+}
+
+type branch struct {
+	locked bool
+	falls  bool
+}
+
+// mergeBranches computes the lock state after a conditional: if any
+// falling-through branch released the lock, treat the merge as released
+// (suppresses findings rather than inventing them); if no branch falls
+// through, keep the entry state.
+func mergeBranches(entry bool, branches ...branch) bool {
+	merged := entry
+	anyFalls := false
+	for _, b := range branches {
+		if b.falls {
+			anyFalls = true
+			merged = merged && b.locked
+		}
+	}
+	if !anyFalls {
+		return entry
+	}
+	return merged
+}
+
+// fallsThrough reports whether control can flow past the statement.
+func fallsThrough(st ast.Stmt) bool {
+	switch s := st.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return false
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return false
+			}
+		}
+		return true
+	case *ast.BlockStmt:
+		return fallsThroughList(s.List)
+	case *ast.IfStmt:
+		if s.Else == nil {
+			return true
+		}
+		return fallsThroughList(s.Body.List) || fallsThrough(s.Else)
+	default:
+		return true
+	}
+}
+
+func fallsThroughList(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return true
+	}
+	return fallsThrough(stmts[len(stmts)-1])
+}
+
+// deferContainsUnlock reports whether a defer releases w.recv, either
+// directly (defer mu.Unlock()) or inside a deferred closure.
+func (w *lockWalker) deferContainsUnlock(d *ast.DeferStmt) bool {
+	if recv, method := mutexCall(w.pass, d.Call); recv == w.recv && (method == "Unlock" || method == "RUnlock") {
+		return true
+	}
+	if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+		found := false
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if recv, method := mutexCall(w.pass, n); recv == w.recv && (method == "Unlock" || method == "RUnlock") {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	return false
+}
+
+// checkExpr reports blocking operations inside an expression evaluated
+// while the lock is held. Function literals are skipped: their bodies
+// run when called, under whatever lock regime applies then.
+func (w *lockWalker) checkExpr(e ast.Expr, locked bool) {
+	if !locked || e == nil {
+		return
+	}
+	inspectSkippingFuncLits(e, func(n ast.Node) {
+		switch x := n.(type) {
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				w.report(x.Pos(), "a channel receive")
+			}
+		case *ast.CallExpr:
+			if desc := w.blockingCall(x); desc != "" {
+				w.report(x.Pos(), desc)
+			}
+		}
+	})
+}
+
+// blockingCall describes a call considered blocking, or "".
+func (w *lockWalker) blockingCall(call *ast.CallExpr) string {
+	fn := calleeFunc(w.pass.Info, call)
+	if fn == nil {
+		return ""
+	}
+	if desc, ok := lockscopeBlockers[fn.FullName()]; ok {
+		return desc
+	}
+	// Any call into package net: Conn/Listener methods (Accept, Read,
+	// Write, Close, ...) and dial functions all touch the network.
+	if fn.Pkg() != nil && fn.Pkg().Path() == "net" {
+		return "network I/O (net." + fn.Name() + ")"
+	}
+	return ""
+}
+
+func (w *lockWalker) report(pos token.Pos, what string) {
+	w.pass.Reportf(pos, "mutex %s held across %s; release the lock first (planner-style: drop the lock around builds and I/O)", w.recv, what)
+}
+
+// inspectSkippingFuncLits is ast.Inspect minus function-literal bodies.
+func inspectSkippingFuncLits(root ast.Node, visit func(ast.Node)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}

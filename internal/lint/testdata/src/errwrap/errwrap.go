@@ -1,0 +1,32 @@
+// Fixture for the errwrap analyzer. The test adds this package to
+// lint.ErrwrapPackages, making it a boundary package where fmt.Errorf
+// must keep error chains intact.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("base")
+
+func severedVerb(err error) error {
+	return fmt.Errorf("resolve failed: %v", err) // want "without %w"
+}
+
+func severedString(err error) error {
+	return fmt.Errorf("resolve failed: %s", err.Error()) // want `flattens the chain`
+}
+
+// Even with %w elsewhere, smuggling a second error as a string loses it.
+func smuggled(err error) error {
+	return fmt.Errorf("%w: detail %s", errBase, err.Error()) // want `flattens the chain`
+}
+
+func wrapped(err error) error {
+	return fmt.Errorf("resolve failed: %w", err) // chain intact: fine
+}
+
+func noErrorArgs(n int) error {
+	return fmt.Errorf("bad gamma %d", n) // no error argument: fine
+}

@@ -1,0 +1,34 @@
+// Fixture for the gfarith analyzer: this package imports gf256, so its
+// byte values are presumed GF(2^8) field elements and integer
+// arithmetic on them is flagged; int-typed index arithmetic is not.
+package gfarith
+
+import "mobweb/internal/gf256"
+
+func badParity(row, src []byte, c byte) {
+	for i := range row {
+		row[i] = row[i] + gf256.Mul(c, src[i]) // want "use gf256.Add"
+	}
+	row[0] += src[0] // want "use gf256.Add"
+	x := c * 2       // want "use gf256.Mul"
+	y := c - 1       // want "use gf256.Sub"
+	z := c / 3       // want "use gf256.Div"
+	_ = c % 5        // want "use gf256.Add/Mul/Div"
+	x *= y           // want "use gf256.Mul"
+	_, _, _ = x, y, z
+}
+
+func goodFieldArith(row, src []byte, c byte) {
+	for i := range row {
+		row[i] = gf256.Add(row[i], gf256.Mul(c, src[i]))
+		row[i] ^= gf256.Mul(c, src[i]) // XOR is field addition: fine
+	}
+	// Index and length arithmetic is int-typed and never flagged.
+	for i := 0; i < len(row)-1; i++ {
+		_ = row[i+1]
+	}
+	n := len(row)*2 + 1
+	_ = n
+	// Suppressed: a deliberate wire-format increment, not a field op.
+	row[0] += 1 //lint:allow gfarith (wire header increment, not a field element)
+}

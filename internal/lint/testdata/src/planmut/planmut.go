@@ -1,0 +1,44 @@
+// Fixture for the planmut analyzer, rule 2: writes through the shared
+// slices handed out by Plan.Segments/AccrualSegments/CookedPayload.
+package planmut
+
+import "mobweb/internal/core"
+
+func mutateShared(p *core.Plan) {
+	segs := p.Segments()
+	segs[0].Score = 0.5                  // want "store through a slice shared"
+	segs[1] = core.UnitSegment{}         // want "store through a slice shared"
+	sub := segs[1:]                      // re-slicing keeps the taint
+	sub[0].Length = 9                    // want "store through a slice shared"
+	_ = append(segs, core.UnitSegment{}) // want "append to a slice shared"
+	p.Segments()[0].Score = 1            // want "store through a slice shared"
+
+	buf, _ := p.CookedPayload(0)
+	buf[0] = 1                 // want "store through a slice shared"
+	buf[0]++                   // want "store through a slice shared"
+	copy(buf, []byte("x"))     // want "copy into a slice shared"
+
+	acc := p.AccrualSegments()
+	for i := range acc {
+		acc[i].Score = 0 // want "store through a slice shared"
+	}
+}
+
+func allowedCopies(p *core.Plan) {
+	own := append([]core.UnitSegment(nil), p.Segments()...)
+	own[0].Score = 1 // fresh backing array: fine
+
+	buf, _ := p.CookedPayload(0)
+	cp := make([]byte, len(buf))
+	copy(cp, buf) // shared slice as the SOURCE: fine
+	cp[0] = 1
+
+	buf = cp  // rebinding the local clears the taint
+	buf[0] = 2
+
+	total := 0.0
+	for _, seg := range p.AccrualSegments() {
+		total += seg.Score // reads are fine
+	}
+	_ = total
+}

@@ -1,0 +1,53 @@
+// Fixture for the planmut analyzer, rule 1: field writes on the
+// protected plan types inside the owner package. The test retargets
+// lint.PlanOwnerPackage at this package, whose Plan/generation mirror
+// the shapes in mobweb/internal/core.
+package planmutowner
+
+type generation struct {
+	parity [][]byte
+}
+
+type Plan struct {
+	m    int
+	segs []int
+	gens []*generation
+}
+
+// NewPlan is constructor-shaped: writes are allowed.
+func NewPlan() *Plan {
+	p := &Plan{}
+	p.m = 3
+	p.segs = append(p.segs, 1)
+	p.gens = append(p.gens, &generation{})
+	return p
+}
+
+// ensureParity is the one sanctioned post-construction write (the
+// sync.Once-guarded lazy encode in the real package).
+func (g *generation) ensureParity() {
+	g.parity = [][]byte{{1}}
+}
+
+// newDerived exercises the closure rule: a literal inside a constructor
+// inherits the constructor's allowance.
+func newDerived() *Plan {
+	p := &Plan{}
+	fill := func() { p.m = 7 }
+	fill()
+	return p
+}
+
+func (p *Plan) Grow() {
+	p.m++         // want "write to Plan.m outside a constructor"
+	p.segs[0] = 2 // want "write to Plan.segs outside a constructor"
+}
+
+func Mutate(p *Plan, g *generation) {
+	p.m = 9           // want "write to Plan.m outside a constructor"
+	g.parity = nil    // want "write to generation.parity outside a constructor"
+	p.gens[0].parity = nil // want "write to generation.parity outside a constructor"
+}
+
+// Read-only access is always fine.
+func (p *Plan) Read() int { return p.m }

@@ -1,0 +1,134 @@
+package transport
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"mobweb/internal/corpus"
+	"mobweb/internal/search"
+	"mobweb/internal/textproc"
+)
+
+// blockingCloseConn wraps a net.Conn whose Close blocks until release is
+// closed, emulating a lingering TCP teardown.
+type blockingCloseConn struct {
+	net.Conn
+	release chan struct{}
+	entered chan struct{} // closed when Close is first entered
+	once    sync.Once
+}
+
+func (c *blockingCloseConn) Close() error {
+	c.once.Do(func() { close(c.entered) })
+	<-c.release
+	return c.Conn.Close()
+}
+
+// blockingCloseListener hands out blockingCloseConn connections.
+type blockingCloseListener struct {
+	net.Listener
+	release chan struct{}
+	entered chan struct{}
+}
+
+func (l *blockingCloseListener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &blockingCloseConn{Conn: conn, release: l.release, entered: l.entered}, nil
+}
+
+// TestCloseDoesNotHoldLockAcrossConnClose is the regression test for the
+// lockscope finding in Server.Close: it used to call net.Conn.Close on
+// every live connection while holding s.mu, so one connection with a
+// slow Close stalled every path needing the mutex. With the fix, a
+// second Close (which takes s.mu) completes while the first is still
+// blocked inside conn.Close.
+func TestCloseDoesNotHoldLockAcrossConnClose(t *testing.T) {
+	engine := search.NewEngine(textproc.Options{})
+	docs, err := corpus.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range docs {
+		if err := engine.Add(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv, err := NewServer(engine, ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	ln := &blockingCloseListener{Listener: inner, release: release, entered: make(chan struct{})}
+	serveDone := make(chan struct{})
+	go func() {
+		defer close(serveDone)
+		srv.Serve(ln)
+	}()
+
+	// Establish one connection and wait until the server tracks it.
+	client, err := net.Dial("tcp", inner.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	waitFor(t, func() bool {
+		srv.mu.Lock()
+		defer srv.mu.Unlock()
+		return len(srv.conns) == 1
+	})
+
+	// First Close blocks inside conn.Close (teardown lingers).
+	firstDone := make(chan struct{})
+	go func() {
+		defer close(firstDone)
+		srv.Close()
+	}()
+	select {
+	case <-ln.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("first Close never reached conn.Close")
+	}
+
+	// A second Close needs s.mu; it must complete while the first is
+	// still stuck in conn.Close.
+	secondDone := make(chan struct{})
+	go func() {
+		defer close(secondDone)
+		srv.Close()
+	}()
+	select {
+	case <-secondDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("second Close blocked: s.mu is held across net.Conn.Close")
+	}
+
+	close(release)
+	select {
+	case <-firstDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("first Close never finished")
+	}
+	<-serveDone
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition never held")
+}

@@ -132,7 +132,10 @@ func (s *Server) Serve(ln net.Listener) error {
 }
 
 // Close stops accepting, closes live connections, and waits for handlers
-// to exit.
+// to exit. Live connections are snapshotted under the lock but closed
+// after releasing it: net.Conn.Close can block (lingering TCP teardown),
+// and holding s.mu across it would stall every accept and handler-exit
+// path that needs the mutex.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -141,10 +144,14 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
 	for c := range s.conns {
-		c.Close()
+		conns = append(conns, c)
 	}
 	s.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
 	var err error
 	if ln != nil {
 		err = ln.Close()
