@@ -41,6 +41,11 @@ func run(w io.Writer, args []string, stdin io.Reader) error {
 	stopAt := fs.Float64("stopat", 0, "stop once this information content arrived (0 = full download)")
 	caching := fs.Bool("caching", true, "cache intact packets across retransmission rounds")
 	maxRounds := fs.Int("rounds", 10, "max retransmission rounds")
+	adapt := fs.Bool("adapt", false, "adapt gamma per round from the observed corruption rate (EWMA)")
+	success := fs.Float64("success", 0, "per-round success probability target for -adapt (0 = 0.95)")
+	retries := fs.Int("retries", 0, "redial attempts after a mid-fetch disconnect (0 = default of 4, -1 disables)")
+	retryBase := fs.Duration("retry-base", 0, "base reconnect backoff delay (0 = 50ms)")
+	roundTimeout := fs.Duration("round-timeout", 0, "deadline per transmission round; overruns reconnect and resume (0 = per-read timeout only)")
 	quiet := fs.Bool("quiet", false, "suppress progressive rendering")
 	repl := fs.Bool("repl", false, "interactive session (search/skim/read/discard with profile feedback)")
 	think := fs.Float64("think", 0, "REPL think-time seconds per interaction, spent prefetching")
@@ -56,6 +61,7 @@ func run(w io.Writer, args []string, stdin io.Reader) error {
 		return err
 	}
 	defer client.Close()
+	client.Retry = transport.RetryPolicy{MaxAttempts: *retries, BaseDelay: *retryBase}
 
 	if *repl {
 		return runREPL(w, stdin, client, replOptions(*stopAt, *think))
@@ -95,14 +101,17 @@ func run(w io.Writer, args []string, stdin io.Reader) error {
 	}
 
 	opts := transport.FetchOptions{
-		Doc:       *doc,
-		Query:     *query,
-		LOD:       lod,
-		Notion:    notion,
-		Gamma:     *gamma,
-		StopAtIC:  *stopAt,
-		Caching:   *caching,
-		MaxRounds: *maxRounds,
+		Doc:           *doc,
+		Query:         *query,
+		LOD:           lod,
+		Notion:        notion,
+		Gamma:         *gamma,
+		StopAtIC:      *stopAt,
+		Caching:       *caching,
+		MaxRounds:     *maxRounds,
+		AdaptGamma:    *adapt,
+		TargetSuccess: *success,
+		RoundTimeout:  *roundTimeout,
 	}
 	if !*quiet {
 		opts.OnProgress = func(p transport.Progress) {
@@ -113,11 +122,25 @@ func run(w io.Writer, args []string, stdin io.Reader) error {
 		}
 	}
 	res, err := client.Fetch(opts)
+	if err != nil && res == nil {
+		return err
+	}
 	if err != nil {
+		// Graceful degradation: report what survived the failure before
+		// surfacing the error.
+		fmt.Fprintf(w, "\nfetch failed after %d rounds (%d reconnects): %v\n", res.Rounds, res.Reconnects, err)
+		fmt.Fprintf(w, "partial result: IC %.3f, %d intact packets held, %d units rendered\n",
+			res.InfoContent, res.HeldPackets, len(res.Rendered))
 		return err
 	}
 	fmt.Fprintf(w, "\nfetch complete: IC %.3f, %d rounds, %d packets (%d corrupted), stalled=%v\n",
 		res.InfoContent, res.Rounds, res.PacketsReceived, res.PacketsCorrupted, res.Stalled)
+	if res.Reconnects > 0 {
+		fmt.Fprintf(w, "survived %d disconnects\n", res.Reconnects)
+	}
+	if len(res.AlphaEstimates) > 0 {
+		fmt.Fprintf(w, "alpha estimates per round: %v (gammas %v)\n", res.AlphaEstimates, res.GammaRequests)
+	}
 	if res.Body != nil {
 		fmt.Fprintf(w, "document reconstructed: %d bytes\n", len(res.Body))
 	} else {

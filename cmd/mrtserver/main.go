@@ -47,6 +47,10 @@ func run(args []string) error {
 	noCorpus := fs.Bool("nocorpus", false, "skip the embedded corpus")
 	cacheMB := fs.Int64("plancache-mb", 64, "plan-cache byte budget in MiB (0 disables caching)")
 	cacheEntries := fs.Int("plancache-entries", 0, "plan-cache entry cap (0 means byte budget only)")
+	chaosKills := fs.Int("chaos-kills", 0, "sever this many connections mid-stream on a seeded schedule (0 disables, -1 unlimited)")
+	chaosMin := fs.Int("chaos-min", 0, "min bytes a connection may write before a chaos kill (0 = 2048)")
+	chaosMax := fs.Int("chaos-max", 0, "max bytes before a chaos kill (0 = 4x min)")
+	chaosStall := fs.Duration("chaos-stall", 0, "stall a connection this long before severing it")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -107,6 +111,22 @@ func run(args []string) error {
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
+	}
+	if *chaosKills != 0 {
+		maxKills := *chaosKills
+		if maxKills < 0 {
+			maxKills = 0 // policy: zero means unlimited
+		}
+		chaos := transport.NewChaosListener(ln, transport.ChaosPolicy{
+			Seed:         *seed,
+			KillAfterMin: *chaosMin,
+			KillAfterMax: *chaosMax,
+			MaxKills:     maxKills,
+			Stall:        *chaosStall,
+		})
+		fmt.Printf("chaos drill armed: up to %d kills (seed %d)\n", *chaosKills, *seed)
+		ln = chaos
+		defer func() { fmt.Printf("chaos kills delivered: %d\n", chaos.Kills()) }()
 	}
 
 	var httpSrv *http.Server

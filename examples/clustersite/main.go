@@ -160,7 +160,7 @@ func run() error {
 			if err != nil {
 				return err
 			}
-			fmt.Printf("      prefetched %-14s %d intact packets\n", a.Name, got)
+			fmt.Printf("      prefetched %-14s %d intact of %d received\n", a.Name, got.Intact, got.Received)
 		}
 	}
 	return nil

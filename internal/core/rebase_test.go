@@ -1,0 +1,154 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// rebasePlans builds two plans over the same document differing only in
+// redundancy ratio, with the generation split pinned so the geometries
+// are rebase-compatible by construction.
+func rebasePlans(t *testing.T, gammaA, gammaB float64) (*Plan, *Plan, []byte) {
+	t.Helper()
+	doc, scores := paperShapedDoc(t)
+	planA, err := NewPlanWithScores(doc, scores, Config{Gamma: gammaA, MaxGeneration: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	planB, err := NewPlanWithScores(doc, scores, Config{Gamma: gammaB, MaxGeneration: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return planA, planB, doc.Body()
+}
+
+func TestRebaseAcrossGammaChange(t *testing.T) {
+	planA, planB, body := rebasePlans(t, 1.2, 1.8)
+
+	// Receive a mix of data and parity packets under the smaller plan.
+	rcvA, err := NewReceiver(planA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fed := map[int]bool{}
+	for _, seq := range []int{0, 1, 5, 17, 39, 40, planA.N() - 1} {
+		frame, err := planA.Frame(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := rcvA.AddFrame(frame); err != nil {
+			t.Fatal(err)
+		}
+		fed[seq] = true
+	}
+
+	// Rebase onto the γ-expanded layout: every held packet must carry
+	// over, because systematic dispersal rows are independent of N.
+	rcvB, err := rcvA.Rebase(planB.Layout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rcvB.IntactCount() != len(fed) {
+		t.Fatalf("rebase kept %d packets, want %d", rcvB.IntactCount(), len(fed))
+	}
+	for seq := range fed {
+		if !rcvB.Held(seq) {
+			t.Errorf("packet %d lost in rebase (same generation split ⇒ same global seq)", seq)
+		}
+	}
+
+	// Fill the remainder from the new plan and reconstruct.
+	for seq := 0; seq < planB.N() && !rcvB.Reconstructible(); seq++ {
+		if rcvB.Held(seq) {
+			continue
+		}
+		frame, err := planB.Frame(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := rcvB.AddFrame(frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := rcvB.Reconstruct()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, body) {
+		t.Fatal("reconstruction after rebase is not byte-identical")
+	}
+}
+
+func TestRebaseShrinkDropsOutOfRangePackets(t *testing.T) {
+	planSmall, planBig, body := rebasePlans(t, 1.2, 1.8)
+
+	rcvBig, err := NewReceiver(planBig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hold the highest-index parity packet (beyond the small plan's N)
+	// plus a couple of survivors.
+	for _, seq := range []int{2, 3, planBig.N() - 1} {
+		frame, err := planBig.Frame(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := rcvBig.AddFrame(frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rcvSmall, err := rcvBig.Rebase(planSmall.Layout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rcvSmall.IntactCount() != 2 {
+		t.Fatalf("shrink rebase kept %d packets, want 2 (out-of-range parity dropped)", rcvSmall.IntactCount())
+	}
+	for seq := 0; seq < planSmall.N() && !rcvSmall.Reconstructible(); seq++ {
+		if rcvSmall.Held(seq) {
+			continue
+		}
+		frame, err := planSmall.Frame(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := rcvSmall.AddFrame(frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := rcvSmall.Reconstruct()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, body) {
+		t.Fatal("reconstruction after shrink rebase is not byte-identical")
+	}
+}
+
+func TestRebaseRejectsIncompatibleGeometry(t *testing.T) {
+	doc, scores := paperShapedDoc(t)
+	plan, err := NewPlanWithScores(doc, scores, Config{Gamma: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcv, err := NewReceiver(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	other := plan.Layout()
+	other.PacketSize = plan.Layout().PacketSize * 2
+	if _, err := rcv.Rebase(other); err == nil {
+		t.Error("packet-size change accepted")
+	}
+
+	// A different generation split (same document) must be refused:
+	// cooked packets are only stable under an identical split.
+	split, err := NewPlanWithScores(doc, scores, Config{Gamma: 1.5, MaxGeneration: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rcv.Rebase(split.Layout()); err == nil {
+		t.Error("generation-split change accepted")
+	}
+}

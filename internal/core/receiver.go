@@ -111,6 +111,56 @@ func (r *Receiver) Held(seq int) bool {
 	return ok
 }
 
+// Rebase returns a new receiver for newLayout carrying over every held
+// packet that exists under both geometries, supporting adaptive-γ
+// transports (§4.4): a plan rebuilt with a different redundancy ratio
+// keeps the same body, packet size and generation split, and the
+// systematic Vandermonde dispersal row j depends only on (M, j) — row j
+// of V·inv(V[0..M]) never reads past the top M×M block — so cooked
+// packet j is byte-identical under both plans. Rebase therefore refuses
+// geometries that differ in anything besides per-generation N (those
+// mean the document itself changed, voiding the cache); held packets
+// whose local cooked index exceeds the new generation's N are dropped.
+func (r *Receiver) Rebase(newLayout Layout) (*Receiver, error) {
+	old := r.layout
+	if old.PacketSize != newLayout.PacketSize || old.BodySize != newLayout.BodySize ||
+		len(old.Shapes) != len(newLayout.Shapes) {
+		return nil, fmt.Errorf("core: rebase geometry mismatch: %d×%dB/%d gens vs %d×%dB/%d gens",
+			old.PacketSize, old.BodySize, len(old.Shapes),
+			newLayout.PacketSize, newLayout.BodySize, len(newLayout.Shapes))
+	}
+	for g := range old.Shapes {
+		if old.Shapes[g].M != newLayout.Shapes[g].M {
+			return nil, fmt.Errorf("core: rebase generation %d raw count %d != %d",
+				g, old.Shapes[g].M, newLayout.Shapes[g].M)
+		}
+	}
+	nr, err := NewReceiverFromLayout(newLayout)
+	if err != nil {
+		return nil, err
+	}
+	newCookedOff := make([]int, len(newLayout.Shapes))
+	off := 0
+	for g, s := range newLayout.Shapes {
+		newCookedOff[g] = off
+		off += s.N
+	}
+	for seq, payload := range r.intact {
+		g, _, cookedOff, err := old.genBounds(seq)
+		if err != nil {
+			return nil, err
+		}
+		local := seq - cookedOff
+		if local >= newLayout.Shapes[g].N {
+			continue
+		}
+		if err := nr.Add(newCookedOff[g]+local, payload); err != nil {
+			return nil, err
+		}
+	}
+	return nr, nil
+}
+
 // Reset discards all cached packets — the NoCaching behaviour between
 // retransmission rounds (stock HTTP reload).
 func (r *Receiver) Reset() {

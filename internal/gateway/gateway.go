@@ -238,8 +238,14 @@ func (h *Handler) handleDoc(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.Header().Set("X-Document-Title", sc.Doc().Title)
 	flusher, _ := w.(http.Flusher)
+	ctx := r.Context()
 	accrued := 0.0
 	for _, ru := range ranked {
+		// A weakly-connected browser going away mid-stream cancels the
+		// request context; stop ranking work for a dead reader.
+		if ctx.Err() != nil {
+			return
+		}
 		share := ru.Score
 		if total > 0 {
 			share /= total

@@ -1,6 +1,7 @@
 package gateway
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -227,5 +228,19 @@ func TestMethodNotAllowed(t *testing.T) {
 	h.ServeHTTP(rec, req)
 	if rec.Code != http.StatusMethodNotAllowed {
 		t.Errorf("POST status %d, want 405", rec.Code)
+	}
+}
+
+func TestDocEndpointHonorsRequestContext(t *testing.T) {
+	h := newGateway(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the browser is already gone
+	req := httptest.NewRequest(http.MethodGet, "/doc/"+corpus.DraftName+"?q=mobile+web", nil).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	// The unit stream must stop for a dead reader: a full document is
+	// tens of units; a cancelled request gets none.
+	if body := rec.Body.String(); strings.Contains(body, "── ") {
+		t.Errorf("cancelled request still streamed units:\n%.200s", body)
 	}
 }

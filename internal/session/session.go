@@ -9,6 +9,7 @@
 package session
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -96,9 +97,9 @@ type RankedHit struct {
 type Stats struct {
 	// Searches, Skims, Reads and Discards count interactions.
 	Searches, Skims, Reads, Discards int
-	// PacketsReceived counts frames over the wire; prefetch windows are
-	// accounted by their allocated budget (the stream may end earlier
-	// for short documents).
+	// PacketsReceived counts frames over the wire, including frames
+	// received by prefetch windows (which may end before their allocated
+	// budget for short documents).
 	PacketsReceived int
 	// PrefetchedUsed counts prefetched packets consumed by later
 	// fetches.
@@ -125,7 +126,13 @@ func (s *Session) Stats() Stats { return s.stats }
 // Search queries the server, re-ranks hits against the profile, and
 // prefetches the most promising ones into the idle think-time window.
 func (s *Session) Search(query string, limit int) ([]RankedHit, error) {
-	hits, err := s.client.Search(query, limit)
+	return s.SearchContext(context.Background(), query, limit)
+}
+
+// SearchContext is Search bounded by a context: cancellation interrupts
+// the query and any prefetching riding the idle window after it.
+func (s *Session) SearchContext(ctx context.Context, query string, limit int) ([]RankedHit, error) {
+	hits, err := s.client.SearchContext(ctx, query, limit)
 	if err != nil {
 		return nil, err
 	}
@@ -150,14 +157,14 @@ func (s *Session) Search(query string, limit int) ([]RankedHit, error) {
 	sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].Blended > ranked[j].Blended })
 	s.hits = ranked
 
-	if err := s.prefetchHits(); err != nil {
+	if err := s.prefetchHits(ctx); err != nil {
 		return nil, err
 	}
 	return ranked, nil
 }
 
 // prefetchHits spends the think-time budget on the ranked hits.
-func (s *Session) prefetchHits() error {
+func (s *Session) prefetchHits(ctx context.Context) error {
 	if s.opts.ThinkTime <= 0 || len(s.hits) == 0 {
 		return nil
 	}
@@ -180,12 +187,13 @@ func (s *Session) prefetchHits() error {
 		return err
 	}
 	for _, alloc := range allocs {
-		got, err := s.client.Prefetch(s.fetchOptions(alloc.Name), alloc.Packets)
+		got, err := s.client.PrefetchContext(ctx, s.fetchOptions(alloc.Name), alloc.Packets)
+		// Frames received before a failure are still primed; account for
+		// them either way.
+		s.stats.PacketsReceived += got.Received
 		if err != nil {
 			return fmt.Errorf("prefetch %s: %w", alloc.Name, err)
 		}
-		s.stats.PacketsReceived += alloc.Packets
-		_ = got
 	}
 	return nil
 }
@@ -204,9 +212,14 @@ func (s *Session) fetchOptions(doc string) transport.FetchOptions {
 // Skim fetches a document only up to the relevance threshold F and
 // returns what arrived, so the user can judge it.
 func (s *Session) Skim(doc string) (*transport.FetchResult, error) {
+	return s.SkimContext(context.Background(), doc)
+}
+
+// SkimContext is Skim bounded by a context.
+func (s *Session) SkimContext(ctx context.Context, doc string) (*transport.FetchResult, error) {
 	opts := s.fetchOptions(doc)
 	opts.StopAtIC = s.opts.RelevanceThreshold
-	res, err := s.client.Fetch(opts)
+	res, err := s.client.FetchContext(ctx, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -219,7 +232,12 @@ func (s *Session) Skim(doc string) (*transport.FetchResult, error) {
 
 // Read downloads the document in full and reinforces the profile.
 func (s *Session) Read(doc string) (*transport.FetchResult, error) {
-	res, err := s.client.Fetch(s.fetchOptions(doc))
+	return s.ReadContext(context.Background(), doc)
+}
+
+// ReadContext is Read bounded by a context.
+func (s *Session) ReadContext(ctx context.Context, doc string) (*transport.FetchResult, error) {
+	res, err := s.client.FetchContext(ctx, s.fetchOptions(doc))
 	if err != nil {
 		return nil, err
 	}

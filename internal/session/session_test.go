@@ -1,6 +1,8 @@
 package session
 
 import (
+	"context"
+	"errors"
 	"net"
 	"testing"
 	"time"
@@ -230,4 +232,31 @@ func position(hits []RankedHit, name string) int {
 		}
 	}
 	return len(hits)
+}
+
+func TestSessionContextCancellation(t *testing.T) {
+	client := startClient(t, 0)
+	prof, err := profile.New(profile.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := New(client, prof, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the user walked out of coverage before asking
+	if _, err := sess.SearchContext(ctx, "mobile web", 5); !errors.Is(err, context.Canceled) {
+		t.Errorf("SearchContext error %v, want context.Canceled", err)
+	}
+	if _, err := sess.SkimContext(ctx, corpus.DraftName); !errors.Is(err, context.Canceled) {
+		t.Errorf("SkimContext error %v, want context.Canceled", err)
+	}
+	if _, err := sess.ReadContext(ctx, corpus.DraftName); !errors.Is(err, context.Canceled) {
+		t.Errorf("ReadContext error %v, want context.Canceled", err)
+	}
+	// The connection stays usable for a live context afterwards.
+	if _, err := sess.Search("mobile web", 5); err != nil {
+		t.Errorf("session unusable after cancelled calls: %v", err)
+	}
 }

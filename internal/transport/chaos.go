@@ -1,0 +1,148 @@
+package transport
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrChaosKill is returned from a poisoned Write, so server handlers
+// observe the failure exactly as a dying link would produce it: a
+// truncated flush followed by a dead connection.
+var ErrChaosKill = errors.New("transport: chaos kill")
+
+// ChaosPolicy schedules deterministic connection failures for soak
+// testing the reconnect/resume path. Runs with equal seeds, traffic and
+// policy kill at identical byte offsets, so chaos tests are repeatable.
+type ChaosPolicy struct {
+	// Seed drives the kill schedule.
+	Seed int64
+	// KillAfterMin and KillAfterMax bound the bytes a connection may
+	// write before it is severed; each connection's budget is drawn
+	// uniformly from [KillAfterMin, KillAfterMax]. Zero values default
+	// to 2048 and 4×KillAfterMin. A budget is almost never frame
+	// aligned, so the poisoned flush truncates mid-frame.
+	KillAfterMin, KillAfterMax int
+	// MaxKills caps kills across all of the listener's connections; once
+	// spent, connections pass traffic untouched, so a bounded drill
+	// still lets the workload finish. Zero means unlimited.
+	MaxKills int
+	// Stall pauses the connection just before severing it, emulating a
+	// link that hangs before dying (exercises client deadlines).
+	Stall time.Duration
+}
+
+func (p ChaosPolicy) withDefaults() ChaosPolicy {
+	if p.KillAfterMin <= 0 {
+		p.KillAfterMin = 2048
+	}
+	if p.KillAfterMax < p.KillAfterMin {
+		p.KillAfterMax = p.KillAfterMin * 4
+	}
+	return p
+}
+
+// ChaosListener wraps a listener so accepted connections are truncated,
+// stalled and killed mid-frame on the policy's seeded schedule — the
+// server-side half of a weakly-connected drill.
+type ChaosListener struct {
+	net.Listener
+	policy ChaosPolicy
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	kills int
+}
+
+// NewChaosListener wraps ln with the kill schedule.
+func NewChaosListener(ln net.Listener, policy ChaosPolicy) *ChaosListener {
+	policy = policy.withDefaults()
+	return &ChaosListener{
+		Listener: ln,
+		policy:   policy,
+		rng:      rand.New(rand.NewSource(policy.Seed)),
+	}
+}
+
+// Kills reports connections severed so far.
+func (l *ChaosListener) Kills() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.kills
+}
+
+// Accept wraps the next connection with a freshly drawn write budget.
+func (l *ChaosListener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &ChaosConn{Conn: conn, ln: l, budget: l.drawBudget()}, nil
+}
+
+// drawBudget picks the next connection's write allowance, or -1 for a
+// connection that lives untouched (kill budget already spent).
+func (l *ChaosListener) drawBudget() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.policy.MaxKills > 0 && l.kills >= l.policy.MaxKills {
+		return -1
+	}
+	span := l.policy.KillAfterMax - l.policy.KillAfterMin
+	b := l.policy.KillAfterMin
+	if span > 0 {
+		b += l.rng.Intn(span + 1)
+	}
+	return b
+}
+
+// takeKill burns one kill credit; it reports false when a racing
+// connection spent the last one.
+func (l *ChaosListener) takeKill() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.policy.MaxKills > 0 && l.kills >= l.policy.MaxKills {
+		return false
+	}
+	l.kills++
+	return true
+}
+
+// ChaosConn is one scheduled-to-die connection: it passes bytes through
+// until its write budget is spent, then flushes only the bytes up to the
+// budget (truncating whatever frame straddles it), optionally stalls,
+// and severs the connection. The peer observes a mid-stream EOF or
+// reset. Writes come from one goroutine (the server handler), matching
+// net.Conn's concurrency contract.
+type ChaosConn struct {
+	net.Conn
+	ln     *ChaosListener
+	budget int // bytes remaining before the kill; negative means never
+}
+
+func (c *ChaosConn) Write(p []byte) (int, error) {
+	if c.budget < 0 || len(p) < c.budget {
+		if c.budget > 0 {
+			c.budget -= len(p)
+		}
+		return c.Conn.Write(p)
+	}
+	// This write crosses the budget. If the listener's kill allowance is
+	// already spent, convert to a clean pass-through connection.
+	if !c.ln.takeKill() {
+		c.budget = -1
+		return c.Conn.Write(p)
+	}
+	n := 0
+	if c.budget > 0 {
+		n, _ = c.Conn.Write(p[:c.budget])
+	}
+	if c.ln.policy.Stall > 0 {
+		time.Sleep(c.ln.policy.Stall)
+	}
+	c.Conn.Close()
+	c.budget = -1 // later writes hit the closed conn and error naturally
+	return n, ErrChaosKill
+}

@@ -2,15 +2,73 @@ package transport
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math"
+	"math/rand"
 	"net"
 	"time"
 
 	"mobweb/internal/content"
 	"mobweb/internal/core"
 	"mobweb/internal/document"
+	"mobweb/internal/ewma"
+)
+
+// RetryPolicy bounds the client's reconnection behaviour after a
+// mid-fetch connection failure: up to MaxAttempts consecutive redials
+// with exponential backoff from BaseDelay, capped at MaxDelay, each wait
+// jittered so a herd of clients recovering from the same outage does not
+// redial in lockstep.
+//
+// The zero value means "use the defaults" (4 attempts, 50 ms base, 2 s
+// cap) whenever the client has a redial function (i.e. it came from
+// Dial or SetRedial was called). Use NoRetry to disable reconnection.
+type RetryPolicy struct {
+	// MaxAttempts caps consecutive redial attempts per disconnect; zero
+	// means 4, negative disables reconnection.
+	MaxAttempts int
+	// BaseDelay is the wait before the first redial; zero means 50 ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponentially growing wait; zero means 2 s.
+	MaxDelay time.Duration
+}
+
+// NoRetry disables reconnection: the first connection failure is
+// terminal, the pre-resilience stock behaviour.
+var NoRetry = RetryPolicy{MaxAttempts: -1}
+
+func (p RetryPolicy) enabled() bool { return p.MaxAttempts >= 0 }
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay == 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay == 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	return p
+}
+
+const (
+	// defaultAlphaWeight is the EWMA smoothing weight for the client's
+	// channel-quality estimator when FetchOptions.AdaptGamma is set.
+	defaultAlphaWeight = 0.3
+	// defaultTargetSuccess is the per-round reconstruction probability
+	// adaptive γ aims for when FetchOptions.TargetSuccess is zero.
+	defaultTargetSuccess = 0.95
+	// maxAdaptiveAlpha caps the α fed to the negative-binomial solver;
+	// beyond it the required γ exceeds the dispersal limit anyway.
+	maxAdaptiveAlpha = 0.9
+	// gammaSteps quantizes adaptive γ to 1/gammaSteps increments so the
+	// server's plan cache is not churned by microscopic γ changes.
+	gammaSteps = 20
 )
 
 // Client is the mobile-side half of Figure 1: the sequence manager that
@@ -21,8 +79,22 @@ type Client struct {
 	conn net.Conn
 	r    *bufio.Reader
 	w    *bufio.Writer
-	// Timeout bounds each network read; zero means 30 seconds.
+	// Timeout bounds each network read and write; zero means 30 seconds.
 	Timeout time.Duration
+	// Retry bounds reconnection after mid-fetch connection failures; the
+	// zero value enables it with defaults when a redial function exists
+	// (see RetryPolicy, NoRetry).
+	Retry RetryPolicy
+	// Alpha estimates the channel corruption probability from observed
+	// corrupted/received windows (§4.4). It is created lazily on the
+	// first AdaptGamma fetch and persists across fetches — α is a
+	// property of the channel, not of one document. Callers may install
+	// a shared or differently-weighted estimator before fetching.
+	Alpha *ewma.Estimator
+	// redial re-establishes the transport connection after a failure;
+	// nil means reconnection is unavailable (NewClient without
+	// SetRedial).
+	redial func() (net.Conn, error)
 	// prefetched holds receivers primed by Prefetch, consumed by the
 	// next Fetch of the same document.
 	prefetched map[string]*prefetchedDoc
@@ -35,16 +107,21 @@ type prefetchedDoc struct {
 	shape string
 }
 
-// Dial connects to a transmission server.
+// Dial connects to a transmission server. The address is kept as the
+// client's redial target, so fetches survive connection death (§4.2's
+// retransmission semantics extended across connections).
 func Dial(addr string) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
-	return NewClient(conn), nil
+	c := NewClient(conn)
+	c.redial = func() (net.Conn, error) { return net.Dial("tcp", addr) }
+	return c, nil
 }
 
 // NewClient wraps an existing connection (e.g. a net.Pipe end in tests).
+// A client built this way cannot reconnect until SetRedial is called.
 func NewClient(conn net.Conn) *Client {
 	return &Client{
 		conn: conn,
@@ -53,26 +130,68 @@ func NewClient(conn net.Conn) *Client {
 	}
 }
 
+// SetRedial installs the function used to re-establish the connection
+// after a mid-fetch failure (Dial installs one automatically).
+func (c *Client) SetRedial(redial func() (net.Conn, error)) { c.redial = redial }
+
 // Close releases the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
-func (c *Client) deadline() time.Time {
+// deadline computes the per-operation I/O deadline: the read/write
+// timeout, tightened by the context's own deadline when that is sooner.
+func (c *Client) deadline(ctx context.Context) time.Time {
 	t := c.Timeout
 	if t == 0 {
 		t = 30 * time.Second
 	}
-	return time.Now().Add(t)
+	d := time.Now().Add(t)
+	if cd, ok := ctx.Deadline(); ok && cd.Before(d) {
+		d = cd
+	}
+	return d
 }
 
-func (c *Client) send(req request) error {
+// armInterrupt makes ctx cancellation interrupt in-flight reads and
+// writes on the current connection by poisoning its deadlines; the
+// returned stop function releases the watcher. The interrupted operation
+// surfaces a timeout, which callers treat as a connection failure.
+func (c *Client) armInterrupt(ctx context.Context) func() {
+	if ctx.Done() == nil {
+		return func() {}
+	}
+	conn := c.conn
+	stop := context.AfterFunc(ctx, func() {
+		past := time.Unix(1, 0)
+		conn.SetReadDeadline(past)
+		conn.SetWriteDeadline(past)
+	})
+	return func() { stop() }
+}
+
+// ctxErr maps an I/O error caused by a context interrupt back to the
+// context's own error, so callers see context.Canceled rather than the
+// poisoned-deadline timeout armInterrupt produces.
+func ctxErr(ctx context.Context, err error) error {
+	if err != nil && ctx.Err() != nil {
+		return fmt.Errorf("transport: interrupted: %w", ctx.Err())
+	}
+	return err
+}
+
+// send writes one control message under a write deadline, so a wedged
+// peer (or dead link with full TCP buffers) cannot block forever.
+func (c *Client) send(ctx context.Context, req request) error {
+	if err := c.conn.SetWriteDeadline(c.deadline(ctx)); err != nil {
+		return err
+	}
 	if err := writeJSON(c.w, req); err != nil {
 		return err
 	}
 	return c.w.Flush()
 }
 
-func (c *Client) readResponse() (response, error) {
-	if err := c.conn.SetReadDeadline(c.deadline()); err != nil {
+func (c *Client) readResponse(ctx context.Context) (response, error) {
+	if err := c.conn.SetReadDeadline(c.deadline(ctx)); err != nil {
 		return response{}, err
 	}
 	line, err := c.r.ReadBytes('\n')
@@ -86,6 +205,68 @@ func (c *Client) readResponse() (response, error) {
 	return resp, nil
 }
 
+// reconnect redials after a connection failure with exponential backoff
+// and jitter, replacing the client's connection and buffers. The dead
+// connection is closed first so server-side resources unwind.
+func (c *Client) reconnect(ctx context.Context) error {
+	if c.redial == nil || !c.Retry.enabled() {
+		return fmt.Errorf("transport: reconnection disabled: %w", ErrDisconnected)
+	}
+	c.conn.Close()
+	p := c.Retry.withDefaults()
+	delay := p.BaseDelay
+	var lastErr error
+	for attempt := 0; attempt < p.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			delay *= 2
+			if delay > p.MaxDelay {
+				delay = p.MaxDelay
+			}
+		}
+		// Full jitter over the upper half of the window: waits stay
+		// spread out across clients without collapsing toward zero.
+		wait := delay/2 + time.Duration(rand.Int63n(int64(delay/2)+1))
+		timer := time.NewTimer(wait)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return ctx.Err()
+		case <-timer.C:
+		}
+		conn, err := c.redial()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		c.conn = conn
+		c.r = bufio.NewReader(conn)
+		c.w = bufio.NewWriter(conn)
+		return nil
+	}
+	if lastErr == nil {
+		lastErr = errors.New("no attempts made")
+	}
+	return fmt.Errorf("transport: redial failed after %d attempts: %w: %w", p.MaxAttempts, ErrDisconnected, lastErr)
+}
+
+// isConnError reports whether err looks like a transport/connection
+// failure worth reconnecting over, as opposed to a protocol-level error
+// (bad response, server-reported failure) that a new connection cannot
+// fix.
+func isConnError(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrBadResponse) {
+		return false
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	var nerr net.Error
+	return errors.As(err, &nerr)
+}
+
 // HitInfo is one search result.
 type HitInfo struct {
 	// Name and Title identify the document; Score is its query
@@ -96,12 +277,22 @@ type HitInfo struct {
 
 // Search runs a keyword query on the server.
 func (c *Client) Search(query string, limit int) ([]HitInfo, error) {
-	if err := c.send(request{Op: "search", Query: query, Limit: limit}); err != nil {
-		return nil, err
+	return c.SearchContext(context.Background(), query, limit)
+}
+
+// SearchContext is Search bounded by a context: cancellation interrupts
+// an in-flight network operation.
+func (c *Client) SearchContext(ctx context.Context, query string, limit int) ([]HitInfo, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("transport: interrupted: %w", err)
 	}
-	resp, err := c.readResponse()
+	defer c.armInterrupt(ctx)()
+	if err := c.send(ctx, request{Op: "search", Query: query, Limit: limit}); err != nil {
+		return nil, ctxErr(ctx, err)
+	}
+	resp, err := c.readResponse(ctx)
 	if err != nil {
-		return nil, err
+		return nil, ctxErr(ctx, err)
 	}
 	if !resp.OK {
 		return nil, fmt.Errorf("transport: search: %s", resp.Error)
@@ -143,11 +334,29 @@ type FetchOptions struct {
 	// reaches this threshold (the user judging relevance); zero means
 	// download to completion.
 	StopAtIC float64
-	// Caching keeps intact packets across retransmission rounds; false
-	// reloads from scratch (stock HTTP behaviour).
+	// Caching keeps intact packets across retransmission rounds — and
+	// across reconnections; false reloads from scratch (stock HTTP
+	// behaviour).
 	Caching bool
-	// MaxRounds caps retransmission rounds; zero means 10.
+	// MaxRounds caps transmission rounds, counting every request sent —
+	// initial round, retransmissions, and resumes after a reconnect —
+	// so a flapping link cannot loop forever. Zero means 10. Exhausting
+	// the budget returns ErrRoundsExhausted with the partial result.
 	MaxRounds int
+	// AdaptGamma feeds each round's corrupted/received counts into the
+	// client's EWMA α estimator and sizes every subsequent round's
+	// Gamma from the estimate via the negative-binomial analysis of
+	// §4.4, instead of reusing the fixed Gamma above. The estimate
+	// trajectory is reported in FetchResult.AlphaEstimates.
+	AdaptGamma bool
+	// TargetSuccess is the per-round reconstruction probability adaptive
+	// γ aims for; zero means 0.95.
+	TargetSuccess float64
+	// RoundTimeout bounds one whole transmission round (request,
+	// response, packet stream). A round that overruns is aborted and
+	// treated as a connection failure: the client reconnects and
+	// resumes. Zero applies only the per-operation Timeout.
+	RoundTimeout time.Duration
 	// OnProgress, when set, is invoked for every received frame.
 	OnProgress func(Progress)
 }
@@ -158,30 +367,52 @@ func fetchShape(opts FetchOptions) string {
 	return fmt.Sprintf("%s|%s|%d|%d|%g", opts.Doc, opts.Query, opts.LOD, opts.Notion, opts.Gamma)
 }
 
-// FetchResult summarizes a download.
+// FetchResult summarizes a download. On a terminal error (disconnect,
+// rounds exhausted, cancellation) Fetch returns the partial result
+// alongside the error: whatever units were rendered, the accrued
+// information content, and the held-packet count all remain usable.
 type FetchResult struct {
 	// PrefetchedPackets counts intact packets contributed by an earlier
 	// Prefetch of this document.
 	PrefetchedPackets int
 	// Body is the reconstructed document body, nil when the fetch
-	// stopped early at StopAtIC.
+	// stopped early at StopAtIC or ended on an error.
 	Body []byte
 	// InfoContent is the accrued information content at termination.
 	InfoContent float64
 	// Rendered lists every available unit in transmission order.
 	Rendered []core.RenderedUnit
-	// Rounds is the number of transmission rounds used.
+	// Rounds is the number of transmission rounds used (every request
+	// sent, including resumes after a reconnect).
 	Rounds int
+	// Reconnects counts connection failures survived by redialing.
+	Reconnects int
 	// PacketsReceived and PacketsCorrupted count frames seen on the
 	// wire.
 	PacketsReceived, PacketsCorrupted int
+	// HeldPackets is the number of intact packets held at the end.
+	HeldPackets int
 	// Stalled reports whether any round ended without termination.
 	Stalled bool
+	// AlphaEstimates is the EWMA channel-corruption estimate after each
+	// round, populated when AdaptGamma is set (§4.4).
+	AlphaEstimates []float64
+	// GammaRequests records the redundancy ratio requested each round
+	// (0 means "server default"); under AdaptGamma later entries track
+	// the estimated channel quality.
+	GammaRequests []float64
 }
 
 // Fetch downloads a document with fault-tolerant multi-resolution
 // transmission, driving the retransmission loop of §4.2.
 func (c *Client) Fetch(opts FetchOptions) (*FetchResult, error) {
+	return c.FetchContext(context.Background(), opts)
+}
+
+// FetchContext is Fetch bounded by a context: cancellation interrupts
+// in-flight network operations and stops the reconnect loop. Like Fetch,
+// it returns the partial result alongside any terminal error.
+func (c *Client) FetchContext(ctx context.Context, opts FetchOptions) (*FetchResult, error) {
 	if opts.Doc == "" {
 		return nil, fmt.Errorf("transport: fetch needs a document name")
 	}
@@ -192,11 +423,14 @@ func (c *Client) Fetch(opts FetchOptions) (*FetchResult, error) {
 	result := &FetchResult{}
 	var rcv *core.Receiver
 	seen := make(map[int]bool) // rendered units by permuted offset
+	shape := fetchShape(opts)
+	fromPrefetch := false
 
 	// Consume a primed receiver from an earlier Prefetch when the fetch
 	// shape matches.
-	if pre, ok := c.prefetched[opts.Doc]; ok && pre.shape == fetchShape(opts) {
+	if pre, ok := c.prefetched[opts.Doc]; ok && pre.shape == shape {
 		rcv = pre.rcv
+		fromPrefetch = true
 		result.PrefetchedPackets = rcv.IntactCount()
 		delete(c.prefetched, opts.Doc)
 		// A fully-primed receiver needs no network at all.
@@ -205,85 +439,264 @@ func (c *Client) Fetch(opts FetchOptions) (*FetchResult, error) {
 		}
 	}
 
-	for round := 0; round < maxRounds; round++ {
+	// fail ends the fetch with a terminal error but still returns the
+	// partial result; a receiver consumed from a Prefetch is re-primed
+	// so a retry keeps the prefetch benefit.
+	fail := func(err error) (*FetchResult, error) {
+		if fromPrefetch && rcv != nil {
+			c.primeReceiver(opts.Doc, shape, rcv)
+		}
+		partial, ferr := c.finish(rcv, opts, result)
+		if ferr != nil {
+			partial = result
+		}
+		return partial, err
+	}
+
+	gamma := opts.Gamma
+	for result.Rounds < maxRounds {
+		if err := ctx.Err(); err != nil {
+			return fail(err)
+		}
 		result.Rounds++
-		req := request{Op: "fetch", Doc: opts.Doc, Query: opts.Query, Gamma: opts.Gamma}
-		if opts.LOD != 0 {
-			req.LOD = opts.LOD.String()
+		// NoCaching semantics apply between transmission rounds —
+		// including resumes after a reconnect; prefetched packets on the
+		// first round are local state, not a retransmission cache.
+		noCaching := result.Rounds > 1 && !opts.Caching
+		rctx := ctx
+		cancel := func() {}
+		if opts.RoundTimeout > 0 {
+			rctx, cancel = context.WithTimeout(ctx, opts.RoundTimeout)
 		}
-		if opts.Notion != 0 {
-			req.Notion = opts.Notion.String()
-		}
-		if rcv != nil && opts.Caching {
-			for seq := 0; seq < rcv.Layout().N(); seq++ {
-				if rcv.Held(seq) {
-					req.Have = append(req.Have, seq)
+		recBefore, corBefore := result.PacketsReceived, result.PacketsCorrupted
+		newRcv, done, err := c.runRound(rctx, opts, gamma, rcv, result, seen, noCaching)
+		cancel()
+		rcv = newRcv
+		// Feed the round's observed corruption window into the α
+		// estimator even when the round failed mid-stream: a partial
+		// window still carries channel information.
+		if opts.AdaptGamma {
+			if window := result.PacketsReceived - recBefore; window > 0 {
+				est := c.alphaEstimator()
+				est.ObserveWindow(result.PacketsCorrupted-corBefore, window)
+				if a, ok := est.Value(); ok {
+					result.AlphaEstimates = append(result.AlphaEstimates, a)
+					if rcv != nil {
+						if g, ok := adaptiveGamma(rcv.Layout(), a, opts.TargetSuccess); ok {
+							gamma = g
+						}
+					}
 				}
 			}
 		}
-		if err := c.send(req); err != nil {
-			return nil, err
+		if err == nil {
+			if done {
+				return c.finish(rcv, opts, result)
+			}
+			result.Stalled = true
+			continue
 		}
-		resp, err := c.readResponse()
-		if err != nil {
-			return nil, err
+		if !isConnError(err) {
+			return fail(err)
 		}
-		if !resp.OK {
-			return nil, fmt.Errorf("transport: fetch: %s", resp.Error)
+		if cerr := ctx.Err(); cerr != nil {
+			// The context interrupted the round; report the cause, not
+			// the induced I/O timeout.
+			return fail(cerr)
 		}
-		if resp.Layout == nil {
-			return nil, fmt.Errorf("%w: fetch response missing layout", ErrBadResponse)
+		// The connection died (or the round deadline fired) mid-round:
+		// redial with backoff and resume, carrying the receiver so held
+		// packets survive the disconnect.
+		result.Reconnects++
+		if rerr := c.reconnect(ctx); rerr != nil {
+			return fail(fmt.Errorf("transport: fetch %s: %w (round failed: %w)", opts.Doc, rerr, err))
 		}
-		if rcv != nil && (rcv.Layout().N() != resp.Layout.N() || rcv.Layout().BodySize != resp.Layout.BodySize) {
-			// The document changed server-side since the receiver was
-			// primed; its packets are useless.
+	}
+	return fail(fmt.Errorf("transport: fetch %s: %w", opts.Doc, ErrRoundsExhausted))
+}
+
+// runRound performs one request/stream cycle: send the fetch request
+// (with the Have list when caching), read the layout header, and consume
+// the packet stream until termination or end-of-stream. It returns the
+// (possibly rebuilt) receiver so callers keep it across failures.
+func (c *Client) runRound(ctx context.Context, opts FetchOptions, gamma float64, rcv *core.Receiver, result *FetchResult, seen map[int]bool, noCaching bool) (*core.Receiver, bool, error) {
+	defer c.armInterrupt(ctx)()
+	req := request{Op: "fetch", Doc: opts.Doc, Query: opts.Query, Gamma: gamma}
+	if opts.LOD != 0 {
+		req.LOD = opts.LOD.String()
+	}
+	if opts.Notion != 0 {
+		req.Notion = opts.Notion.String()
+	}
+	if rcv != nil && opts.Caching {
+		for seq := 0; seq < rcv.Layout().N(); seq++ {
+			if rcv.Held(seq) {
+				req.Have = append(req.Have, seq)
+			}
+		}
+	}
+	result.GammaRequests = append(result.GammaRequests, gamma)
+	if err := c.send(ctx, req); err != nil {
+		return rcv, false, err
+	}
+	resp, err := c.readResponse(ctx)
+	if err != nil {
+		return rcv, false, err
+	}
+	if !resp.OK {
+		return rcv, false, fmt.Errorf("transport: fetch: %s", resp.Error)
+	}
+	if resp.Layout == nil {
+		return rcv, false, fmt.Errorf("%w: fetch response missing layout", ErrBadResponse)
+	}
+	if rcv != nil && (rcv.Layout().N() != resp.Layout.N() || rcv.Layout().BodySize != resp.Layout.BodySize) {
+		// The geometry changed. A pure γ change (adaptive redundancy)
+		// keeps every held cooked packet valid — systematic dispersal
+		// rows are independent of N — so rebase onto the new layout;
+		// anything else means the document changed server-side and the
+		// cache is useless.
+		rebased, rerr := rcv.Rebase(*resp.Layout)
+		if rerr != nil {
 			rcv = nil
 			result.PrefetchedPackets = 0
+		} else {
+			rcv = rebased
 		}
-		if rcv == nil {
-			rcv, err = core.NewReceiverFromLayout(*resp.Layout)
-			if err != nil {
-				return nil, err
-			}
-		} else if round > 0 && !opts.Caching {
-			// NoCaching semantics apply between retransmission rounds;
-			// prefetched packets on round 0 are local state, not a
-			// retransmission cache.
-			rcv.Reset()
-		}
-
-		done, err := c.consumeStream(rcv, opts, result, seen)
-		if err != nil {
-			return nil, err
-		}
-		if done {
-			return c.finish(rcv, opts, result)
-		}
-		result.Stalled = true
 	}
-	// Out of rounds: return what we have, marked stalled.
-	return c.finish(rcv, opts, result)
+	if rcv == nil {
+		rcv, err = core.NewReceiverFromLayout(*resp.Layout)
+		if err != nil {
+			return nil, false, err
+		}
+	} else if noCaching {
+		rcv.Reset()
+	}
+	done, err := c.consumeStream(ctx, rcv, opts, result, seen)
+	return rcv, done, err
+}
+
+// alphaEstimator lazily creates the client's channel-quality estimator.
+func (c *Client) alphaEstimator() *ewma.Estimator {
+	if c.Alpha == nil {
+		c.Alpha, _ = ewma.New(defaultAlphaWeight) // constant weight is valid
+	}
+	return c.Alpha
+}
+
+// adaptiveGamma sizes the next round's redundancy ratio from the
+// estimated corruption probability (§4.4): the smallest γ whose
+// negative-binomial per-round reconstruction probability reaches the
+// target for the layout's largest generation, rounded up to coarse
+// steps so the server's plan cache is not churned by tiny γ changes.
+// ok=false keeps the previous γ (degenerate layout, or α so high no
+// feasible redundancy reaches the target).
+func adaptiveGamma(layout core.Layout, alphaEst, target float64) (gamma float64, ok bool) {
+	m := 0
+	for _, s := range layout.Shapes {
+		if s.M > m {
+			m = s.M
+		}
+	}
+	if m == 0 {
+		return 0, false
+	}
+	if target <= 0 || target >= 1 {
+		target = defaultTargetSuccess
+	}
+	if alphaEst < 0 {
+		alphaEst = 0
+	}
+	if alphaEst > maxAdaptiveAlpha {
+		alphaEst = maxAdaptiveAlpha
+	}
+	g, err := core.GammaFor(m, alphaEst, target)
+	if err != nil {
+		return 0, false
+	}
+	g = math.Ceil(g*gammaSteps) / gammaSteps
+	if g < 1 {
+		g = 1
+	}
+	return g, true
+}
+
+// PrefetchResult reports a prefetch window's accounting.
+type PrefetchResult struct {
+	// Received counts frames that crossed the wire during this call —
+	// the unit the budget is charged in, since transmissions are what
+	// the idle window's bandwidth affords: a corrupted frame costs air
+	// time whether or not it contributes an intact packet.
+	Received int
+	// Intact is the primed receiver's total intact packet count after
+	// the call, including packets from earlier prefetches of the same
+	// document.
+	Intact int
 }
 
 // Prefetch pulls up to budgetPackets frames of a document into a primed
 // receiver during idle time (§6's intelligent prefetching on the live
-// transport) and stops the stream. The next Fetch with the same
-// plan-affecting options (Doc, Query, LOD, Notion, Gamma) starts from the
-// prefetched packets; its result reports them in PrefetchedPackets.
-// Prefetching the same document again tops up the primed receiver.
-func (c *Client) Prefetch(opts FetchOptions, budgetPackets int) (intact int, err error) {
+// transport) and stops the stream. The budget is counted in
+// transmissions, not intact packets — corrupted frames burn budget
+// because they burn the idle window's air time — and the result reports
+// both counts. The next Fetch with the same plan-affecting options (Doc,
+// Query, LOD, Notion, Gamma) starts from the prefetched packets; its
+// result reports them in PrefetchedPackets. Prefetching the same
+// document again tops up the primed receiver. On error, frames received
+// before the failure are still primed for the next Fetch.
+func (c *Client) Prefetch(opts FetchOptions, budgetPackets int) (PrefetchResult, error) {
+	return c.PrefetchContext(context.Background(), opts, budgetPackets)
+}
+
+// PrefetchContext is Prefetch bounded by a context; like Fetch it
+// reconnects and resumes on mid-stream connection failures.
+func (c *Client) PrefetchContext(ctx context.Context, opts FetchOptions, budgetPackets int) (PrefetchResult, error) {
+	var res PrefetchResult
 	if opts.Doc == "" {
-		return 0, fmt.Errorf("transport: prefetch needs a document name")
+		return res, fmt.Errorf("transport: prefetch needs a document name")
 	}
 	if budgetPackets < 1 {
-		return 0, fmt.Errorf("transport: prefetch budget %d, want >= 1", budgetPackets)
+		return res, fmt.Errorf("transport: prefetch budget %d, want >= 1", budgetPackets)
 	}
 	shape := fetchShape(opts)
 	var rcv *core.Receiver
 	if pre, ok := c.prefetched[opts.Doc]; ok && pre.shape == shape {
 		rcv = pre.rcv
 	}
+	// save primes whatever was received — even a partial window on the
+	// error path — for the next Fetch.
+	save := func() {
+		if rcv != nil {
+			c.primeReceiver(opts.Doc, shape, rcv)
+			res.Intact = rcv.IntactCount()
+		}
+	}
+	// Resumes are bounded by the retry budget: each reconnect already
+	// backs off internally, and a prefetch is best-effort work.
+	resumes := c.Retry.withDefaults().MaxAttempts
+	for attempt := 0; ; attempt++ {
+		newRcv, err := c.prefetchRound(ctx, opts, rcv, budgetPackets, &res)
+		rcv = newRcv
+		if err == nil {
+			save()
+			return res, nil
+		}
+		if !isConnError(err) || ctx.Err() != nil || attempt >= resumes {
+			save()
+			return res, err
+		}
+		if rerr := c.reconnect(ctx); rerr != nil {
+			save()
+			return res, fmt.Errorf("transport: prefetch %s: %w (round failed: %w)", opts.Doc, rerr, err)
+		}
+	}
+}
 
+// prefetchRound streams one prefetch window: request (with the Have list
+// so resumes and top-ups skip held packets), layout, then frames until
+// the budget is spent, the document is reconstructible, or the stream
+// ends. It returns the (possibly rebuilt) receiver.
+func (c *Client) prefetchRound(ctx context.Context, opts FetchOptions, rcv *core.Receiver, budget int, res *PrefetchResult) (*core.Receiver, error) {
+	defer c.armInterrupt(ctx)()
 	req := request{Op: "fetch", Doc: opts.Doc, Query: opts.Query, Gamma: opts.Gamma}
 	if opts.LOD != 0 {
 		req.LOD = opts.LOD.String()
@@ -298,65 +711,77 @@ func (c *Client) Prefetch(opts FetchOptions, budgetPackets int) (intact int, err
 			}
 		}
 	}
-	if err := c.send(req); err != nil {
-		return 0, err
+	if err := c.send(ctx, req); err != nil {
+		return rcv, err
 	}
-	resp, err := c.readResponse()
+	resp, err := c.readResponse(ctx)
 	if err != nil {
-		return 0, err
+		return rcv, err
 	}
 	if !resp.OK {
-		return 0, fmt.Errorf("transport: prefetch: %s", resp.Error)
+		return rcv, fmt.Errorf("transport: prefetch: %s", resp.Error)
 	}
 	if resp.Layout == nil {
-		return 0, fmt.Errorf("%w: fetch response missing layout", ErrBadResponse)
+		return rcv, fmt.Errorf("%w: fetch response missing layout", ErrBadResponse)
+	}
+	if rcv != nil && (rcv.Layout().N() != resp.Layout.N() || rcv.Layout().BodySize != resp.Layout.BodySize) {
+		rebased, rerr := rcv.Rebase(*resp.Layout)
+		if rerr != nil {
+			rcv = nil
+		} else {
+			rcv = rebased
+		}
 	}
 	if rcv == nil {
 		rcv, err = core.NewReceiverFromLayout(*resp.Layout)
 		if err != nil {
-			return 0, err
+			return nil, err
 		}
 	}
 
-	received, stopped := 0, false
+	stopped := false
 	for {
-		if err := c.conn.SetReadDeadline(c.deadline()); err != nil {
-			return 0, err
+		if err := c.conn.SetReadDeadline(c.deadline(ctx)); err != nil {
+			return rcv, err
 		}
 		frame, err := readFrame(c.r)
 		if err != nil {
-			return 0, err
+			return rcv, err
 		}
 		if frame == nil {
-			break
+			return rcv, nil
 		}
 		if stopped {
 			continue // draining
 		}
-		received++
+		res.Received++
 		if _, _, err := rcv.AddFrame(frame); err != nil {
-			return 0, err
+			return rcv, err
 		}
-		if received >= budgetPackets || rcv.Reconstructible() {
-			if err := c.send(request{Op: "stop"}); err != nil {
-				return 0, err
+		if res.Received >= budget || rcv.Reconstructible() {
+			if err := c.send(ctx, request{Op: "stop"}); err != nil {
+				return rcv, err
 			}
 			stopped = true
 		}
 	}
+}
+
+// primeReceiver stores a receiver for consumption by the next Fetch of
+// the same document and shape.
+func (c *Client) primeReceiver(doc, shape string, rcv *core.Receiver) {
 	if c.prefetched == nil {
 		c.prefetched = make(map[string]*prefetchedDoc)
 	}
-	c.prefetched[opts.Doc] = &prefetchedDoc{rcv: rcv, shape: shape}
-	return rcv.IntactCount(), nil
+	c.prefetched[doc] = &prefetchedDoc{rcv: rcv, shape: shape}
 }
 
 // consumeStream reads frames until termination or end-of-stream. It
 // returns done=true when a §4.2 termination condition fired.
-func (c *Client) consumeStream(rcv *core.Receiver, opts FetchOptions, result *FetchResult, seen map[int]bool) (bool, error) {
+func (c *Client) consumeStream(ctx context.Context, rcv *core.Receiver, opts FetchOptions, result *FetchResult, seen map[int]bool) (bool, error) {
 	terminatedEarly := false
 	for {
-		if err := c.conn.SetReadDeadline(c.deadline()); err != nil {
+		if err := c.conn.SetReadDeadline(c.deadline(ctx)); err != nil {
 			return false, err
 		}
 		frame, err := readFrame(c.r)
@@ -393,7 +818,7 @@ func (c *Client) consumeStream(rcv *core.Receiver, opts FetchOptions, result *Fe
 		if intact && c.terminated(rcv, opts) {
 			// Tell the transmitter to stop, then drain to the end
 			// marker so the connection stays usable.
-			if err := c.send(request{Op: "stop"}); err != nil {
+			if err := c.send(ctx, request{Op: "stop"}); err != nil {
 				return false, err
 			}
 			terminatedEarly = true
@@ -414,6 +839,7 @@ func (c *Client) finish(rcv *core.Receiver, opts FetchOptions, result *FetchResu
 	}
 	result.InfoContent = rcv.InfoContent()
 	result.Rendered = rcv.Render()
+	result.HeldPackets = rcv.IntactCount()
 	if rcv.Reconstructible() {
 		body, err := rcv.Reconstruct()
 		if err != nil {

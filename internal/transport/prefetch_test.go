@@ -17,12 +17,12 @@ func TestPrefetchThenFetch(t *testing.T) {
 		LOD:    document.LODParagraph,
 		Notion: content.NotionQIC,
 	}
-	intact, err := client.Prefetch(opts, 15)
+	got, err := client.Prefetch(opts, 15)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if intact != 15 {
-		t.Errorf("prefetched %d intact packets on a clean channel, want 15", intact)
+	if got.Intact != 15 || got.Received != 15 {
+		t.Errorf("prefetched %d intact of %d received on a clean channel, want 15/15", got.Intact, got.Received)
 	}
 	opts.Caching = true
 	res, err := client.Fetch(opts)
@@ -56,12 +56,15 @@ func TestPrefetchTopUp(t *testing.T) {
 	if _, err := client.Prefetch(opts, 10); err != nil {
 		t.Fatal(err)
 	}
-	intact, err := client.Prefetch(opts, 10)
+	got, err := client.Prefetch(opts, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if intact != 20 {
-		t.Errorf("topped-up prefetch holds %d packets, want 20", intact)
+	if got.Intact != 20 {
+		t.Errorf("topped-up prefetch holds %d packets, want 20", got.Intact)
+	}
+	if got.Received != 10 {
+		t.Errorf("top-up window received %d frames, want its own budget of 10", got.Received)
 	}
 }
 
@@ -103,13 +106,22 @@ func TestPrefetchOverLossyChannelStillHelps(t *testing.T) {
 	}
 	client := startServer(t, ServerOptions{Injector: NewModelInjector(model)})
 	opts := FetchOptions{Doc: corpus.DraftName, Caching: true, MaxRounds: 30}
-	intact, err := client.Prefetch(opts, 20)
+	got, err := client.Prefetch(opts, 20)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if intact == 0 {
+	// The budget is charged in transmissions: corrupted frames burn it
+	// without contributing intact packets.
+	if got.Received != 20 {
+		t.Errorf("lossy prefetch received %d frames, want the full budget of 20", got.Received)
+	}
+	if got.Intact == 0 {
 		t.Fatal("lossy prefetch delivered nothing")
 	}
+	if got.Intact > got.Received {
+		t.Errorf("intact %d exceeds received %d", got.Intact, got.Received)
+	}
+	intact := got.Intact
 	res, err := client.Fetch(opts)
 	if err != nil {
 		t.Fatal(err)

@@ -38,6 +38,14 @@ var (
 	ErrServerClosed = errors.New("transport: server closed")
 	// ErrBadResponse signals a malformed server reply.
 	ErrBadResponse = errors.New("transport: malformed response")
+	// ErrDisconnected marks a fetch that lost its connection and could
+	// not re-establish it (reconnection disabled, or every redial
+	// attempt failed). The partial FetchResult is still returned.
+	ErrDisconnected = errors.New("transport: disconnected")
+	// ErrRoundsExhausted marks a fetch that spent its MaxRounds budget
+	// without reaching a §4.2 termination condition. The partial
+	// FetchResult is still returned.
+	ErrRoundsExhausted = errors.New("transport: retransmission rounds exhausted")
 )
 
 // request is a client→server control message.

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"context"
 	"net"
 	"strings"
 	"testing"
@@ -315,10 +316,10 @@ func TestDropInjector(t *testing.T) {
 
 func TestUnknownOp(t *testing.T) {
 	client := startServer(t, ServerOptions{})
-	if err := client.send(request{Op: "bogus"}); err != nil {
+	if err := client.send(context.Background(), request{Op: "bogus"}); err != nil {
 		t.Fatal(err)
 	}
-	resp, err := client.readResponse()
+	resp, err := client.readResponse(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -39,6 +39,7 @@ package mobweb
 import (
 	"bytes"
 	"fmt"
+	"net"
 	"net/http"
 
 	"mobweb/internal/baseline"
@@ -109,12 +110,24 @@ type (
 	Client = transport.Client
 	// FetchOptions parameterizes a client fetch.
 	FetchOptions = transport.FetchOptions
-	// FetchResult summarizes a fetch.
+	// FetchResult summarizes a fetch; on terminal errors it is returned
+	// partially filled alongside the error.
 	FetchResult = transport.FetchResult
+	// PrefetchResult reports a prefetch window's received/intact counts.
+	PrefetchResult = transport.PrefetchResult
+	// RetryPolicy bounds client reconnection (attempts, backoff) after a
+	// mid-fetch connection failure.
+	RetryPolicy = transport.RetryPolicy
 	// Progress reports per-frame download progress.
 	Progress = transport.Progress
 	// FaultInjector emulates the wireless hop on the live transport.
 	FaultInjector = transport.FaultInjector
+	// ChaosPolicy schedules deterministic connection kills for
+	// disconnection drills.
+	ChaosPolicy = transport.ChaosPolicy
+	// ChaosListener wraps a listener so accepted connections die on the
+	// policy's seeded schedule.
+	ChaosListener = transport.ChaosListener
 	// SimParams parameterizes the paper's evaluation model.
 	SimParams = sim.Params
 	// SimResult aggregates a simulation run.
@@ -243,8 +256,33 @@ func NewPlanner(engine *Engine, opts PlannerOptions) (*Planner, error) {
 	return planner.New(engine, opts)
 }
 
-// Dial connects a client to a transmission server.
+// Dial connects a client to a transmission server. The client keeps the
+// address for redialing, so fetches survive connection death (tune with
+// Client.Retry; disable with NoRetry).
 func Dial(addr string) (*Client, error) { return transport.Dial(addr) }
+
+// NoRetry disables client reconnection: the first connection failure is
+// terminal.
+var NoRetry = transport.NoRetry
+
+// Terminal fetch-failure classes. Fetch returns the partial FetchResult
+// alongside these, so callers can still use rendered units, accrued
+// information content, and held packets.
+var (
+	// ErrDisconnected marks a fetch that lost its connection and could
+	// not re-establish it.
+	ErrDisconnected = transport.ErrDisconnected
+	// ErrRoundsExhausted marks a fetch that spent MaxRounds without
+	// completing.
+	ErrRoundsExhausted = transport.ErrRoundsExhausted
+)
+
+// NewChaosListener wraps a listener so accepted connections are killed,
+// stalled and truncated mid-frame on a deterministic seeded schedule —
+// a drill harness for the reconnect/resume path.
+func NewChaosListener(ln net.Listener, policy ChaosPolicy) *ChaosListener {
+	return transport.NewChaosListener(ln, policy)
+}
 
 // BernoulliInjector returns a fault injector corrupting each frame
 // independently with probability alpha — the paper's channel model on the
