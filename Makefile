@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench figures paperscale fuzz lint vulncheck verify clean
+.PHONY: all build test race bench bench-json figures paperscale fuzz lint vulncheck verify clean
 
 all: build test
 
@@ -39,6 +39,12 @@ verify: lint vulncheck
 bench:
 	go test -bench=. -benchmem ./...
 
+# Erasure-codec kernel matrix (kernels × M × packet size, plus the
+# parallel worker sweep): machine-readable BENCH_erasure.json at the repo
+# root and the human table under results/. See DESIGN.md §10.
+bench-json:
+	go run ./cmd/erasurebench -json BENCH_erasure.json -txt results/erasure-kernel-bench.txt
+
 # Regenerate every table and figure at the default reduced scale.
 figures:
 	go run ./cmd/mrtfigures -exp all
@@ -48,6 +54,7 @@ paperscale:
 	MOBWEB_PAPERSCALE=1 go test ./internal/sim -run TestPaperScaleSpotChecks -v
 
 fuzz:
+	go test -fuzz=FuzzKernels -fuzztime=30s ./internal/gf256
 	go test -fuzz=FuzzParseHTML -fuzztime=30s ./internal/markup
 	go test -fuzz=FuzzParseXML -fuzztime=30s ./internal/markup
 	go test -fuzz=FuzzUnmarshal -fuzztime=30s ./internal/packet

@@ -22,6 +22,7 @@ import (
 	"mobweb/internal/core"
 	"mobweb/internal/corpus"
 	"mobweb/internal/gateway"
+	"mobweb/internal/gf256"
 	"mobweb/internal/planner"
 	"mobweb/internal/search"
 	"mobweb/internal/textproc"
@@ -51,9 +52,16 @@ func run(args []string) error {
 	chaosMin := fs.Int("chaos-min", 0, "min bytes a connection may write before a chaos kill (0 = 2048)")
 	chaosMax := fs.Int("chaos-max", 0, "max bytes before a chaos kill (0 = 4x min)")
 	chaosStall := fs.Duration("chaos-stall", 0, "stall a connection this long before severing it")
+	gfKernel := fs.String("gf-kernel", "", "GF(2^8) slice kernel: logexp, table, nibble or auto (default: $MOBWEB_GF_KERNEL or auto-calibrate)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *gfKernel != "" {
+		if err := gf256.SetKernel(*gfKernel); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("gf256 kernel: %s\n", gf256.KernelName())
 
 	engine := search.NewEngine(textproc.Options{})
 	if !*noCorpus {

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestReceiverDecodeMemo checks that repeated reads (UnitText, Render,
+// Reconstruct) reuse one decode per generation, that the memo survives
+// further Adds, and that Reset drops it.
+func TestReceiverDecodeMemo(t *testing.T) {
+	doc, scores := paperShapedDoc(t)
+	plan, err := NewPlanWithScores(doc, scores, Config{MaxGeneration: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcv, err := NewReceiver(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := plan.Layout()
+
+	// Withhold as many of generation 0's clear packets as it has parity,
+	// so its decode needs a real inversion; everything else arrives clear.
+	shape0 := layout.Shapes[0]
+	withheld := shape0.N - shape0.M
+	for seq := 0; seq < layout.N(); seq++ {
+		g, _, cookedOff, err := layout.genBounds(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		local := seq - cookedOff
+		if g == 0 && local < withheld {
+			continue // withhold generation 0's clear-text prefix
+		}
+		payload, err := plan.CookedPayload(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rcv.Add(seq, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !rcv.Reconstructible() {
+		t.Fatal("receiver not reconstructible with parity for gen 0 and full clear elsewhere")
+	}
+
+	want, err := rcv.Reconstruct()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, plan.Doc().Body()) {
+		t.Fatal("reconstructed body mismatch")
+	}
+	if rcv.decoded[0] == nil {
+		t.Fatal("generation 0 decode not memoized by Reconstruct")
+	}
+	memo := &rcv.decoded[0][0][0]
+
+	// Further reads serve the same memoized decode.
+	_ = rcv.Render()
+	if &rcv.decoded[0][0][0] != memo {
+		t.Fatal("Render re-decoded generation 0")
+	}
+
+	// Adding more packets must not invalidate (the decode result is fixed
+	// once reconstructible).
+	payload, err := plan.CookedPayload(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rcv.Add(0, payload); err != nil {
+		t.Fatal(err)
+	}
+	if rcv.decoded[0] == nil || &rcv.decoded[0][0][0] != memo {
+		t.Fatal("Add invalidated the decode memo")
+	}
+	got, err := rcv.Reconstruct()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("reconstruction changed after extra Add")
+	}
+
+	// Reset drops the memo with the packets.
+	rcv.Reset()
+	for g := range rcv.decoded {
+		if rcv.decoded[g] != nil {
+			t.Fatalf("Reset left generation %d memo in place", g)
+		}
+	}
+}

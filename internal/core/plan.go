@@ -284,11 +284,18 @@ func (p *Plan) ParityEncodes() int64 { return p.parityEncodes.Load() }
 // Frame marshals the cooked packet at seq into its wire frame
 // (sequence number + CRC + payload).
 func (p *Plan) Frame(seq int) ([]byte, error) {
+	return p.AppendFrame(nil, seq)
+}
+
+// AppendFrame appends the cooked packet's wire frame to dst and returns
+// the extended slice. Stream loops reuse one buffer across a round, so
+// steady-state transmission allocates nothing per frame.
+func (p *Plan) AppendFrame(dst []byte, seq int) ([]byte, error) {
 	payload, err := p.CookedPayload(seq)
 	if err != nil {
 		return nil, err
 	}
-	return packet.Packet{Seq: seq, Payload: payload}.Marshal()
+	return packet.Packet{Seq: seq, Payload: payload}.AppendMarshal(dst)
 }
 
 // locate maps a global cooked sequence number to (generation, index).

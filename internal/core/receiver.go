@@ -28,6 +28,11 @@ type Receiver struct {
 	intact map[int][]byte // global cooked seq → payload
 	// perGen counts intact packets per generation for O(1) stall checks.
 	perGen []int
+	// decoded memoizes each generation's decoded raw packets. Once a
+	// generation is reconstructible its decode result is fixed — extra
+	// packets can only re-derive the same raw bytes — so the memo is
+	// never invalidated by Add, only by Reset.
+	decoded [][][]byte
 }
 
 // NewReceiver returns an empty receiver for the plan's layout.
@@ -45,10 +50,11 @@ func NewReceiverFromLayout(layout Layout) (*Receiver, error) {
 		return nil, err
 	}
 	r := &Receiver{
-		layout: layout,
-		coders: make([]*erasure.Coder, len(layout.Shapes)),
-		intact: make(map[int][]byte),
-		perGen: make([]int, len(layout.Shapes)),
+		layout:  layout,
+		coders:  make([]*erasure.Coder, len(layout.Shapes)),
+		intact:  make(map[int][]byte),
+		perGen:  make([]int, len(layout.Shapes)),
+		decoded: make([][][]byte, len(layout.Shapes)),
 	}
 	for i, s := range layout.Shapes {
 		coder, err := erasure.Shared(s.M, s.N)
@@ -86,9 +92,10 @@ func (r *Receiver) Add(seq int, payload []byte) error {
 
 // AddFrame parses a wire frame, verifies its CRC, and records it when
 // intact. It returns the (claimed) sequence number and whether the packet
-// was intact. Truncated frames return an error.
+// was intact. Truncated frames return an error. The frame buffer may be
+// reused by the caller: Parse only borrows it, and Add copies the payload.
 func (r *Receiver) AddFrame(frame []byte) (seq int, intact bool, err error) {
-	p, err := packet.Unmarshal(frame)
+	p, err := packet.Parse(frame)
 	if errors.Is(err, packet.ErrCorrupt) {
 		return p.Seq, false, nil
 	}
@@ -168,6 +175,26 @@ func (r *Receiver) Reset() {
 	for i := range r.perGen {
 		r.perGen[i] = 0
 	}
+	for i := range r.decoded {
+		r.decoded[i] = nil
+	}
+}
+
+// decodeGeneration returns generation g's raw packets, decoding on first
+// use and serving the memo afterwards. Callers must have checked
+// reconstructibility; the memo is sound because a reconstructible
+// generation always decodes to the same raw bytes no matter which packet
+// subset the codec picks.
+func (r *Receiver) decodeGeneration(g int) ([][]byte, error) {
+	if r.decoded[g] != nil {
+		return r.decoded[g], nil
+	}
+	raw, err := r.coders[g].Decode(r.generationIntact(g))
+	if err != nil {
+		return nil, err
+	}
+	r.decoded[g] = raw
+	return raw, nil
 }
 
 // GenerationReconstructible reports whether dispersal group g holds at
@@ -223,7 +250,7 @@ func (r *Receiver) Reconstruct() ([]byte, error) {
 	}
 	permuted := make([]byte, 0, r.layout.M()*r.layout.PacketSize)
 	for g := range r.layout.Shapes {
-		raw, err := r.coders[g].Decode(r.generationIntact(g))
+		raw, err := r.decodeGeneration(g)
 		if err != nil {
 			return nil, fmt.Errorf("generation %d: %w", g, err)
 		}
@@ -351,7 +378,7 @@ func (r *Receiver) rawBytes(rawIdx int) ([]byte, bool) {
 		if !r.GenerationReconstructible(g) {
 			return nil, false
 		}
-		raw, err := r.coders[g].Decode(r.generationIntact(g))
+		raw, err := r.decodeGeneration(g)
 		if err != nil {
 			return nil, false
 		}

@@ -1,0 +1,73 @@
+package crc
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// benchSink defeats dead-code elimination of the benchmarked calls.
+var benchSink uint16
+
+// TestSlicingMatchesBytewise cross-checks the slicing-by-8 path against
+// the byte-at-a-time reference for arbitrary data and register states.
+func TestSlicingMatchesBytewise(t *testing.T) {
+	f := func(crc uint16, data []byte) bool {
+		return Update(crc, data) == updateBytewise(crc, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSlicingAllLengths sweeps every length around the 8-byte block
+// boundary so both the sliced loop and the bytewise tail are exercised in
+// every alignment.
+func TestSlicingAllLengths(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	data := make([]byte, 64)
+	rng.Read(data)
+	for n := 0; n <= len(data); n++ {
+		if got, want := Checksum(data[:n]), updateBytewise(Init, data[:n]); got != want {
+			t.Fatalf("len %d: sliced %#04x, bytewise %#04x", n, got, want)
+		}
+	}
+}
+
+// TestSliceTableConstruction pins _slice[k][v] to its definition: the CRC
+// of byte v followed by k zero bytes, starting from a zero register.
+func TestSliceTableConstruction(t *testing.T) {
+	for k := 0; k < 8; k++ {
+		for v := 0; v < 256; v++ {
+			msg := make([]byte, k+1)
+			msg[0] = byte(v)
+			if got, want := _slice[k][v], updateBytewise(0, msg); got != want {
+				t.Fatalf("_slice[%d][%d] = %#04x, want %#04x", k, v, got, want)
+			}
+		}
+	}
+}
+
+func BenchmarkUpdate(b *testing.B) {
+	for _, size := range []int{64, 260, 1024, 4096} {
+		data := make([]byte, size)
+		rand.New(rand.NewSource(22)).Read(data)
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			b.SetBytes(int64(size))
+			var sink uint16
+			for i := 0; i < b.N; i++ {
+				sink ^= Update(Init, data)
+			}
+			benchSink = sink
+		})
+		b.Run(fmt.Sprintf("size=%d/bytewise", size), func(b *testing.B) {
+			b.SetBytes(int64(size))
+			var sink uint16
+			for i := 0; i < b.N; i++ {
+				sink ^= updateBytewise(Init, data)
+			}
+			benchSink = sink
+		})
+	}
+}

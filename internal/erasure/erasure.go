@@ -13,11 +13,18 @@
 //   - ANY M intact cooked packets reconstruct all M raw packets, by
 //     inverting the corresponding M×M submatrix (Rabin's IDA, JACM 1989,
 //     with the Vandermonde modification the paper describes).
+//
+// The byte work runs through the pluggable GF(2^8) slice kernels in
+// package gf256; output rows are computed by a GOMAXPROCS-bounded worker
+// pool above a work-size cutover (see parallel.go); and submatrix
+// inversions are memoized per Coder because retransmission rounds repeat
+// row patterns (see invcache.go).
 package erasure
 
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"mobweb/internal/matrix"
 )
@@ -40,12 +47,13 @@ var (
 )
 
 // Coder encodes M raw packets into N cooked packets and decodes any M of
-// them back. A Coder is immutable after construction and safe for
-// concurrent use.
+// them back. A Coder's coding parameters are immutable after
+// construction and it is safe for concurrent use; the only mutable state
+// is the internal inverse cache, which synchronizes itself.
 type Coder struct {
-	m, n       int
-	dispersal  *matrix.Matrix // n×m systematic dispersal matrix
-	packetSize int            // 0 means "set per call"
+	m, n      int
+	dispersal *matrix.Matrix // n×m systematic dispersal matrix
+	inv       invCache       // memoized inverted submatrices by row set
 }
 
 // NewCoder constructs a systematic (m, n) coder. It returns an error when
@@ -80,89 +88,99 @@ func (c *Coder) N() int { return c.n }
 // Ratio returns the redundancy ratio γ = N/M.
 func (c *Coder) Ratio() float64 { return float64(c.n) / float64(c.m) }
 
-// Encode expands raw into cooked packets. Every raw packet must have the
-// same length. The returned slice holds n freshly allocated packets; the
-// first m are copies of the raw packets (systematic property).
-func (c *Coder) Encode(raw [][]byte) ([][]byte, error) {
-	if len(raw) != c.m {
-		return nil, fmt.Errorf("erasure: got %d raw packets, want %d", len(raw), c.m)
+// allocPackets carves count packet slices of size bytes out of one
+// backing arena. The full slice expressions cap each view at its own
+// region, so an append on one packet can never scribble on its neighbor.
+func allocPackets(count, size int) [][]byte {
+	backing := make([]byte, count*size)
+	out := make([][]byte, count)
+	for i := range out {
+		out[i] = backing[i*size : (i+1)*size : (i+1)*size]
 	}
-	size := -1
+	return out
+}
+
+// checkRaw validates the raw packet set and returns the shared size.
+func (c *Coder) checkRaw(raw [][]byte) (int, error) {
+	if len(raw) != c.m {
+		return 0, fmt.Errorf("erasure: got %d raw packets, want %d", len(raw), c.m)
+	}
+	size := len(raw[0])
 	for i, p := range raw {
-		if size == -1 {
-			size = len(p)
-		} else if len(p) != size {
-			return nil, fmt.Errorf("erasure: raw packet %d has %d bytes, want %d", i, len(p), size)
+		if len(p) != size {
+			return 0, fmt.Errorf("erasure: raw packet %d has %d bytes, want %d", i, len(p), size)
 		}
 	}
-	cooked := make([][]byte, c.n)
-	for i := 0; i < c.n; i++ {
-		cooked[i] = make([]byte, size)
-		row := c.dispersal.Row(i)
-		accumulateRow(cooked[i], row, raw)
+	return size, nil
+}
+
+// Encode expands raw into cooked packets. Every raw packet must have the
+// same length. The returned packets share one backing arena; the first m
+// are copies of the raw packets (systematic property). Parity rows are
+// computed in parallel above the work cutover.
+func (c *Coder) Encode(raw [][]byte) ([][]byte, error) {
+	size, err := c.checkRaw(raw)
+	if err != nil {
+		return nil, err
 	}
+	cooked := allocPackets(c.n, size)
+	// The top m×m block of the systematic dispersal matrix is the
+	// identity, so the clear-text prefix is a straight copy.
+	for i := 0; i < c.m; i++ {
+		copy(cooked[i], raw[i])
+	}
+	parityRows := c.n - c.m
+	forEachRow(parityRows, parityRows*size, func(i int) {
+		accumulateRow(cooked[c.m+i], c.dispersal.Row(c.m+i), raw)
+	})
 	return cooked, nil
 }
 
 // EncodeParity computes only the redundancy packets — cooked indices
 // m..n-1 — skipping the systematic clear-text prefix entirely. It backs
 // lazy plan encoding: a transmission plan whose receiver never asks past
-// the clear prefix pays for no GF(2^8) work at all. The returned slice
-// holds n-m freshly allocated packets (empty when n == m).
+// the clear prefix pays for no GF(2^8) work at all. The returned packets
+// share one backing arena (the slice is empty when n == m).
 func (c *Coder) EncodeParity(raw [][]byte) ([][]byte, error) {
-	if len(raw) != c.m {
-		return nil, fmt.Errorf("erasure: got %d raw packets, want %d", len(raw), c.m)
+	size, err := c.checkRaw(raw)
+	if err != nil {
+		return nil, err
 	}
-	size := -1
-	for i, p := range raw {
-		if size == -1 {
-			size = len(p)
-		} else if len(p) != size {
-			return nil, fmt.Errorf("erasure: raw packet %d has %d bytes, want %d", i, len(p), size)
-		}
-	}
-	parity := make([][]byte, c.n-c.m)
-	for i := range parity {
-		parity[i] = make([]byte, size)
+	rows := c.n - c.m
+	parity := allocPackets(rows, size)
+	forEachRow(rows, rows*size, func(i int) {
 		accumulateRow(parity[i], c.dispersal.Row(c.m+i), raw)
-	}
+	})
 	return parity, nil
 }
 
 // EncodeInto is the allocation-free variant of Encode for hot transmission
 // loops: cooked must contain n slices of the raw packet size.
 func (c *Coder) EncodeInto(cooked, raw [][]byte) error {
-	if len(raw) != c.m {
-		return fmt.Errorf("erasure: got %d raw packets, want %d", len(raw), c.m)
+	size, err := c.checkRaw(raw)
+	if err != nil {
+		return err
 	}
 	if len(cooked) != c.n {
 		return fmt.Errorf("erasure: got %d cooked buffers, want %d", len(cooked), c.n)
-	}
-	size := len(raw[0])
-	for i, p := range raw {
-		if len(p) != size {
-			return fmt.Errorf("erasure: raw packet %d has %d bytes, want %d", i, len(p), size)
-		}
 	}
 	for i := 0; i < c.n; i++ {
 		if len(cooked[i]) != size {
 			return fmt.Errorf("erasure: cooked buffer %d has %d bytes, want %d", i, len(cooked[i]), size)
 		}
-		for j := range cooked[i] {
-			cooked[i][j] = 0
-		}
-		accumulateRow(cooked[i], c.dispersal.Row(i), raw)
 	}
+	for i := 0; i < c.m; i++ {
+		copy(cooked[i], raw[i])
+	}
+	parityRows := c.n - c.m
+	forEachRow(parityRows, parityRows*size, func(i int) {
+		dst := cooked[c.m+i]
+		for j := range dst {
+			dst[j] = 0
+		}
+		accumulateRow(dst, c.dispersal.Row(c.m+i), raw)
+	})
 	return nil
-}
-
-func accumulateRow(dst, row []byte, raw [][]byte) {
-	for j, coeff := range row {
-		if coeff == 0 {
-			continue
-		}
-		mulAdd(coeff, dst, raw[j])
-	}
 }
 
 // Received is one intact cooked packet tagged with its index in the cooked
@@ -172,17 +190,29 @@ type Received struct {
 	Data  []byte
 }
 
+// bitset256 tracks which of the MaxCooked+1 possible cooked indices have
+// been seen; it replaces a map in Decode's per-call hot path.
+type bitset256 [4]uint64
+
+func (b *bitset256) testAndSet(i int) bool {
+	w, mask := i>>6, uint64(1)<<(i&63)
+	old := b[w]&mask != 0
+	b[w] |= mask
+	return old
+}
+
 // Decode reconstructs the m raw packets from any m (or more) intact cooked
 // packets. Extra packets beyond m are ignored; which m are used is an
 // implementation detail. Decode prefers clear-text packets (index < m)
 // because they require no matrix work — the "saving recovering effort"
-// property of the systematic construction.
+// property of the systematic construction. The returned packets share one
+// backing arena and do not alias the received data.
 func (c *Coder) Decode(received []Received) ([][]byte, error) {
 	if len(received) < c.m {
 		return nil, fmt.Errorf("%w: have %d, need %d", ErrShortSet, len(received), c.m)
 	}
 	size := -1
-	seen := make(map[int]bool, len(received))
+	var seen bitset256
 	// Partition into clear-text and redundant packets, preferring clear.
 	chosen := make([]Received, 0, c.m)
 	var redundant []Received
@@ -190,10 +220,9 @@ func (c *Coder) Decode(received []Received) ([][]byte, error) {
 		if r.Index < 0 || r.Index >= c.n {
 			return nil, fmt.Errorf("erasure: cooked index %d out of [0, %d)", r.Index, c.n)
 		}
-		if seen[r.Index] {
+		if seen.testAndSet(r.Index) {
 			return nil, fmt.Errorf("%w: index %d", ErrDuplicateIndex, r.Index)
 		}
-		seen[r.Index] = true
 		if size == -1 {
 			size = len(r.Data)
 		} else if len(r.Data) != size {
@@ -218,44 +247,35 @@ func (c *Coder) Decode(received []Received) ([][]byte, error) {
 		return nil, fmt.Errorf("%w: only %d distinct indices", ErrShortSet, len(chosen))
 	}
 
-	raw := make([][]byte, c.m)
-	// Fast path: all chosen packets are clear text.
-	allClear := true
-	for _, r := range chosen {
-		if r.Index >= c.m {
-			allClear = false
-			break
-		}
-	}
-	if allClear {
+	raw := allocPackets(c.m, size)
+
+	// Fast path: all chosen packets are clear text — the arena views are
+	// filled by straight copies, no matrix work at all.
+	if allClear := chosen[len(chosen)-1].Index < c.m; allClear {
 		for _, r := range chosen {
-			raw[r.Index] = append([]byte(nil), r.Data...)
+			copy(raw[r.Index], r.Data)
 		}
 		return raw, nil
 	}
 
+	// Sort the chosen rows: the reconstruction raw = inv(sub(rows)) ×
+	// data(rows) is invariant under permuting the rows together with
+	// their data, and a canonical ascending order lets repeated
+	// retransmission patterns share one cached inversion.
+	sort.Slice(chosen, func(i, j int) bool { return chosen[i].Index < chosen[j].Index })
 	rows := make([]int, c.m)
+	data := make([][]byte, c.m)
 	for i, r := range chosen {
 		rows[i] = r.Index
+		data[i] = r.Data
 	}
-	sub, err := c.dispersal.SubMatrix(rows)
+	inv, err := c.invertForRows(rows)
 	if err != nil {
 		return nil, err
 	}
-	inv, err := sub.Invert()
-	if err != nil {
-		return nil, fmt.Errorf("erasure: reconstruct: %w", err)
-	}
-	for i := 0; i < c.m; i++ {
-		raw[i] = make([]byte, size)
-		row := inv.Row(i)
-		for j, coeff := range row {
-			if coeff == 0 {
-				continue
-			}
-			mulAdd(coeff, raw[i], chosen[j].Data)
-		}
-	}
+	forEachRow(c.m, c.m*size, func(i int) {
+		accumulateRow(raw[i], inv.Row(i), data)
+	})
 	return raw, nil
 }
 
@@ -268,9 +288,8 @@ func Split(payload []byte, m, packetSize int) ([][]byte, error) {
 	if len(payload) > m*packetSize {
 		return nil, fmt.Errorf("erasure: payload %d bytes exceeds %d packets × %d bytes", len(payload), m, packetSize)
 	}
-	raw := make([][]byte, m)
+	raw := allocPackets(m, packetSize)
 	for i := 0; i < m; i++ {
-		raw[i] = make([]byte, packetSize)
 		lo := i * packetSize
 		if lo < len(payload) {
 			hi := lo + packetSize

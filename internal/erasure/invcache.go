@@ -1,0 +1,99 @@
+package erasure
+
+import (
+	"sync"
+
+	"mobweb/internal/matrix"
+)
+
+// invCacheCap bounds the number of inverted submatrices a Coder retains.
+// A retransmission exchange replays a handful of row patterns (the clear
+// prefix plus whichever parity rows survived each round), so a small LRU
+// captures nearly all repeats while keeping the footprint at most
+// 8 · m² bytes per coder.
+const invCacheCap = 8
+
+// invCache memoizes inverted m×m submatrices of the dispersal matrix,
+// keyed by the sorted chosen row set. Inverted matrices are immutable
+// once published, so hits hand out the shared instance.
+type invCache struct {
+	mu      sync.Mutex
+	entries map[string]*matrix.Matrix
+	order   []string // LRU order: least recent first
+	hits    uint64
+	misses  uint64
+}
+
+// InvCacheStats is a point-in-time snapshot of a Coder's inverse cache.
+type InvCacheStats struct {
+	Hits    uint64
+	Misses  uint64
+	Entries int
+}
+
+// InvCacheStats reports the coder's inverse-cache counters.
+func (c *Coder) InvCacheStats() InvCacheStats {
+	c.inv.mu.Lock()
+	defer c.inv.mu.Unlock()
+	return InvCacheStats{Hits: c.inv.hits, Misses: c.inv.misses, Entries: len(c.inv.entries)}
+}
+
+// invertForRows returns the inverse of the dispersal submatrix for the
+// given sorted row indices, consulting the cache first. Rows must be
+// sorted ascending so that equal row sets produce equal keys. The
+// inversion itself runs outside the lock; concurrent misses on the same
+// key may both invert, and the second store simply overwrites with an
+// equal matrix.
+func (c *Coder) invertForRows(rows []int) (*matrix.Matrix, error) {
+	key := make([]byte, len(rows))
+	for i, r := range rows {
+		key[i] = byte(r) // r < n <= MaxCooked, so it fits a byte
+	}
+	k := string(key)
+
+	c.inv.mu.Lock()
+	if inv, ok := c.inv.entries[k]; ok {
+		c.inv.hits++
+		c.inv.touch(k)
+		c.inv.mu.Unlock()
+		return inv, nil
+	}
+	c.inv.misses++
+	c.inv.mu.Unlock()
+
+	sub, err := c.dispersal.SubMatrix(rows)
+	if err != nil {
+		return nil, err
+	}
+	inv, err := sub.Invert()
+	if err != nil {
+		return nil, err
+	}
+
+	c.inv.mu.Lock()
+	if c.inv.entries == nil {
+		c.inv.entries = make(map[string]*matrix.Matrix, invCacheCap)
+	}
+	if _, ok := c.inv.entries[k]; !ok {
+		c.inv.order = append(c.inv.order, k)
+	}
+	c.inv.entries[k] = inv
+	for len(c.inv.entries) > invCacheCap {
+		oldest := c.inv.order[0]
+		c.inv.order = c.inv.order[1:]
+		delete(c.inv.entries, oldest)
+	}
+	c.inv.mu.Unlock()
+	return inv, nil
+}
+
+// touch moves key to the most-recent end of the LRU order. Caller holds mu.
+func (ic *invCache) touch(k string) {
+	for i, o := range ic.order {
+		if o == k {
+			copy(ic.order[i:], ic.order[i+1:])
+			ic.order[len(ic.order)-1] = k
+			return
+		}
+	}
+}

@@ -2,8 +2,11 @@ package erasure
 
 import "mobweb/internal/gf256"
 
-// mulAdd is the dst ^= c*src kernel; indirected through a package-level
-// binding so benchmarks can compare alternative kernels.
-func mulAdd(c byte, dst, src []byte) {
-	gf256.MulAddSlice(c, dst, src)
+// accumulateRow computes dst[i] ^= Σ_j row[j]*srcs[j][i] — one dispersal
+// (or inverse) matrix row applied to its source packets. It rides the
+// fused gather kernel in gf256, which folds several sources into each
+// destination pass and selects the fastest byte-level implementation for
+// the hardware at init (see gf256/kernel.go; pin with MOBWEB_GF_KERNEL).
+func accumulateRow(dst, row []byte, srcs [][]byte) {
+	gf256.MulAddRows(row, dst, srcs)
 }

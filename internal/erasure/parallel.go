@@ -1,0 +1,89 @@
+package erasure
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Row-level parallelism for Encode/EncodeParity/Decode. Every output row
+// of the codec is independent — row i only reads the (shared, read-only)
+// source packets and writes its own destination slice — so rows can be
+// computed by a GOMAXPROCS-bounded pool of striding workers with no
+// locking at all. Small jobs stay serial: below the work cutover the
+// goroutine handoff costs more than the byte work it would spread out.
+
+// defaultParallelCutover is the minimum total row work, in bytes, before
+// the codec fans out. 128 KiB is several times the break-even point for
+// goroutine spawn+join on commodity cores, so small documents (the common
+// mobile payload) never pay scheduling overhead.
+const defaultParallelCutover = 128 << 10
+
+// parallelCutover is read atomically so tests and benchmarks can lower it
+// without racing in-flight encodes.
+var parallelCutover atomic.Int64
+
+// maxWorkersOverride, when positive, forces that worker count regardless
+// of GOMAXPROCS and the cutover; zero restores automatic sizing. It
+// exists so correctness tests and benchmarks can exercise the parallel
+// path deterministically (including on single-core hosts).
+var maxWorkersOverride atomic.Int32
+
+func init() {
+	parallelCutover.Store(defaultParallelCutover)
+}
+
+// SetMaxWorkers overrides the codec's worker count: n > 0 forces n
+// workers (still capped by the row count), n == 0 restores automatic
+// sizing (GOMAXPROCS-bounded, serial below the work cutover). It returns
+// the previous override and is safe to call concurrently with running
+// codecs.
+func SetMaxWorkers(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(maxWorkersOverride.Swap(int32(n)))
+}
+
+// workerCount sizes the pool for a job of rows output rows totalling
+// workBytes of destination bytes.
+func workerCount(rows, workBytes int) int {
+	w := int(maxWorkersOverride.Load())
+	if w == 0 {
+		if int64(workBytes) < parallelCutover.Load() {
+			return 1
+		}
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > rows {
+		w = rows
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// forEachRow runs fn(i) for every row in [0, rows), fanning out to a
+// striding worker pool when the job is big enough. fn must be safe to
+// run concurrently for distinct rows.
+func forEachRow(rows, workBytes int, fn func(i int)) {
+	w := workerCount(rows, workBytes)
+	if w <= 1 {
+		for i := 0; i < rows; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func(k int) {
+			defer wg.Done()
+			for i := k; i < rows; i += w {
+				fn(i)
+			}
+		}(k)
+	}
+	wg.Wait()
+}

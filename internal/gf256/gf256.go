@@ -123,9 +123,8 @@ func Pow(a byte, k int) byte {
 }
 
 // MulSlice multiplies every byte of src by c and stores the result in dst.
-// dst and src must have equal length; they may alias. It is the inner loop
-// of matrix-vector products over packet payloads, so it avoids per-byte
-// function-call overhead by inlining the table lookups.
+// dst and src must have equal length; they may alias. The byte work runs
+// through the selected slice kernel (see kernel.go).
 func MulSlice(c byte, dst, src []byte) {
 	if len(dst) != len(src) {
 		panic("gf256: MulSlice length mismatch")
@@ -140,19 +139,14 @@ func MulSlice(c byte, dst, src []byte) {
 		copy(dst, src)
 		return
 	}
-	logC := int(_tables.log[c])
-	for i, s := range src {
-		if s == 0 {
-			dst[i] = 0
-			continue
-		}
-		dst[i] = _tables.exp[logC+int(_tables.log[s])]
-	}
+	activeKernel.Load().mulSlice(c, dst, src)
 }
 
 // MulAddSlice computes dst[i] ^= c * src[i] for every index, the classic
 // "axpy" kernel of the erasure encoder. dst and src must have equal length
-// and must not alias unless they are identical slices with c == 0.
+// and must not alias unless they are identical slices with c == 0. The
+// byte work runs through the selected slice kernel (see kernel.go); c == 1
+// degenerates to a word-wise XOR with no table work.
 func MulAddSlice(c byte, dst, src []byte) {
 	if len(dst) != len(src) {
 		panic("gf256: MulAddSlice length mismatch")
@@ -161,25 +155,35 @@ func MulAddSlice(c byte, dst, src []byte) {
 		return
 	}
 	if c == 1 {
-		for i, s := range src {
-			dst[i] ^= s
-		}
+		xorSlice(dst, src)
 		return
 	}
-	logC := int(_tables.log[c])
-	for i, s := range src {
-		if s != 0 {
-			dst[i] ^= _tables.exp[logC+int(_tables.log[s])]
-		}
-	}
+	activeKernel.Load().mulAdd(c, dst, src)
 }
 
-// AddSlice computes dst[i] ^= src[i] for every index.
+// MulAddRows computes dst[i] ^= Σ_j coeffs[j]*srcs[j][i] — one dispersal
+// row applied to all of its source packets in a single call. Fusing the
+// sources lets the table kernel amortize the dst read-modify-write across
+// up to four sources per pass, the dominant cost of repeated MulAddSlice
+// calls; it is the encode/decode row primitive of the erasure codec.
+// Every source must have dst's length, and none may alias dst.
+func MulAddRows(coeffs []byte, dst []byte, srcs [][]byte) {
+	if len(coeffs) != len(srcs) {
+		panic("gf256: MulAddRows coefficient/source count mismatch")
+	}
+	for _, s := range srcs {
+		if len(s) != len(dst) {
+			panic("gf256: MulAddRows length mismatch")
+		}
+	}
+	activeKernel.Load().mulAddRows(coeffs, dst, srcs)
+}
+
+// AddSlice computes dst[i] ^= src[i] for every index (field addition is
+// XOR), eight bytes per iteration.
 func AddSlice(dst, src []byte) {
 	if len(dst) != len(src) {
 		panic("gf256: AddSlice length mismatch")
 	}
-	for i, s := range src {
-		dst[i] ^= s
-	}
+	xorSlice(dst, src)
 }

@@ -1,0 +1,230 @@
+package gf256
+
+import (
+	"bytes"
+	"testing"
+)
+
+// withKernel runs fn once per registered kernel, restoring the previously
+// active implementation afterwards.
+func withKernel(t *testing.T, fn func(t *testing.T, k *kernel)) {
+	t.Helper()
+	prev := activeKernel.Load()
+	defer activeKernel.Store(prev)
+	for _, k := range kernels {
+		k := k
+		t.Run(k.name, func(t *testing.T) {
+			activeKernel.Store(k)
+			fn(t, k)
+		})
+	}
+}
+
+// testPattern fills a deterministic but irregular byte pattern covering
+// zero bytes, high bytes and every residue class.
+func testPattern(n, seed int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i*(2*seed+3) + seed*7)
+	}
+	return b
+}
+
+func TestKernelNames(t *testing.T) {
+	names := KernelNames()
+	want := []string{"logexp", "table", "nibble"}
+	if len(names) != len(want) {
+		t.Fatalf("KernelNames() = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("KernelNames() = %v, want %v", names, want)
+		}
+	}
+	found := false
+	for _, n := range names {
+		if n == KernelName() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("active kernel %q not in KernelNames() %v", KernelName(), names)
+	}
+}
+
+func TestSetKernel(t *testing.T) {
+	prev := KernelName()
+	defer func() {
+		if err := SetKernel(prev); err != nil {
+			t.Fatalf("restoring kernel %q: %v", prev, err)
+		}
+	}()
+	for _, name := range KernelNames() {
+		if err := SetKernel(name); err != nil {
+			t.Fatalf("SetKernel(%q): %v", name, err)
+		}
+		if got := KernelName(); got != name {
+			t.Fatalf("KernelName() = %q after SetKernel(%q)", got, name)
+		}
+	}
+	if err := SetKernel("no-such-kernel"); err == nil {
+		t.Fatal("SetKernel with an unknown name did not error")
+	}
+	for _, auto := range []string{"auto", ""} {
+		if err := SetKernel(auto); err != nil {
+			t.Fatalf("SetKernel(%q): %v", auto, err)
+		}
+	}
+}
+
+func TestChooseKernelEnv(t *testing.T) {
+	for _, k := range kernels {
+		if got := chooseKernel(k.name); got != k {
+			t.Errorf("chooseKernel(%q) = %q", k.name, got.name)
+		}
+	}
+	// Unknown and empty values calibrate; the winner must be registered.
+	for _, env := range []string{"", "auto", "bogus"} {
+		got := chooseKernel(env)
+		ok := false
+		for _, k := range kernels {
+			if got == k {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("chooseKernel(%q) returned unregistered kernel %q", env, got.name)
+		}
+	}
+}
+
+// TestKernelsAgainstScalar checks every kernel's three primitives against
+// scalar Mul for a range of lengths (covering the 8-byte SWAR tail) and
+// coefficients, including the degenerate 0 and 1.
+func TestKernelsAgainstScalar(t *testing.T) {
+	lengths := []int{0, 1, 7, 8, 9, 15, 16, 17, 63, 64, 255, 256, 1024}
+	coeffs := []byte{0, 1, 2, 3, 29, 113, 142, 200, 254, 255}
+	withKernel(t, func(t *testing.T, k *kernel) {
+		for _, n := range lengths {
+			src := testPattern(n, 1)
+			for _, c := range coeffs {
+				// MulSlice.
+				dst := testPattern(n, 2)
+				MulSlice(c, dst, src)
+				for i := range src {
+					if want := Mul(c, src[i]); dst[i] != want {
+						t.Fatalf("%s MulSlice(c=%d, n=%d)[%d] = %d, want %d",
+							k.name, c, n, i, dst[i], want)
+					}
+				}
+				// MulAddSlice.
+				dst = testPattern(n, 2)
+				orig := append([]byte(nil), dst...)
+				MulAddSlice(c, dst, src)
+				for i := range src {
+					if want := orig[i] ^ Mul(c, src[i]); dst[i] != want {
+						t.Fatalf("%s MulAddSlice(c=%d, n=%d)[%d] = %d, want %d",
+							k.name, c, n, i, dst[i], want)
+					}
+				}
+			}
+		}
+	})
+}
+
+// TestMulAddRowsAgainstScalar exercises the fused row primitive for every
+// kernel across row counts that hit the 4/2/1 unrolling tails and rows
+// with zero and one coefficients interleaved.
+func TestMulAddRowsAgainstScalar(t *testing.T) {
+	lengths := []int{0, 1, 8, 17, 256, 1024}
+	withKernel(t, func(t *testing.T, k *kernel) {
+		for _, n := range lengths {
+			for rows := 0; rows <= 9; rows++ {
+				srcs := make([][]byte, rows)
+				coeffs := make([]byte, rows)
+				for j := range srcs {
+					srcs[j] = testPattern(n, j+1)
+					// Interleave zero, one and general coefficients.
+					switch j % 3 {
+					case 0:
+						coeffs[j] = 0
+					case 1:
+						coeffs[j] = 1
+					default:
+						coeffs[j] = byte(37*j + 5)
+					}
+				}
+				dst := testPattern(n, 0)
+				want := append([]byte(nil), dst...)
+				for j := range srcs {
+					for i := range want {
+						want[i] ^= Mul(coeffs[j], srcs[j][i])
+					}
+				}
+				MulAddRows(coeffs, dst, srcs)
+				if !bytes.Equal(dst, want) {
+					t.Fatalf("%s MulAddRows(rows=%d, n=%d) mismatch", k.name, rows, n)
+				}
+			}
+		}
+	})
+}
+
+func TestMulAddRowsPanics(t *testing.T) {
+	assertPanics := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	assertPanics("coeff count mismatch", func() {
+		MulAddRows([]byte{1, 2}, make([]byte, 8), [][]byte{make([]byte, 8)})
+	})
+	assertPanics("source length mismatch", func() {
+		MulAddRows([]byte{1}, make([]byte, 8), [][]byte{make([]byte, 7)})
+	})
+}
+
+func TestXorSlice(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 8, 9, 17, 64, 100} {
+		dst := testPattern(n, 3)
+		src := testPattern(n, 5)
+		want := make([]byte, n)
+		for i := range want {
+			want[i] = dst[i] ^ src[i]
+		}
+		xorSlice(dst, src)
+		if !bytes.Equal(dst, want) {
+			t.Fatalf("xorSlice(n=%d) mismatch", n)
+		}
+	}
+}
+
+// TestMulTablesConsistent pins the product tables to scalar Mul, including
+// the nibble decomposition identity c*x == c*(x&15) ^ c*(x&0xF0).
+func TestMulTablesConsistent(t *testing.T) {
+	for c := 0; c < 256; c++ {
+		for x := 0; x < 256; x++ {
+			want := Mul(byte(c), byte(x))
+			if got := _mul.full[c][x]; got != want {
+				t.Fatalf("full[%d][%d] = %d, want %d", c, x, got, want)
+			}
+			if got := _mul.lo[c][x&15] ^ _mul.hi[c][x>>4]; got != want {
+				t.Fatalf("lo/hi[%d][%d] = %d, want %d", c, x, got, want)
+			}
+		}
+	}
+}
+
+func TestCalibrateReturnsRegisteredKernel(t *testing.T) {
+	got := calibrate()
+	for _, k := range kernels {
+		if got == k {
+			return
+		}
+	}
+	t.Fatalf("calibrate() returned unregistered kernel %q", got.name)
+}

@@ -29,7 +29,7 @@ var gf256Package = "mobweb/internal/gf256"
 // gfarith.
 var GFArith = &Analyzer{
 	Name: "gfarith",
-	Doc: "flag integer +,-,*,/,% on byte operands in packages importing gf256; " +
+	Doc: "flag integer +,-,*,/,% on byte operands and byte << (unreduced doubling) in packages importing gf256; " +
 		"field elements must use gf256.Add/Mul/Div (XOR/log-exp tables), not machine arithmetic",
 	Run: runGFArith,
 }
@@ -38,6 +38,16 @@ var gfForbiddenOps = map[token.Token]string{
 	token.ADD: "+", token.SUB: "-", token.MUL: "*", token.QUO: "/", token.REM: "%",
 	token.ADD_ASSIGN: "+=", token.SUB_ASSIGN: "-=", token.MUL_ASSIGN: "*=",
 	token.QUO_ASSIGN: "/=", token.REM_ASSIGN: "%=",
+}
+
+// Left shifts get their own diagnostic: byte<<k is "unreduced doubling"
+// — multiplication by 2^k without the modular reduction by the field
+// polynomial, so it overflows silently for any element with high bits
+// set. Only the shifted operand's type matters; the shift count is
+// typically an untyped constant. Wider integer shifts (the uint64 SWAR
+// lanes in the nibble kernel, table-index math) are untouched.
+var gfShiftOps = map[token.Token]string{
+	token.SHL: "<<", token.SHL_ASSIGN: "<<=",
 }
 
 func runGFArith(pass *Pass) error {
@@ -58,16 +68,22 @@ func runGFArith(pass *Pass) error {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch e := n.(type) {
 			case *ast.BinaryExpr:
-				op, forbidden := gfForbiddenOps[e.Op]
-				if forbidden && isByte(pass.Info.Types[e.X].Type) && isByte(pass.Info.Types[e.Y].Type) {
+				if op, forbidden := gfForbiddenOps[e.Op]; forbidden && isByte(pass.Info.Types[e.X].Type) && isByte(pass.Info.Types[e.Y].Type) {
 					pass.Reportf(e.OpPos, "integer %q on byte operands in a GF(2^8) package; use gf256.%s (field arithmetic, not machine arithmetic)",
 						op, gfHelperFor(e.Op))
 				}
+				if op, shift := gfShiftOps[e.Op]; shift && isByte(pass.Info.Types[e.X].Type) {
+					pass.Reportf(e.OpPos, "byte %q in a GF(2^8) package is unreduced doubling; use gf256.Mul with a power of Exp (reduction modulo the field polynomial)",
+						op)
+				}
 			case *ast.AssignStmt:
-				op, forbidden := gfForbiddenOps[e.Tok]
-				if forbidden && len(e.Lhs) == 1 && isByte(pass.Info.Types[e.Lhs[0]].Type) {
+				if op, forbidden := gfForbiddenOps[e.Tok]; forbidden && len(e.Lhs) == 1 && isByte(pass.Info.Types[e.Lhs[0]].Type) {
 					pass.Reportf(e.TokPos, "integer %q on byte operands in a GF(2^8) package; use gf256.%s (field arithmetic, not machine arithmetic)",
 						op, gfHelperFor(e.Tok))
+				}
+				if op, shift := gfShiftOps[e.Tok]; shift && len(e.Lhs) == 1 && isByte(pass.Info.Types[e.Lhs[0]].Type) {
+					pass.Reportf(e.TokPos, "byte %q in a GF(2^8) package is unreduced doubling; use gf256.Mul with a power of Exp (reduction modulo the field polynomial)",
+						op)
 				}
 			}
 			return true

@@ -18,6 +18,13 @@ func badParity(row, src []byte, c byte) {
 	_, _, _ = x, y, z
 }
 
+func badDoubling(c byte, row []byte) {
+	d := c << 1          // want "unreduced doubling"
+	c <<= 2              // want "unreduced doubling"
+	row[0] = row[0] << 1 // want "unreduced doubling"
+	_ = d
+}
+
 func goodFieldArith(row, src []byte, c byte) {
 	for i := range row {
 		row[i] = gf256.Add(row[i], gf256.Mul(c, src[i]))
@@ -31,4 +38,28 @@ func goodFieldArith(row, src []byte, c byte) {
 	_ = n
 	// Suppressed: a deliberate wire-format increment, not a field op.
 	row[0] += 1 //lint:allow gfarith (wire header increment, not a field element)
+}
+
+// goodKernelIdiom mirrors the vectorized kernel style: table lookups for
+// the field products and machine arithmetic confined to wider integer
+// lanes (uint64 SWAR words, int indices). None of it is flagged — only
+// byte-typed operands are presumed field elements.
+func goodKernelIdiom(dst, src []byte, mul *[256]byte) {
+	// Table lookup replaces multiplication; XOR is field addition.
+	for i := range dst {
+		dst[i] ^= mul[src[i]]
+	}
+	// Nibble split: shifts on the int-typed index, not on a byte value.
+	for i := range src {
+		lo := int(src[i]) & 0x0F
+		hi := int(src[i]) >> 4
+		_ = lo<<4 | hi
+	}
+	// SWAR lane packing on uint64 words is plain machine arithmetic.
+	var w uint64
+	for k := 0; k < 8 && k < len(src); k++ {
+		w |= uint64(src[k]) << (8 * k)
+		w = w<<1 | w>>63
+	}
+	_ = w
 }

@@ -191,7 +191,7 @@ func (m *Matrix) Invert() (*Matrix, error) {
 	for col := 0; col < n; col++ {
 		pivot := -1
 		for r := col; r < n; r++ {
-			if work.At(r, col) != 0 {
+			if work.Row(r)[col] != 0 {
 				pivot = r
 				break
 			}
@@ -203,24 +203,25 @@ func (m *Matrix) Invert() (*Matrix, error) {
 			work.swapRows(pivot, col)
 			inv.swapRows(pivot, col)
 		}
+		workCol, invCol := work.Row(col), inv.Row(col)
 		// Scale the pivot row to make the pivot 1.
-		p := work.At(col, col)
-		if p != 1 {
+		if p := workCol[col]; p != 1 {
 			invP := gf256.Inv(p)
-			gf256.MulSlice(invP, work.Row(col), work.Row(col))
-			gf256.MulSlice(invP, inv.Row(col), inv.Row(col))
+			gf256.MulSlice(invP, workCol, workCol)
+			gf256.MulSlice(invP, invCol, invCol)
 		}
 		// Eliminate the column from every other row.
 		for r := 0; r < n; r++ {
 			if r == col {
 				continue
 			}
-			factor := work.At(r, col)
+			workRow := work.Row(r)
+			factor := workRow[col]
 			if factor == 0 {
 				continue
 			}
-			gf256.MulAddSlice(factor, work.Row(r), work.Row(col))
-			gf256.MulAddSlice(factor, inv.Row(r), inv.Row(col))
+			gf256.MulAddSlice(factor, workRow, workCol)
+			gf256.MulAddSlice(factor, inv.Row(r), invCol)
 		}
 	}
 	return inv, nil

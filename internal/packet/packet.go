@@ -59,20 +59,39 @@ func (p Packet) Marshal() ([]byte, error) {
 }
 
 // AppendMarshal appends the framed packet to dst and returns the extended
-// slice, for allocation-free transmit loops.
+// slice, for allocation-free transmit loops: when dst has capacity for the
+// frame, no allocation happens at all.
 func (p Packet) AppendMarshal(dst []byte) ([]byte, error) {
-	frame, err := p.Marshal()
-	if err != nil {
-		return nil, err
+	if p.Seq < 0 || p.Seq > MaxSeq {
+		return nil, fmt.Errorf("packet: sequence %d outside [0, %d]", p.Seq, MaxSeq)
 	}
-	return append(dst, frame...), nil
+	base := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	dst = append(dst, p.Payload...)
+	frame := dst[base:]
+	binary.BigEndian.PutUint16(frame[0:2], uint16(p.Seq))
+	sum := crc.Update(crc.Update(crc.Init, frame[0:2]), p.Payload)
+	binary.BigEndian.PutUint16(frame[2:4], sum)
+	return dst, nil
 }
 
 // Unmarshal parses a frame. It returns ErrTruncated for impossible sizes
 // and ErrCorrupt when the CRC check fails; in the latter case the returned
 // packet still carries the claimed sequence number, which receivers may
-// use for diagnostics but must not trust.
+// use for diagnostics but must not trust. The returned payload is a copy
+// and never aliases frame; hot paths that manage buffer lifetimes
+// themselves should use Parse.
 func Unmarshal(frame []byte) (Packet, error) {
+	p, err := Parse(frame)
+	p.Payload = append([]byte(nil), p.Payload...)
+	return p, err
+}
+
+// Parse is the zero-copy variant of Unmarshal: the returned payload
+// aliases frame, so it is only valid while the caller's frame buffer is.
+// Receivers that retain packets across frames must copy the payload (or
+// use Unmarshal).
+func Parse(frame []byte) (Packet, error) {
 	if len(frame) < Overhead {
 		return Packet{}, ErrTruncated
 	}
@@ -80,7 +99,7 @@ func Unmarshal(frame []byte) (Packet, error) {
 	sum := binary.BigEndian.Uint16(frame[2:4])
 	payload := frame[Overhead:]
 	got := crc.Update(crc.Update(crc.Init, frame[0:2]), payload)
-	p := Packet{Seq: seq, Payload: append([]byte(nil), payload...)}
+	p := Packet{Seq: seq, Payload: payload}
 	if got != sum {
 		return p, ErrCorrupt
 	}

@@ -35,6 +35,7 @@ import (
 
 	"mobweb/internal/content"
 	"mobweb/internal/core"
+	"mobweb/internal/gf256"
 	"mobweb/internal/search"
 	"mobweb/internal/textproc"
 )
@@ -112,6 +113,9 @@ type Stats struct {
 	// Entries and Bytes describe the cache's current occupancy.
 	Entries int
 	Bytes   int64
+	// GFKernel names the active GF(2^8) slice kernel driving every
+	// encode behind the cached plans (see gf256.KernelName).
+	GFKernel string
 }
 
 // cacheEntry is one cached plan plus the identity needed to detect
@@ -235,13 +239,14 @@ func (p *Planner) Stats() Stats {
 		Invalidations: p.invalid,
 		Entries:       p.ll.Len(),
 		Bytes:         p.bytes,
+		GFKernel:      gf256.KernelName(),
 	}
 }
 
 // String formats the snapshot for logs.
 func (s Stats) String() string {
-	return fmt.Sprintf("planner{hits %d, misses %d, coalesced %d, builds %d (%v), evictions %d, entries %d, %d bytes}",
-		s.Hits, s.Misses, s.Coalesced, s.Builds, s.BuildTime.Round(time.Microsecond), s.Evictions, s.Entries, s.Bytes)
+	return fmt.Sprintf("planner{hits %d, misses %d, coalesced %d, builds %d (%v), evictions %d, entries %d, %d bytes, gf %s}",
+		s.Hits, s.Misses, s.Coalesced, s.Builds, s.BuildTime.Round(time.Microsecond), s.Evictions, s.Entries, s.Bytes, s.GFKernel)
 }
 
 // resolveParams validates the request against the engine and defaults,

@@ -740,17 +740,19 @@ func (c *Client) prefetchRound(ctx context.Context, opts FetchOptions, rcv *core
 	}
 
 	stopped := false
+	var frameBuf []byte // reused across frames; AddFrame copies what it keeps
 	for {
 		if err := c.conn.SetReadDeadline(c.deadline(ctx)); err != nil {
 			return rcv, err
 		}
-		frame, err := readFrame(c.r)
+		frame, err := readFrameInto(c.r, frameBuf)
 		if err != nil {
 			return rcv, err
 		}
 		if frame == nil {
 			return rcv, nil
 		}
+		frameBuf = frame
 		if stopped {
 			continue // draining
 		}
@@ -780,17 +782,19 @@ func (c *Client) primeReceiver(doc, shape string, rcv *core.Receiver) {
 // returns done=true when a §4.2 termination condition fired.
 func (c *Client) consumeStream(ctx context.Context, rcv *core.Receiver, opts FetchOptions, result *FetchResult, seen map[int]bool) (bool, error) {
 	terminatedEarly := false
+	var frameBuf []byte // reused across frames; AddFrame copies what it keeps
 	for {
 		if err := c.conn.SetReadDeadline(c.deadline(ctx)); err != nil {
 			return false, err
 		}
-		frame, err := readFrame(c.r)
+		frame, err := readFrameInto(c.r, frameBuf)
 		if err != nil {
 			return false, err
 		}
 		if frame == nil { // end of stream
 			return terminatedEarly || c.terminated(rcv, opts), nil
 		}
+		frameBuf = frame
 		if terminatedEarly {
 			continue // draining after stop
 		}

@@ -114,6 +114,14 @@ func writeEndOfStream(w io.Writer) error {
 // readFrame reads one length-prefixed frame; it returns (nil, nil) at the
 // end-of-stream marker.
 func readFrame(r io.Reader) ([]byte, error) {
+	return readFrameInto(r, nil)
+}
+
+// readFrameInto is readFrame with buffer reuse: the frame is read into
+// buf when it has the capacity, so a receive loop that hands each frame
+// to the sequence manager (which copies what it keeps) allocates only on
+// growth. It returns (nil, nil) at the end-of-stream marker.
+func readFrameInto(r io.Reader, buf []byte) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
@@ -125,7 +133,12 @@ func readFrame(r io.Reader) ([]byte, error) {
 	if n > MaxFrameSize {
 		return nil, fmt.Errorf("transport: frame size %d exceeds %d", n, MaxFrameSize)
 	}
-	frame := make([]byte, n)
+	var frame []byte
+	if uint32(cap(buf)) >= n {
+		frame = buf[:n]
+	} else {
+		frame = make([]byte, n)
+	}
 	if _, err := io.ReadFull(r, frame); err != nil {
 		return nil, err
 	}

@@ -261,6 +261,10 @@ func (s *Server) handleFetch(w *bufio.Writer, req request, requests <-chan reque
 		return err
 	}
 
+	// One frame buffer serves the whole round: AppendFrame rebuilds the
+	// frame from the plan each iteration, so the injector corrupting the
+	// previous contents in place cannot leak into the next frame.
+	var frameBuf []byte
 stream:
 	for seq := 0; seq < plan.N(); seq++ {
 		if have[seq] {
@@ -280,11 +284,12 @@ stream:
 			return fmt.Errorf("transport: %q request during stream", req.Op)
 		default:
 		}
-		frame, err := plan.Frame(seq)
+		var err error
+		frameBuf, err = plan.AppendFrame(frameBuf[:0], seq)
 		if err != nil {
 			return err
 		}
-		out, send := s.opts.Injector.Inject(frame, seq)
+		out, send := s.opts.Injector.Inject(frameBuf, seq)
 		if !send {
 			continue
 		}
