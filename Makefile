@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench bench-json figures paperscale fuzz lint vulncheck verify clean
+.PHONY: all build test race bench bench-json cover figures paperscale fuzz lint vulncheck verify clean
 
 all: build test
 
@@ -38,6 +38,22 @@ verify: lint vulncheck
 
 bench:
 	go test -bench=. -benchmem ./...
+
+# Full-suite statement coverage with a regression floor: the per-package
+# summary and the total land in results/coverage.txt, and the target
+# fails if total statement coverage drops below COVER_FLOOR percent.
+# Override the floor with `make cover COVER_FLOOR=85`.
+COVER_FLOOR ?= 78
+
+cover:
+	@mkdir -p results
+	go test -coverprofile=coverage.out ./... > results/coverage.txt
+	@go tool cover -func=coverage.out | tail -n 1 >> results/coverage.txt
+	@cat results/coverage.txt
+	@go tool cover -func=coverage.out | tail -n 1 | \
+		awk -v floor=$(COVER_FLOOR) '{ sub(/%/, "", $$3); \
+		if ($$3 + 0 < floor) { printf "FAIL: coverage %.1f%% below floor %s%%\n", $$3, floor; exit 1 } \
+		printf "coverage %.1f%% meets floor %s%%\n", $$3, floor }'
 
 # Erasure-codec kernel matrix (kernels × M × packet size, plus the
 # parallel worker sweep): machine-readable BENCH_erasure.json at the repo

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"net"
@@ -23,6 +24,7 @@ import (
 	"mobweb/internal/corpus"
 	"mobweb/internal/gateway"
 	"mobweb/internal/gf256"
+	"mobweb/internal/obs"
 	"mobweb/internal/planner"
 	"mobweb/internal/search"
 	"mobweb/internal/textproc"
@@ -53,6 +55,8 @@ func run(args []string) error {
 	chaosMax := fs.Int("chaos-max", 0, "max bytes before a chaos kill (0 = 4x min)")
 	chaosStall := fs.Duration("chaos-stall", 0, "stall a connection this long before severing it")
 	gfKernel := fs.String("gf-kernel", "", "GF(2^8) slice kernel: logexp, table, nibble or auto (default: $MOBWEB_GF_KERNEL or auto-calibrate)")
+	metricsAddr := fs.String("metrics-addr", "", "serve /debug/metrics, /debug/fetches and /debug/vars on this address (e.g. 127.0.0.1:8049)")
+	statsEvery := fs.Duration("stats-every", 0, "log a one-line metrics summary at this interval (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -100,10 +104,18 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	// One registry serves the TCP transmitter, the HTTP gateway and the
+	// metrics listener; nil (no -metrics-addr, no -stats-every) keeps all
+	// instrumentation on its no-op path.
+	var reg *obs.Registry
+	if *metricsAddr != "" || *statsEvery > 0 {
+		reg = obs.NewRegistry()
+	}
 	opts := transport.ServerOptions{
 		Defaults:    core.Config{Gamma: *gamma},
 		Planner:     pl,
 		PacketDelay: *delay,
+		Metrics:     reg,
 	}
 	if *alpha > 0 {
 		model, err := channel.NewBernoulli(*alpha, *seed)
@@ -134,7 +146,48 @@ func run(args []string) error {
 		})
 		fmt.Printf("chaos drill armed: up to %d kills (seed %d)\n", *chaosKills, *seed)
 		ln = chaos
+		reg.RegisterProbe("chaos", func() any {
+			return map[string]int64{"kills": int64(chaos.Kills())}
+		})
 		defer func() { fmt.Printf("chaos kills delivered: %d\n", chaos.Kills()) }()
+	}
+
+	if *metricsAddr != "" {
+		if err := reg.PublishExpvar("mobweb"); err != nil {
+			return err
+		}
+		mux := http.NewServeMux()
+		mux.Handle("GET /debug/metrics", obs.MetricsHandler(reg))
+		mux.Handle("GET /debug/fetches", obs.FetchesHandler(reg))
+		mux.Handle("GET /debug/vars", expvar.Handler())
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return err
+		}
+		msrv := &http.Server{Handler: mux}
+		go func() {
+			if err := msrv.Serve(mln); err != nil && err != http.ErrServerClosed {
+				fmt.Printf("metrics listener stopped: %v\n", err)
+			}
+		}()
+		fmt.Printf("metrics on %s (/debug/metrics, /debug/fetches, /debug/vars)\n", mln.Addr())
+		defer msrv.Close()
+	}
+	if *statsEvery > 0 {
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			t := time.NewTicker(*statsEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-t.C:
+					fmt.Println(statsLine(reg))
+				}
+			}
+		}()
 	}
 
 	var httpSrv *http.Server
@@ -143,6 +196,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
+		gw.SetMetrics(reg)
 		httpLn, err := net.Listen("tcp", *httpAddr)
 		if err != nil {
 			return err
@@ -163,6 +217,17 @@ func run(args []string) error {
 	fmt.Printf("server stopped after %v: %v\n", time.Since(start).Round(time.Second), err)
 	fmt.Println(pl.Stats())
 	return nil
+}
+
+// statsLine condenses a registry snapshot into the periodic log line: the
+// counters an operator watches to see whether the transmitter is moving.
+func statsLine(reg *obs.Registry) string {
+	s := reg.Snapshot()
+	return fmt.Sprintf("stats: conns=%d/%d fetches=%d frames_out=%d dropped=%d search=%d bad=%d",
+		s.Gauges["serve.conns_active"], s.Counters["serve.conns_accepted"],
+		s.Counters["serve.requests_fetch"], s.Counters["serve.frames_out"],
+		s.Counters["serve.frames_dropped"], s.Counters["serve.requests_search"],
+		s.Counters["serve.requests_bad"])
 }
 
 func indexDir(engine *search.Engine, dir string) error {

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mobweb/internal/erasure"
+)
+
+// TestGammaForAlphaEdges pins the γ solver's behaviour at the ends of the
+// channel-quality axis: a clean channel asks for no redundancy at all, a
+// channel bad enough to need more than MaxCooked packets per generation
+// is an explicit dispersal-limit error (the planner must re-segment, not
+// silently truncate), and γ grows monotonically with α in between.
+func TestGammaForAlphaEdges(t *testing.T) {
+	t.Run("clean channel means gamma one", func(t *testing.T) {
+		for _, m := range []int{1, 7, 100, erasure.MaxCooked} {
+			g, err := GammaFor(m, 0, 0.999)
+			if err != nil {
+				t.Fatalf("m=%d: %v", m, err)
+			}
+			if g != 1 {
+				t.Errorf("GammaFor(%d, 0, ·) = %v, want exactly 1", m, g)
+			}
+		}
+	})
+	t.Run("hostile channel hits the dispersal limit", func(t *testing.T) {
+		// m=100 at α=0.9 needs N ≈ m/(1-α) ≈ 1000 cooked packets, far
+		// beyond the 255-packet dispersal group.
+		_, err := ChooseCooked(100, 0.9, 0.95)
+		if err == nil {
+			t.Fatal("infeasible N accepted")
+		}
+		if !strings.Contains(err.Error(), "dispersal limit") {
+			t.Errorf("error %q does not name the dispersal limit", err)
+		}
+		if _, err := GammaFor(100, 0.9, 0.95); err == nil {
+			t.Error("GammaFor swallowed the dispersal-limit error")
+		}
+	})
+	t.Run("invalid alpha propagates", func(t *testing.T) {
+		for _, alpha := range []float64{-0.01, 1, math.NaN()} {
+			if _, err := GammaFor(40, alpha, 0.95); err == nil {
+				t.Errorf("alpha = %v accepted", alpha)
+			}
+		}
+	})
+	t.Run("gamma is monotone in alpha", func(t *testing.T) {
+		prev := 0.0
+		for _, alpha := range []float64{0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5} {
+			g, err := GammaFor(40, alpha, 0.95)
+			if err != nil {
+				t.Fatalf("alpha=%v: %v", alpha, err)
+			}
+			if g < prev {
+				t.Errorf("gamma dropped from %v to %v as alpha rose to %v", prev, g, alpha)
+			}
+			if g < 1 {
+				t.Errorf("gamma %v below 1 at alpha %v", g, alpha)
+			}
+			prev = g
+		}
+	})
+}

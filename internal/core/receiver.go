@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"mobweb/internal/erasure"
+	"mobweb/internal/obs"
 	"mobweb/internal/packet"
 )
 
@@ -33,6 +34,9 @@ type Receiver struct {
 	// packets can only re-derive the same raw bytes — so the memo is
 	// never invalidated by Add, only by Reset.
 	decoded [][][]byte
+	// trace, when attached via SetTrace, records decode events into the
+	// owning fetch's timeline.
+	trace *obs.Trace
 }
 
 // NewReceiver returns an empty receiver for the plan's layout.
@@ -146,6 +150,7 @@ func (r *Receiver) Rebase(newLayout Layout) (*Receiver, error) {
 	if err != nil {
 		return nil, err
 	}
+	nr.trace = r.trace // the rebased receiver keeps feeding the same fetch timeline
 	newCookedOff := make([]int, len(newLayout.Shapes))
 	off := 0
 	for g, s := range newLayout.Shapes {
@@ -187,12 +192,16 @@ func (r *Receiver) Reset() {
 // subset the codec picks.
 func (r *Receiver) decodeGeneration(g int) ([][]byte, error) {
 	if r.decoded[g] != nil {
+		coreMetrics.memoHits.Inc()
+		r.trace.Record(obs.Event{Type: obs.EventDecodeMemo, Gen: g})
 		return r.decoded[g], nil
 	}
 	raw, err := r.coders[g].Decode(r.generationIntact(g))
 	if err != nil {
 		return nil, err
 	}
+	coreMetrics.decodes.Inc()
+	r.trace.Record(obs.Event{Type: obs.EventDecode, Gen: g})
 	r.decoded[g] = raw
 	return raw, nil
 }

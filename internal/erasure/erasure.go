@@ -151,6 +151,7 @@ func (c *Coder) EncodeParity(raw [][]byte) ([][]byte, error) {
 	forEachRow(rows, rows*size, func(i int) {
 		accumulateRow(parity[i], c.dispersal.Row(c.m+i), raw)
 	})
+	codecMetrics.parityRows.Add(int64(rows))
 	return parity, nil
 }
 

@@ -56,10 +56,12 @@ func (c *Coder) invertForRows(rows []int) (*matrix.Matrix, error) {
 		c.inv.hits++
 		c.inv.touch(k)
 		c.inv.mu.Unlock()
+		codecMetrics.invHits.Inc()
 		return inv, nil
 	}
 	c.inv.misses++
 	c.inv.mu.Unlock()
+	codecMetrics.invMisses.Inc()
 
 	sub, err := c.dispersal.SubMatrix(rows)
 	if err != nil {

@@ -1,0 +1,33 @@
+package erasure
+
+import "mobweb/internal/obs"
+
+// Package-wide codec counters. They are zero-valued obs metrics (always
+// usable, atomic, no registration needed) rather than registry-resolved
+// pointers because coders are shared process-wide (see Shared) and have
+// no natural owner to thread a registry through; the cost is one atomic
+// add per decode-path event, nowhere near the per-byte GF(2^8) work it
+// annotates. A front end that owns an obs.Registry exposes them by
+// registering MetricsProbe under a name like "erasure".
+var codecMetrics struct {
+	// invHits and invMisses aggregate every coder's inverse-submatrix
+	// cache (the per-coder split remains available via InvCacheStats).
+	invHits, invMisses obs.Counter
+	// parallelJobs counts codec calls that fanned out to the worker
+	// pool; serialJobs counts calls that stayed below the cutover.
+	parallelJobs, serialJobs obs.Counter
+	// parityEncodes counts lazily materialized parity rows.
+	parityRows obs.Counter
+}
+
+// MetricsProbe returns the package-wide codec counters in snapshot form,
+// for obs.Registry.RegisterProbe.
+func MetricsProbe() any {
+	return map[string]int64{
+		"inv_hits":      codecMetrics.invHits.Value(),
+		"inv_misses":    codecMetrics.invMisses.Value(),
+		"parallel_jobs": codecMetrics.parallelJobs.Value(),
+		"serial_jobs":   codecMetrics.serialJobs.Value(),
+		"parity_rows":   codecMetrics.parityRows.Value(),
+	}
+}

@@ -68,13 +68,18 @@ func workerCount(rows, workBytes int) int {
 // striding worker pool when the job is big enough. fn must be safe to
 // run concurrently for distinct rows.
 func forEachRow(rows, workBytes int, fn func(i int)) {
+	if rows <= 0 {
+		return
+	}
 	w := workerCount(rows, workBytes)
 	if w <= 1 {
+		codecMetrics.serialJobs.Inc()
 		for i := 0; i < rows; i++ {
 			fn(i)
 		}
 		return
 	}
+	codecMetrics.parallelJobs.Inc()
 	var wg sync.WaitGroup
 	wg.Add(w)
 	for k := 0; k < w; k++ {

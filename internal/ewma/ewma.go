@@ -49,10 +49,18 @@ func (e *Estimator) Observe(sample float64) {
 
 // ObserveWindow is a convenience that records corrupted/total packet
 // counts from one transmission window. Windows with no packets are
-// ignored.
+// ignored, and the corrupted count is clamped into [0, total] so a
+// miscounting caller cannot push the α estimate outside [0, 1] — γ
+// adaptation divides by (1-α) downstream.
 func (e *Estimator) ObserveWindow(corrupted, total int) {
 	if total <= 0 {
 		return
+	}
+	if corrupted < 0 {
+		corrupted = 0
+	}
+	if corrupted > total {
+		corrupted = total
 	}
 	e.Observe(float64(corrupted) / float64(total))
 }

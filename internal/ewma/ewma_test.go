@@ -95,6 +95,64 @@ func TestObserveWindow(t *testing.T) {
 	}
 }
 
+func TestObserveWindowBoundaries(t *testing.T) {
+	// ObserveWindow feeds the §4.4 α estimate; the table pins its edge
+	// behaviour: zero/negative windows are ignored, corrupted counts are
+	// clamped into [0, total] so the estimate stays a probability, and a
+	// first window primes the estimator exactly (no cold-start blending).
+	tests := []struct {
+		name             string
+		corrupted, total int
+		want             float64
+		primed           bool
+	}{
+		{name: "zero window ignored", corrupted: 0, total: 0, want: 0, primed: false},
+		{name: "negative window ignored", corrupted: 3, total: -1, want: 0, primed: false},
+		{name: "all clean", corrupted: 0, total: 10, want: 0, primed: true},
+		{name: "all corrupt", corrupted: 10, total: 10, want: 1, primed: true},
+		{name: "negative corrupted clamps to 0", corrupted: -4, total: 10, want: 0, primed: true},
+		{name: "overcounted corrupted clamps to 1", corrupted: 15, total: 10, want: 1, primed: true},
+		{name: "first window primes directly", corrupted: 7, total: 10, want: 0.7, primed: true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			e, err := New(0.2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e.ObserveWindow(tc.corrupted, tc.total)
+			v, ok := e.Value()
+			if ok != tc.primed {
+				t.Fatalf("primed = %v, want %v", ok, tc.primed)
+			}
+			if math.Abs(v-tc.want) > 1e-12 {
+				t.Errorf("value = %v, want %v", v, tc.want)
+			}
+			if v < 0 || v > 1 {
+				t.Errorf("estimate %v escaped [0, 1]", v)
+			}
+		})
+	}
+}
+
+func TestObserveWindowClampedSequenceStaysBounded(t *testing.T) {
+	// A hostile sequence of miscounted windows must never push the
+	// estimate outside [0, 1], no matter the mix.
+	e, err := New(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	windows := []struct{ corrupted, total int }{
+		{50, 10}, {-50, 10}, {10, 10}, {0, 10}, {999, 1}, {-999, 1},
+	}
+	for _, w := range windows {
+		e.ObserveWindow(w.corrupted, w.total)
+		if v, _ := e.Value(); v < 0 || v > 1 {
+			t.Fatalf("after window (%d/%d): estimate %v escaped [0, 1]", w.corrupted, w.total, v)
+		}
+	}
+}
+
 func TestValueOr(t *testing.T) {
 	e, err := New(0.5)
 	if err != nil {

@@ -27,6 +27,7 @@ import (
 	"mobweb/internal/content"
 	"mobweb/internal/core"
 	"mobweb/internal/document"
+	"mobweb/internal/obs"
 	"mobweb/internal/planner"
 	"mobweb/internal/search"
 	"mobweb/internal/textproc"
@@ -38,6 +39,9 @@ type Handler struct {
 	engine  *search.Engine
 	planner *planner.Planner
 	mux     *http.ServeMux
+	// requests counts gateway requests when a metrics registry is
+	// attached via SetMetrics; nil (no-op) otherwise.
+	requests *obs.Counter
 }
 
 var _ http.Handler = (*Handler)(nil)
@@ -74,8 +78,31 @@ func NewWithPlanner(engine *search.Engine, pl *planner.Planner) (*Handler, error
 	return h, nil
 }
 
+// SetMetrics attaches a metrics registry to the gateway: every request is
+// counted, the shared planner's cache counters are exposed as a
+// scrape-time probe, and two debug endpoints are mounted on the gateway
+// mux:
+//
+//	GET /debug/metrics      → point-in-time registry snapshot (counters,
+//	                          gauges, histograms, probe output) as JSON
+//	GET /debug/fetches?n=K  → recent fetch records, newest first
+//
+// Call it once, before serving; a nil registry is a no-op. The registry is
+// typically the same one wired into the transmission server and clients,
+// so one scrape shows both HTTP and packet-transport activity.
+func (h *Handler) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	h.requests = reg.Counter("gateway.requests")
+	reg.RegisterProbe("planner", func() any { return h.planner.Stats() })
+	h.mux.Handle("GET /debug/metrics", obs.MetricsHandler(reg))
+	h.mux.Handle("GET /debug/fetches", obs.FetchesHandler(reg))
+}
+
 // ServeHTTP implements http.Handler.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.requests.Inc()
 	h.mux.ServeHTTP(w, r)
 }
 

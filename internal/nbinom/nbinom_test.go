@@ -256,3 +256,51 @@ func BenchmarkMinCooked(b *testing.B) {
 		}
 	}
 }
+
+func TestMinCookedAlphaExtremes(t *testing.T) {
+	// The α edges matter operationally: α=0 must degenerate to N=M (γ=1,
+	// no redundancy) for any document size, α→1 must fail loudly rather
+	// than spin, and a merely-hostile α must still solve minimally.
+	t.Run("alpha zero is identity across m", func(t *testing.T) {
+		for _, m := range []int{1, 2, 40, 255, 10000} {
+			n, err := MinCooked(m, 0, 0.999999)
+			if err != nil {
+				t.Fatalf("m=%d: %v", m, err)
+			}
+			if n != m {
+				t.Errorf("MinCooked(%d, 0, ·) = %d, want %d", m, n, m)
+			}
+		}
+	})
+	t.Run("alpha approaching one diverges with error", func(t *testing.T) {
+		// E(P) = 1/(1-α) = 10^7 packets for one intact arrival — far past
+		// the solver's 2^20 walk bound. Must return an error, not hang.
+		if _, err := MinCooked(1, 0.9999999, 0.99); err == nil {
+			t.Error("near-one alpha accepted")
+		}
+	})
+	t.Run("hostile but feasible alpha stays minimal", func(t *testing.T) {
+		const m, alpha, s = 1, 0.999, 0.5
+		n, err := MinCooked(m, alpha, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// ln(1-S)/ln(α) ≈ 693 for these values.
+		if n < 600 || n > 800 {
+			t.Errorf("MinCooked = %d, outside plausible [600, 800]", n)
+		}
+		if CDF(n, m, alpha) < s {
+			t.Errorf("CDF(N) = %v < %v", CDF(n, m, alpha), s)
+		}
+		if CDF(n-1, m, alpha) >= s {
+			t.Errorf("N = %d not minimal", n)
+		}
+	})
+	t.Run("invalid alphas rejected", func(t *testing.T) {
+		for _, alpha := range []float64{-0.1, 1, 1.5, math.NaN()} {
+			if _, err := MinCooked(5, alpha, 0.95); err == nil {
+				t.Errorf("alpha = %v accepted", alpha)
+			}
+		}
+	})
+}

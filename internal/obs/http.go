@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// MetricsHandler serves a registry snapshot as JSON — the body of the
+// /debug/metrics endpoint mounted by the gateway and by mrtserver's
+// -metrics-addr listener. A nil registry serves the empty snapshot, so
+// the endpoint can be mounted unconditionally.
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := r.WriteJSON(w); err != nil {
+			// Headers are gone; nothing recoverable remains.
+			return
+		}
+	})
+}
+
+// fetchesPayload is the serialized shape of /debug/fetches.
+type fetchesPayload struct {
+	Total   int64         `json:"total"`
+	Fetches []FetchRecord `json:"fetches"`
+}
+
+// FetchesHandler serves the registry's recent fetch records as JSON,
+// newest first — the /debug/fetches endpoint. The optional ?n= query
+// parameter caps the number of records returned. A nil registry serves
+// an empty log.
+func FetchesHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		max := 0
+		if s := req.URL.Query().Get("n"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 1 {
+				http.Error(w, "n must be a positive integer", http.StatusBadRequest)
+				return
+			}
+			max = v
+		}
+		log := r.FetchLog()
+		payload := fetchesPayload{Total: log.Total(), Fetches: log.Recent(max)}
+		if payload.Fetches == nil {
+			payload.Fetches = []FetchRecord{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		data, err := json.MarshalIndent(payload, "", "  ")
+		if err != nil {
+			return
+		}
+		w.Write(append(data, '\n'))
+	})
+}

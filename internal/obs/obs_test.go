@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilSafety(t *testing.T) {
+	// Every metric type and the registry itself must be callable through
+	// nil pointers: this is the whole disabled path.
+	var r *Registry
+	c := r.Counter("x")
+	if c != nil {
+		t.Fatal("nil registry handed out a non-nil counter")
+	}
+	c.Add(5)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Error("nil counter holds a value")
+	}
+	g := r.Gauge("x")
+	g.Set(3)
+	g.Add(-1)
+	if g.Value() != 0 {
+		t.Error("nil gauge holds a value")
+	}
+	f := r.FloatGauge("x")
+	f.Set(0.5)
+	if f.Value() != 0 {
+		t.Error("nil float gauge holds a value")
+	}
+	h := r.Histogram("x", []float64{1, 2})
+	h.Observe(1.5)
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Error("nil histogram holds samples")
+	}
+	r.RegisterProbe("p", func() any { return 1 })
+	if log := r.FetchLog(); log != nil {
+		t.Fatal("nil registry handed out a fetch log")
+	}
+	r.FetchLog().Record(FetchRecord{Doc: "d"})
+	if got := r.FetchLog().Recent(0); got != nil {
+		t.Error("nil fetch log returned records")
+	}
+	var tr *Trace
+	tr.Record(Event{Type: EventPacket})
+	if tr.Len() != 0 || tr.Events() != nil || tr.Dropped() != 0 {
+		t.Error("nil trace holds events")
+	}
+	tr.Reset()
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("nil registry WriteJSON: %v", err)
+	}
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatalf("nil trace WriteJSON: %v", err)
+	}
+	if err := r.PublishExpvar("unused"); err != nil {
+		t.Fatalf("nil registry PublishExpvar: %v", err)
+	}
+}
+
+func TestCounterGaugeRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("frames")
+	c.Add(2)
+	c.Inc()
+	if c.Value() != 3 {
+		t.Errorf("counter = %d, want 3", c.Value())
+	}
+	if r.Counter("frames") != c {
+		t.Error("same name resolved to a different counter")
+	}
+	g := r.Gauge("conns")
+	g.Set(4)
+	g.Add(-1)
+	if g.Value() != 3 {
+		t.Errorf("gauge = %d, want 3", g.Value())
+	}
+	f := r.FloatGauge("alpha")
+	f.Set(0.25)
+	if f.Value() != 0.25 {
+		t.Errorf("float gauge = %v, want 0.25", f.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("rounds", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 10} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	want := []int64{2, 2, 1, 1} // <=1: {0.5,1}; <=2: {1.5,2}; <=5: {3}; over: {10}
+	if len(s.Counts) != len(want) {
+		t.Fatalf("bucket count %d, want %d", len(s.Counts), len(want))
+	}
+	for i := range want {
+		if s.Counts[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, s.Counts[i], want[i])
+		}
+	}
+	if s.Count != 6 {
+		t.Errorf("count = %d, want 6", s.Count)
+	}
+	if s.Sum != 18 {
+		t.Errorf("sum = %v, want 18", s.Sum)
+	}
+}
+
+func TestSnapshotIncludesProbes(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(7)
+	r.RegisterProbe("planner", func() any { return map[string]int{"hits": 9} })
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters map[string]int64          `json:"counters"`
+		Probes   map[string]map[string]int `json:"probes"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["a"] != 7 {
+		t.Errorf("counter a = %d, want 7", snap.Counters["a"])
+	}
+	if snap.Probes["planner"]["hits"] != 9 {
+		t.Errorf("probe output %v, want hits 9", snap.Probes)
+	}
+	// Re-registering a probe replaces it.
+	r.RegisterProbe("planner", func() any { return map[string]int{"hits": 10} })
+	if got := r.Snapshot().Probes["planner"].(map[string]int)["hits"]; got != 10 {
+		t.Errorf("replaced probe reports %d, want 10", got)
+	}
+}
+
+func TestSnapshotDeterministicOrdering(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		r.Counter(name).Inc()
+	}
+	var a, b bytes.Buffer
+	if err := r.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two snapshots of unchanged registry differ byte-wise")
+	}
+	if !strings.Contains(a.String(), `"alpha"`) {
+		t.Errorf("snapshot missing counter: %s", a.String())
+	}
+}
+
+func TestPublishExpvar(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Inc()
+	if err := r.PublishExpvar("obs_test_metrics"); err != nil {
+		t.Fatal(err)
+	}
+	// A second publish under the same name must error, not panic.
+	if err := r.PublishExpvar("obs_test_metrics"); err == nil {
+		t.Error("duplicate expvar publish accepted")
+	}
+	if err := r.PublishExpvar(""); err == nil {
+		t.Error("empty expvar name accepted")
+	}
+}
+
+func TestConcurrentMetricsAndScrapes(t *testing.T) {
+	r := NewRegistry()
+	var workers sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			c := r.Counter("shared")
+			h := r.Histogram("h", []float64{1, 10})
+			for j := 0; j < 500; j++ {
+				c.Inc()
+				r.Gauge("g").Add(1)
+				r.FloatGauge("f").Set(float64(j))
+				h.Observe(float64(j % 12))
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	scraper := make(chan struct{})
+	go func() {
+		defer close(scraper)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				r.Snapshot()
+			}
+		}
+	}()
+	workers.Wait()
+	close(stop)
+	<-scraper
+	if got := r.Counter("shared").Value(); got != 2000 {
+		t.Errorf("counter = %d, want 2000", got)
+	}
+	if got := r.Histogram("h", nil).Snapshot().Count; got != 2000 {
+		t.Errorf("histogram count = %d, want 2000", got)
+	}
+}

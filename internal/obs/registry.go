@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Registry names and owns metrics. Instrumented layers resolve each
+// metric once (typically at construction) and keep the returned pointer;
+// the per-event hot path then touches only that pointer. A nil *Registry
+// is fully usable and hands out nil metrics, so "observability off" is
+// expressed by simply not building a registry.
+//
+// Registry is safe for concurrent use.
+type Registry struct {
+	mu     sync.Mutex
+	counts map[string]*Counter
+	gauges map[string]*Gauge
+	floats map[string]*FloatGauge
+	hists  map[string]*Histogram
+	probes map[string]func() any
+
+	fetchesOnce sync.Once
+	fetches     *FetchLog
+}
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counts: make(map[string]*Counter),
+		gauges: make(map[string]*Gauge),
+		floats: make(map[string]*FloatGauge),
+		hists:  make(map[string]*Histogram),
+		probes: make(map[string]func() any),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counts[name]
+	if !ok {
+		c = &Counter{}
+		r.counts[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use; nil on a nil
+// registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// FloatGauge returns the named float gauge, creating it on first use; nil
+// on a nil registry.
+func (r *Registry) FloatGauge(name string) *FloatGauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.floats[name]
+	if !ok {
+		g = &FloatGauge{}
+		r.floats[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// ascending bucket upper bounds on first use (later calls reuse the
+// existing buckets regardless of bounds); nil on a nil registry.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// RegisterProbe installs a scrape-time callback whose return value is
+// embedded under the given name in every snapshot — the hook for stats
+// that already live elsewhere (planner cache counters, erasure inverse
+// cache, chaos kill counts). Re-registering a name replaces the previous
+// probe. No-op on a nil registry.
+func (r *Registry) RegisterProbe(name string, fn func() any) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.probes[name] = fn
+}
+
+// FetchLog returns the registry's ring of recent fetch records, creating
+// it with the default capacity on first use; nil on a nil registry.
+func (r *Registry) FetchLog() *FetchLog {
+	if r == nil {
+		return nil
+	}
+	r.fetchesOnce.Do(func() { r.fetches = NewFetchLog(DefaultFetchLogSize) })
+	return r.fetches
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry. Maps
+// marshal with sorted keys under encoding/json, so serialized snapshots
+// are deterministically ordered.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Values     map[string]float64           `json:"values,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Probes     map[string]any               `json:"probes,omitempty"`
+}
+
+// Snapshot captures every metric's current value plus each probe's
+// output. Probes run outside the registry lock so a probe that itself
+// locks (e.g. planner.Stats) cannot deadlock against metric creation.
+// A nil registry yields the zero snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	if len(r.counts) > 0 {
+		s.Counters = make(map[string]int64, len(r.counts))
+		for name, c := range r.counts {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.floats) > 0 {
+		s.Values = make(map[string]float64, len(r.floats))
+		for name, g := range r.floats {
+			s.Values[name] = g.Value()
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for name, h := range r.hists {
+			s.Histograms[name] = h.Snapshot()
+		}
+	}
+	probes := make(map[string]func() any, len(r.probes))
+	for name, fn := range r.probes {
+		probes[name] = fn
+	}
+	r.mu.Unlock()
+
+	if len(probes) > 0 {
+		s.Probes = make(map[string]any, len(probes))
+		for name, fn := range probes {
+			s.Probes[name] = fn()
+		}
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON, the payload of the
+// /debug/metrics endpoint. Safe on a nil registry (writes the empty
+// object).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// PublishExpvar exposes the registry under the given name in the
+// process-wide expvar namespace (GET /debug/vars), so stock Go tooling
+// can scrape it alongside memstats. Publishing an already-taken name is
+// an error rather than the panic expvar.Publish would raise; no-op on a
+// nil registry.
+func (r *Registry) PublishExpvar(name string) error {
+	if r == nil {
+		return nil
+	}
+	if name == "" {
+		return fmt.Errorf("obs: empty expvar name")
+	}
+	if expvar.Get(name) != nil {
+		return fmt.Errorf("obs: expvar name %q already taken", name)
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+	return nil
+}

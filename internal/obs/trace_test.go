@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestTraceRingOverwritesOldest(t *testing.T) {
+	tr := NewTrace(3)
+	for seq := 0; seq < 5; seq++ {
+		tr.Record(Event{Type: EventPacket, Seq: seq})
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("len = %d, want 3", tr.Len())
+	}
+	if tr.Dropped() != 2 {
+		t.Errorf("dropped = %d, want 2", tr.Dropped())
+	}
+	evs := tr.Events()
+	for i, want := range []int{2, 3, 4} {
+		if evs[i].Seq != want {
+			t.Errorf("event %d seq = %d, want %d", i, evs[i].Seq, want)
+		}
+	}
+	tr.Reset()
+	if tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Errorf("after reset: len %d dropped %d", tr.Len(), tr.Dropped())
+	}
+}
+
+func TestTraceWriteJSONDeterministic(t *testing.T) {
+	build := func() *Trace {
+		tr := NewTrace(0)
+		tr.Record(Event{Type: EventRoundStart, Round: 1, Value: 1.5})
+		tr.Record(Event{Type: EventPacket, Seq: 0})
+		tr.Record(Event{Type: EventCorrupt, Seq: 1})
+		tr.Record(Event{Type: EventRoundEnd, Round: 1, N: 2, Corrupt: 1})
+		tr.Record(Event{Type: EventDone})
+		return tr
+	}
+	var a, b bytes.Buffer
+	if err := build().WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("identical traces serialized differently")
+	}
+	var tl struct {
+		Events []Event `json:"events"`
+	}
+	if err := json.Unmarshal(a.Bytes(), &tl); err != nil {
+		t.Fatal(err)
+	}
+	if len(tl.Events) != 5 || tl.Events[0].Type != EventRoundStart {
+		t.Errorf("round-tripped events %v", tl.Events)
+	}
+}
+
+func TestFetchLogRecentNewestFirst(t *testing.T) {
+	l := NewFetchLog(2)
+	l.Record(FetchRecord{Doc: "a", Origin: "client"})
+	l.Record(FetchRecord{Doc: "b", Origin: "client"})
+	l.Record(FetchRecord{Doc: "c", Origin: "server"})
+	if l.Total() != 3 {
+		t.Errorf("total = %d, want 3", l.Total())
+	}
+	got := l.Recent(0)
+	if len(got) != 2 || got[0].Doc != "c" || got[1].Doc != "b" {
+		t.Errorf("recent = %+v, want [c b]", got)
+	}
+	if got := l.Recent(1); len(got) != 1 || got[0].Doc != "c" {
+		t.Errorf("recent(1) = %+v, want [c]", got)
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("fetch.count").Add(3)
+	rec := httptest.NewRecorder()
+	MetricsHandler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["fetch.count"] != 3 {
+		t.Errorf("snapshot %v", snap)
+	}
+}
+
+func TestFetchesHandler(t *testing.T) {
+	r := NewRegistry()
+	r.FetchLog().Record(FetchRecord{Doc: "draft.xml", Origin: "client", Rounds: 2})
+	r.FetchLog().Record(FetchRecord{Doc: "draft.xml", Origin: "server", Sent: 40})
+
+	rec := httptest.NewRecorder()
+	FetchesHandler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/fetches", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var payload struct {
+		Total   int64         `json:"total"`
+		Fetches []FetchRecord `json:"fetches"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &payload); err != nil {
+		t.Fatal(err)
+	}
+	if payload.Total != 2 || len(payload.Fetches) != 2 || payload.Fetches[0].Origin != "server" {
+		t.Errorf("payload %+v", payload)
+	}
+
+	rec = httptest.NewRecorder()
+	FetchesHandler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/fetches?n=1", nil))
+	if err := json.Unmarshal(rec.Body.Bytes(), &payload); err != nil {
+		t.Fatal(err)
+	}
+	if len(payload.Fetches) != 1 {
+		t.Errorf("n=1 returned %d records", len(payload.Fetches))
+	}
+
+	rec = httptest.NewRecorder()
+	FetchesHandler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/fetches?n=zero", nil))
+	if rec.Code != 400 {
+		t.Errorf("bad n: status %d, want 400", rec.Code)
+	}
+
+	// A registry with no recorded fetches serves an empty list, and a nil
+	// registry serves the same shape.
+	for _, reg := range []*Registry{NewRegistry(), nil} {
+		rec = httptest.NewRecorder()
+		FetchesHandler(reg).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/fetches", nil))
+		if rec.Code != 200 {
+			t.Fatalf("empty log: status %d", rec.Code)
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &payload); err != nil {
+			t.Fatal(err)
+		}
+		if payload.Total != 0 || len(payload.Fetches) != 0 {
+			t.Errorf("empty log payload %+v", payload)
+		}
+	}
+}
+
+// BenchmarkNilMetricOps measures the raw disabled-path cost: one nil
+// check per metric call, no allocations.
+func BenchmarkNilMetricOps(b *testing.B) {
+	var c *Counter
+	var g *FloatGauge
+	var tr *Trace
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		g.Set(0.5)
+		tr.Record(Event{Type: EventPacket, Seq: i})
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"mobweb/internal/core"
 	"mobweb/internal/document"
 	"mobweb/internal/ewma"
+	"mobweb/internal/obs"
 )
 
 // RetryPolicy bounds the client's reconnection behaviour after a
@@ -91,6 +92,15 @@ type Client struct {
 	// property of the channel, not of one document. Callers may install
 	// a shared or differently-weighted estimator before fetching.
 	Alpha *ewma.Estimator
+	// Metrics, when set, receives the client-side fetch counters (rounds,
+	// reconnects, packet totals, live α/γ gauges) and feeds finished
+	// fetches into the registry's fetch log. Nil disables client metrics;
+	// the instrumented paths then cost one nil check per event.
+	Metrics *obs.Registry
+	// cm caches the metric pointers resolved from Metrics; cmFrom detects
+	// a swapped registry (see metrics()).
+	cm     clientMetrics
+	cmFrom *obs.Registry
 	// redial re-establishes the transport connection after a failure;
 	// nil means reconnection is unavailable (NewClient without
 	// SetRedial).
@@ -359,6 +369,12 @@ type FetchOptions struct {
 	RoundTimeout time.Duration
 	// OnProgress, when set, is invoked for every received frame.
 	OnProgress func(Progress)
+	// Trace, when set, receives the fetch's event timeline: round
+	// boundaries, per-frame packet/corrupt events, decodes, γ/α updates,
+	// redials and rebases. The same trace reappears in FetchResult.Trace
+	// and, when the client has a Metrics registry, in the fetch-log
+	// record. Nil disables tracing at one branch per would-be event.
+	Trace *obs.Trace
 }
 
 // fetchShape fingerprints the plan-affecting fetch options; a prefetched
@@ -401,6 +417,10 @@ type FetchResult struct {
 	// (0 means "server default"); under AdaptGamma later entries track
 	// the estimated channel quality.
 	GammaRequests []float64
+	// Trace is the event timeline supplied in FetchOptions.Trace, echoed
+	// back so callers hold result and timeline together; nil when the
+	// fetch was untraced.
+	Trace *obs.Trace
 }
 
 // Fetch downloads a document with fault-tolerant multi-resolution
@@ -413,6 +433,53 @@ func (c *Client) Fetch(opts FetchOptions) (*FetchResult, error) {
 // in-flight network operations and stops the reconnect loop. Like Fetch,
 // it returns the partial result alongside any terminal error.
 func (c *Client) FetchContext(ctx context.Context, opts FetchOptions) (*FetchResult, error) {
+	result, err := c.fetchContext(ctx, opts)
+	cm := c.metrics()
+	cm.fetches.Inc()
+	if err != nil {
+		cm.fetchErrors.Inc()
+	}
+	if result != nil {
+		result.Trace = opts.Trace
+		cm.roundsHist.Observe(float64(result.Rounds))
+	}
+	if err == nil {
+		opts.Trace.Record(obs.Event{Type: obs.EventDone})
+	} else {
+		opts.Trace.Record(obs.Event{Type: obs.EventError, Note: errClass(err)})
+	}
+	c.logFetch(opts, result, err)
+	return result, err
+}
+
+// logFetch appends the finished fetch to the registry's fetch log (the
+// /debug/fetches time-series); no-op without a Metrics registry.
+func (c *Client) logFetch(opts FetchOptions, result *FetchResult, err error) {
+	log := c.Metrics.FetchLog()
+	if log == nil {
+		return
+	}
+	rec := obs.FetchRecord{Doc: opts.Doc, Origin: "client", Err: errClass(err)}
+	if result != nil {
+		rec.Rounds = result.Rounds
+		rec.Reconnects = result.Reconnects
+		rec.Received = result.PacketsReceived
+		rec.Corrupted = result.PacketsCorrupted
+		rec.Held = result.HeldPackets
+		if n := len(result.AlphaEstimates); n > 0 {
+			rec.Alpha = result.AlphaEstimates[n-1]
+		}
+		if n := len(result.GammaRequests); n > 0 {
+			rec.Gamma = result.GammaRequests[n-1]
+		}
+	}
+	rec.Events = opts.Trace.Events()
+	log.Record(rec)
+}
+
+// fetchContext runs the retransmission loop; FetchContext wraps it with
+// the terminal observability (metrics, trace close-out, fetch log).
+func (c *Client) fetchContext(ctx context.Context, opts FetchOptions) (*FetchResult, error) {
 	if opts.Doc == "" {
 		return nil, fmt.Errorf("transport: fetch needs a document name")
 	}
@@ -421,6 +488,8 @@ func (c *Client) FetchContext(ctx context.Context, opts FetchOptions) (*FetchRes
 		maxRounds = 10
 	}
 	result := &FetchResult{}
+	cm := c.metrics()
+	tr := opts.Trace
 	var rcv *core.Receiver
 	seen := make(map[int]bool) // rendered units by permuted offset
 	shape := fetchShape(opts)
@@ -433,6 +502,8 @@ func (c *Client) FetchContext(ctx context.Context, opts FetchOptions) (*FetchRes
 		fromPrefetch = true
 		result.PrefetchedPackets = rcv.IntactCount()
 		delete(c.prefetched, opts.Doc)
+		rcv.SetTrace(tr)
+		tr.Record(obs.Event{Type: obs.EventPrefetch, N: result.PrefetchedPackets})
 		// A fully-primed receiver needs no network at all.
 		if c.terminated(rcv, opts) {
 			return c.finish(rcv, opts, result)
@@ -459,6 +530,7 @@ func (c *Client) FetchContext(ctx context.Context, opts FetchOptions) (*FetchRes
 			return fail(err)
 		}
 		result.Rounds++
+		cm.rounds.Inc()
 		// NoCaching semantics apply between transmission rounds —
 		// including resumes after a reconnect; prefetched packets on the
 		// first round are local state, not a retransmission cache.
@@ -472,6 +544,12 @@ func (c *Client) FetchContext(ctx context.Context, opts FetchOptions) (*FetchRes
 		newRcv, done, err := c.runRound(rctx, opts, gamma, rcv, result, seen, noCaching)
 		cancel()
 		rcv = newRcv
+		tr.Record(obs.Event{
+			Type:    obs.EventRoundEnd,
+			Round:   result.Rounds,
+			N:       result.PacketsReceived - recBefore,
+			Corrupt: result.PacketsCorrupted - corBefore,
+		})
 		// Feed the round's observed corruption window into the α
 		// estimator even when the round failed mid-stream: a partial
 		// window still carries channel information.
@@ -481,9 +559,15 @@ func (c *Client) FetchContext(ctx context.Context, opts FetchOptions) (*FetchRes
 				est.ObserveWindow(result.PacketsCorrupted-corBefore, window)
 				if a, ok := est.Value(); ok {
 					result.AlphaEstimates = append(result.AlphaEstimates, a)
+					tr.Record(obs.Event{Type: obs.EventAlpha, Round: result.Rounds, Value: a})
+					cm.alpha.Set(a)
 					if rcv != nil {
 						if g, ok := adaptiveGamma(rcv.Layout(), a, opts.TargetSuccess); ok {
+							if g != gamma {
+								tr.Record(obs.Event{Type: obs.EventGamma, Round: result.Rounds, Value: g})
+							}
 							gamma = g
+							cm.gamma.Set(g)
 						}
 					}
 				}
@@ -508,6 +592,8 @@ func (c *Client) FetchContext(ctx context.Context, opts FetchOptions) (*FetchRes
 		// redial with backoff and resume, carrying the receiver so held
 		// packets survive the disconnect.
 		result.Reconnects++
+		cm.reconnects.Inc()
+		tr.Record(obs.Event{Type: obs.EventRedial, Round: result.Rounds, N: result.Reconnects})
 		if rerr := c.reconnect(ctx); rerr != nil {
 			return fail(fmt.Errorf("transport: fetch %s: %w (round failed: %w)", opts.Doc, rerr, err))
 		}
@@ -536,6 +622,7 @@ func (c *Client) runRound(ctx context.Context, opts FetchOptions, gamma float64,
 		}
 	}
 	result.GammaRequests = append(result.GammaRequests, gamma)
+	opts.Trace.Record(obs.Event{Type: obs.EventRoundStart, Round: result.Rounds, Value: gamma})
 	if err := c.send(ctx, req); err != nil {
 		return rcv, false, err
 	}
@@ -561,6 +648,7 @@ func (c *Client) runRound(ctx context.Context, opts FetchOptions, gamma float64,
 			result.PrefetchedPackets = 0
 		} else {
 			rcv = rebased
+			opts.Trace.Record(obs.Event{Type: obs.EventRebase, Round: result.Rounds, N: rcv.IntactCount()})
 		}
 	}
 	if rcv == nil {
@@ -568,6 +656,7 @@ func (c *Client) runRound(ctx context.Context, opts FetchOptions, gamma float64,
 		if err != nil {
 			return nil, false, err
 		}
+		rcv.SetTrace(opts.Trace)
 	} else if noCaching {
 		rcv.Reset()
 	}
@@ -757,6 +846,7 @@ func (c *Client) prefetchRound(ctx context.Context, opts FetchOptions, rcv *core
 			continue // draining
 		}
 		res.Received++
+		c.metrics().prefetchFrames.Inc()
 		if _, _, err := rcv.AddFrame(frame); err != nil {
 			return rcv, err
 		}
@@ -782,6 +872,7 @@ func (c *Client) primeReceiver(doc, shape string, rcv *core.Receiver) {
 // returns done=true when a §4.2 termination condition fired.
 func (c *Client) consumeStream(ctx context.Context, rcv *core.Receiver, opts FetchOptions, result *FetchResult, seen map[int]bool) (bool, error) {
 	terminatedEarly := false
+	cm := c.metrics()
 	var frameBuf []byte // reused across frames; AddFrame copies what it keeps
 	for {
 		if err := c.conn.SetReadDeadline(c.deadline(ctx)); err != nil {
@@ -799,12 +890,24 @@ func (c *Client) consumeStream(ctx context.Context, rcv *core.Receiver, opts Fet
 			continue // draining after stop
 		}
 		result.PacketsReceived++
+		cm.packetsIn.Inc()
 		seq, intact, err := rcv.AddFrame(frame)
 		if err != nil {
 			return false, err
 		}
 		if !intact {
 			result.PacketsCorrupted++
+			cm.packetsCorrupt.Inc()
+		}
+		// Per-frame trace events are guarded rather than relying on the
+		// nil-safe Record alone: the guard spares the untraced hot path
+		// even the event-struct construction.
+		if tr := opts.Trace; tr != nil {
+			if intact {
+				tr.Record(obs.Event{Type: obs.EventPacket, Round: result.Rounds, Seq: seq})
+			} else {
+				tr.Record(obs.Event{Type: obs.EventCorrupt, Round: result.Rounds, Seq: seq})
+			}
 		}
 		if opts.OnProgress != nil {
 			prog := Progress{Seq: seq, Intact: intact, InfoContent: rcv.InfoContent()}
@@ -826,6 +929,7 @@ func (c *Client) consumeStream(ctx context.Context, rcv *core.Receiver, opts Fet
 				return false, err
 			}
 			terminatedEarly = true
+			opts.Trace.Record(obs.Event{Type: obs.EventStop, Round: result.Rounds, Seq: seq})
 		}
 	}
 }

@@ -10,6 +10,8 @@ import (
 	"time"
 
 	"mobweb/internal/core"
+	"mobweb/internal/erasure"
+	"mobweb/internal/obs"
 	"mobweb/internal/planner"
 	"mobweb/internal/search"
 )
@@ -35,6 +37,11 @@ type ServerOptions struct {
 	// IdleTimeout closes connections with no request activity; zero
 	// means 2 minutes.
 	IdleTimeout time.Duration
+	// Metrics, when set, receives the transmitter's connection, request
+	// and frame counters, logs each served stream into the fetch log
+	// behind /debug/fetches, and registers the planner/erasure/core
+	// scrape-time probes. Nil disables server metrics at near-zero cost.
+	Metrics *obs.Registry
 }
 
 // Server is the database gateway plus document transmitter of Figure 1:
@@ -47,6 +54,7 @@ type Server struct {
 	engine  *search.Engine
 	planner *planner.Planner
 	opts    ServerOptions
+	sm      serverMetrics
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -76,10 +84,20 @@ func NewServer(engine *search.Engine, opts ServerOptions) (*Server, error) {
 			return nil, err
 		}
 	}
+	if opts.Metrics != nil {
+		// The probes surface stats that live in their own layers: the
+		// planner's cache counters, the erasure codec's package-wide
+		// inverse-cache/dispatch counters, and the receiver decode
+		// counters. They run at scrape time, outside the registry lock.
+		opts.Metrics.RegisterProbe("planner", func() any { return pl.Stats() })
+		opts.Metrics.RegisterProbe("erasure", erasure.MetricsProbe)
+		opts.Metrics.RegisterProbe("core", core.MetricsProbe)
+	}
 	return &Server{
 		engine:  engine,
 		planner: pl,
 		opts:    opts,
+		sm:      newServerMetrics(opts.Metrics),
 		conns:   make(map[net.Conn]bool),
 	}, nil
 }
@@ -118,6 +136,8 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.conns[conn] = true
 		s.wg.Add(1)
 		s.mu.Unlock()
+		s.sm.connsAccepted.Inc()
+		s.sm.connsActive.Add(1)
 		go func() {
 			defer s.wg.Done()
 			defer func() {
@@ -125,6 +145,7 @@ func (s *Server) Serve(ln net.Listener) error {
 				delete(s.conns, conn)
 				s.mu.Unlock()
 				conn.Close()
+				s.sm.connsActive.Add(-1)
 			}()
 			s.handle(conn)
 		}()
@@ -200,13 +221,16 @@ func (s *Server) handle(conn net.Conn) {
 		var err error
 		switch req.Op {
 		case "search":
+			s.sm.reqSearch.Inc()
 			err = s.handleSearch(w, req)
 		case "fetch":
+			s.sm.reqFetch.Inc()
 			err = s.handleFetch(w, req, requests)
 		case "stop":
 			// A stale stop from a stream that already ended; ignore.
 			continue
 		default:
+			s.sm.reqBad.Inc()
 			err = writeJSON(w, response{Error: fmt.Sprintf("unknown op %q", req.Op)})
 			if err == nil {
 				err = w.Flush()
@@ -237,6 +261,7 @@ func (s *Server) handleSearch(w *bufio.Writer, req request) error {
 func (s *Server) handleFetch(w *bufio.Writer, req request, requests <-chan request) error {
 	plan, errMsg := s.buildPlan(req)
 	if errMsg != "" {
+		s.sm.fetchErrors.Inc()
 		if err := writeJSON(w, response{Error: errMsg}); err != nil {
 			return err
 		}
@@ -265,6 +290,7 @@ func (s *Server) handleFetch(w *bufio.Writer, req request, requests <-chan reque
 	// frame from the plan each iteration, so the injector corrupting the
 	// previous contents in place cannot leak into the next frame.
 	var frameBuf []byte
+	sent := 0
 stream:
 	for seq := 0; seq < plan.N(); seq++ {
 		if have[seq] {
@@ -291,11 +317,14 @@ stream:
 		}
 		out, send := s.opts.Injector.Inject(frameBuf, seq)
 		if !send {
+			s.sm.framesDropped.Inc()
 			continue
 		}
 		if err := writeFrame(w, out); err != nil {
 			return err
 		}
+		sent++
+		s.sm.framesOut.Inc()
 		if s.opts.PacketDelay > 0 {
 			if err := w.Flush(); err != nil {
 				return err
@@ -303,6 +332,12 @@ stream:
 			time.Sleep(s.opts.PacketDelay)
 		}
 	}
+	s.sm.fetchLog.Record(obs.FetchRecord{
+		Doc:    req.Doc,
+		Origin: "server",
+		Sent:   sent,
+		Have:   len(req.Have),
+	})
 	if err := writeEndOfStream(w); err != nil {
 		return err
 	}

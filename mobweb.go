@@ -51,6 +51,7 @@ import (
 	"mobweb/internal/ewma"
 	"mobweb/internal/gateway"
 	"mobweb/internal/markup"
+	"mobweb/internal/obs"
 	"mobweb/internal/planner"
 	"mobweb/internal/prefetch"
 	"mobweb/internal/profile"
@@ -128,6 +129,26 @@ type (
 	// ChaosListener wraps a listener so accepted connections die on the
 	// policy's seeded schedule.
 	ChaosListener = transport.ChaosListener
+	// Metrics is the observability registry: named atomic counters,
+	// gauges and histograms plus scrape-time probes and the fetch log.
+	// Wire one into ServerOptions.Metrics, Client.Metrics and
+	// Gateway.SetMetrics; a nil registry disables all instrumentation at
+	// one branch per event.
+	Metrics = obs.Registry
+	// MetricsSnapshot is a point-in-time copy of every metric in a
+	// registry, as served by /debug/metrics.
+	MetricsSnapshot = obs.Snapshot
+	// FetchTrace is a bounded per-fetch event timeline; attach one via
+	// FetchOptions.Trace.
+	FetchTrace = obs.Trace
+	// FetchEvent is one entry in a fetch timeline.
+	FetchEvent = obs.Event
+	// FetchRecord summarizes one fetch in the registry's fetch log, as
+	// served by /debug/fetches.
+	FetchRecord = obs.FetchRecord
+	// Gateway is the HTTP front end of Figure 1's WWW server; SetMetrics
+	// mounts the /debug endpoints on it.
+	Gateway = gateway.Handler
 	// SimParams parameterizes the paper's evaluation model.
 	SimParams = sim.Params
 	// SimResult aggregates a simulation run.
@@ -298,13 +319,28 @@ func BernoulliInjector(alpha float64, seed int64) (FaultInjector, error) {
 // NewGateway wraps an engine as the HTTP front end of Figure 1's WWW
 // server: /search, /sc/{name} and /doc/{name} endpoints that expose
 // multi-resolution content to conventional browsers.
-func NewGateway(engine *Engine) (http.Handler, error) { return gateway.New(engine) }
+func NewGateway(engine *Engine) (*Gateway, error) { return gateway.New(engine) }
 
 // NewGatewayWithPlanner is NewGateway sharing an existing planning
 // service (and hence its plan cache) with other front ends.
-func NewGatewayWithPlanner(engine *Engine, pl *Planner) (http.Handler, error) {
+func NewGatewayWithPlanner(engine *Engine, pl *Planner) (*Gateway, error) {
 	return gateway.NewWithPlanner(engine, pl)
 }
+
+// NewMetrics returns an empty observability registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// NewFetchTrace returns a fetch timeline holding up to capacity events
+// (non-positive means the default capacity).
+func NewFetchTrace(capacity int) *FetchTrace { return obs.NewTrace(capacity) }
+
+// MetricsHandler serves a registry snapshot as JSON — mount it wherever
+// the embedding application exposes debug endpoints.
+func MetricsHandler(reg *Metrics) http.Handler { return obs.MetricsHandler(reg) }
+
+// FetchesHandler serves the registry's recent fetch records as JSON,
+// newest first (?n= caps the count).
+func FetchesHandler(reg *Metrics) http.Handler { return obs.FetchesHandler(reg) }
 
 // NewCluster starts an empty page cluster rooted at rootName.
 func NewCluster(name, rootName string) (*Cluster, error) { return cluster.New(name, rootName) }
