@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench bench-json cover figures paperscale fuzz lint vulncheck verify clean
+.PHONY: all build test race bench bench-json bench-load cover figures paperscale fuzz lint vulncheck verify clean
 
 all: build test
 
@@ -60,6 +60,14 @@ cover:
 # root and the human table under results/. See DESIGN.md §10.
 bench-json:
 	go run ./cmd/erasurebench -json BENCH_erasure.json -txt results/erasure-kernel-bench.txt
+
+# Open-loop load generator against the frame cache: 1000 Zipf-distributed
+# clients over 10 documents, cached pass vs cache-disabled baseline, with
+# the acceptance gates (hit rate, encode/marshal work reduction) checked
+# in-process. BENCH_load.json at the repo root, human table under
+# results/. See DESIGN.md §12.
+bench-load:
+	go run ./cmd/mrtload -json BENCH_load.json -txt results/framecache-bench.txt -min-hit-rate 0.9
 
 # Regenerate every table and figure at the default reduced scale.
 figures:

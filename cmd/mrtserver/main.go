@@ -22,6 +22,7 @@ import (
 	"mobweb/internal/channel"
 	"mobweb/internal/core"
 	"mobweb/internal/corpus"
+	"mobweb/internal/framecache"
 	"mobweb/internal/gateway"
 	"mobweb/internal/gf256"
 	"mobweb/internal/obs"
@@ -50,6 +51,7 @@ func run(args []string) error {
 	noCorpus := fs.Bool("nocorpus", false, "skip the embedded corpus")
 	cacheMB := fs.Int64("plancache-mb", 64, "plan-cache byte budget in MiB (0 disables caching)")
 	cacheEntries := fs.Int("plancache-entries", 0, "plan-cache entry cap (0 means byte budget only)")
+	frameMB := fs.Int64("framecache-mb", 32, "cooked-frame cache byte budget in MiB (0 disables caching)")
 	chaosKills := fs.Int("chaos-kills", 0, "sever this many connections mid-stream on a seeded schedule (0 disables, -1 unlimited)")
 	chaosMin := fs.Int("chaos-min", 0, "min bytes a connection may write before a chaos kill (0 = 2048)")
 	chaosMax := fs.Int("chaos-max", 0, "max bytes before a chaos kill (0 = 4x min)")
@@ -96,10 +98,15 @@ func run(args []string) error {
 	if cacheBytes == 0 {
 		cacheBytes = -1 // planner: negative disables, zero means default
 	}
+	frameBytes := *frameMB << 20
+	if frameBytes == 0 {
+		frameBytes = -1 // framecache: negative disables, zero means default
+	}
 	pl, err := planner.New(engine, planner.Options{
-		Defaults:   core.Config{Gamma: *gamma},
-		CacheBytes: cacheBytes,
-		MaxEntries: *cacheEntries,
+		Defaults:        core.Config{Gamma: *gamma},
+		CacheBytes:      cacheBytes,
+		MaxEntries:      *cacheEntries,
+		FrameCacheBytes: frameBytes,
 	})
 	if err != nil {
 		return err
@@ -210,24 +217,31 @@ func run(args []string) error {
 		fmt.Printf("http gateway on %s (/search, /sc/{name}, /doc/{name})\n", httpLn.Addr())
 		defer httpSrv.Close()
 	}
-	fmt.Printf("serving %d documents on %s (alpha=%.2f, gamma=%.2f, delay=%v, plancache=%dMiB)\n",
-		engine.Len(), ln.Addr(), *alpha, *gamma, *delay, *cacheMB)
+	fmt.Printf("serving %d documents on %s (alpha=%.2f, gamma=%.2f, delay=%v, plancache=%dMiB, framecache=%dMiB)\n",
+		engine.Len(), ln.Addr(), *alpha, *gamma, *delay, *cacheMB, *frameMB)
 	start := time.Now()
 	err = srv.Serve(ln)
 	fmt.Printf("server stopped after %v: %v\n", time.Since(start).Round(time.Second), err)
 	fmt.Println(pl.Stats())
+	fmt.Println(pl.FrameStats())
 	return nil
 }
 
 // statsLine condenses a registry snapshot into the periodic log line: the
-// counters an operator watches to see whether the transmitter is moving.
+// counters an operator watches to see whether the transmitter is moving,
+// plus a frame-cache digest when the transport registered its probe.
 func statsLine(reg *obs.Registry) string {
 	s := reg.Snapshot()
-	return fmt.Sprintf("stats: conns=%d/%d fetches=%d frames_out=%d dropped=%d search=%d bad=%d",
+	line := fmt.Sprintf("stats: conns=%d/%d fetches=%d frames_out=%d dropped=%d search=%d bad=%d",
 		s.Gauges["serve.conns_active"], s.Counters["serve.conns_accepted"],
 		s.Counters["serve.requests_fetch"], s.Counters["serve.frames_out"],
 		s.Counters["serve.frames_dropped"], s.Counters["serve.requests_search"],
 		s.Counters["serve.requests_bad"])
+	if fc, ok := s.Probes["framecache"].(framecache.Stats); ok {
+		line += fmt.Sprintf(" fc_hit=%.1f%% fc_cooks=%d fc_entries=%d fc_mb=%.1f",
+			100*fc.HitRate(), fc.Cooks, fc.Entries, float64(fc.Bytes)/(1<<20))
+	}
+	return line
 }
 
 func indexDir(engine *search.Engine, dir string) error {

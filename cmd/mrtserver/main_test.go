@@ -3,8 +3,11 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
+	"mobweb/internal/framecache"
+	"mobweb/internal/obs"
 	"mobweb/internal/search"
 	"mobweb/internal/textproc"
 )
@@ -50,6 +53,25 @@ func TestRunBadFlag(t *testing.T) {
 func TestRunNoDocuments(t *testing.T) {
 	if err := run([]string{"-nocorpus"}); err == nil {
 		t.Error("empty collection accepted")
+	}
+}
+
+// TestStatsLineFrameCacheDigest pins the -stats-every format: the base
+// transmitter counters always appear, and the frame-cache digest joins
+// them only when the transport has registered its probe.
+func TestStatsLineFrameCacheDigest(t *testing.T) {
+	reg := obs.NewRegistry()
+	if line := statsLine(reg); strings.Contains(line, "fc_hit") {
+		t.Errorf("digest without probe: %q", line)
+	}
+	reg.RegisterProbe("framecache", func() any {
+		return framecache.Stats{Hits: 9, Misses: 1, Cooks: 1, Entries: 2, Bytes: 3 << 20}
+	})
+	line := statsLine(reg)
+	for _, want := range []string{"fc_hit=90.0%", "fc_cooks=1", "fc_entries=2", "fc_mb=3.0"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("stats line %q missing %q", line, want)
+		}
 	}
 }
 

@@ -10,6 +10,10 @@ var coreMetrics struct {
 	// decodes counts erasure decodes performed by receivers; memoHits
 	// counts decodes answered by the per-generation memo instead.
 	decodes, memoHits obs.Counter
+	// frameMarshals counts wire-frame marshals (Plan.AppendFrame). The
+	// frame cache exists to flatten this curve: under load the counter
+	// should track distinct frames, not frames sent.
+	frameMarshals obs.Counter
 }
 
 // MetricsProbe returns the package-wide receiver counters in snapshot
@@ -18,6 +22,7 @@ func MetricsProbe() any {
 	return map[string]int64{
 		"decodes":          coreMetrics.decodes.Value(),
 		"decode_memo_hits": coreMetrics.memoHits.Value(),
+		"frame_marshals":   coreMetrics.frameMarshals.Value(),
 	}
 }
 

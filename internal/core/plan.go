@@ -31,31 +31,46 @@ type UnitSegment struct {
 // generation is one independently-encoded dispersal group. The first M
 // cooked packets are byte-identical to the raw packets (systematic
 // property), so only the parity tail needs GF(2^8) work — and that work
-// is deferred to the first access past M. A client that terminates early
-// on relevance judgment (the paper's headline scenario) therefore never
-// triggers encoding at all.
+// is deferred row by row to the first access past M. A client that
+// terminates early on relevance judgment (the paper's headline scenario)
+// therefore never triggers encoding at all, and a fetch that consumes
+// only part of the tail pays for exactly the rows it was sent — the
+// granularity the shared cooked-frame cache works at.
 type generation struct {
 	coder     *erasure.Coder
 	rawOff    int      // first raw packet index (global)
 	cookedOff int      // first cooked sequence number (global)
 	raw       [][]byte // this group's raw packets (clear-text prefix)
 
-	parityOnce sync.Once
-	parity     [][]byte // cooked[M:], encoded lazily
-	parityErr  error
+	mu          sync.Mutex
+	parity      [][]byte // cooked[M:], rows encoded lazily (nil until asked)
+	encodedRows int      // parity rows materialized so far
 }
 
-// ensureParity encodes the redundancy packets on first use. encodes
-// counts completed encodes plan-wide, for observability (the planner's
-// zero-encode acceptance assertion).
-func (g *generation) ensureParity(encodes *atomic.Int64) ([][]byte, error) {
-	g.parityOnce.Do(func() {
-		g.parity, g.parityErr = g.coder.EncodeParity(g.raw)
-		if g.parityErr == nil {
+// ensureParityRow encodes one redundancy row on first use and memoizes
+// it. encodes counts generations with any materialized parity plan-wide,
+// for observability (the planner's zero-encode acceptance assertion).
+// The GF(2^8) work runs under the generation mutex; concurrent senders
+// of one hot row are already deduplicated by the frame cache above, so
+// the lock guards only the cold corners (sim, baseline, cache disabled).
+func (g *generation) ensureParityRow(row int, encodes *atomic.Int64) ([]byte, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.parity == nil {
+		g.parity = make([][]byte, g.coder.N()-g.coder.M())
+	}
+	if g.parity[row] == nil {
+		b, err := g.coder.EncodeParityRow(g.raw, row)
+		if err != nil {
+			return nil, err
+		}
+		if g.encodedRows == 0 {
 			encodes.Add(1)
 		}
-	})
-	return g.parity, g.parityErr
+		g.encodedRows++
+		g.parity[row] = b
+	}
+	return g.parity[row], nil
 }
 
 // Plan is an immutable transmission plan for one document: the ranked
@@ -258,8 +273,8 @@ func (p *Plan) segmentContaining(leaf *document.Unit) (UnitSegment, bool) {
 // CookedPayload returns the cooked packet payload for a global sequence
 // number. The returned slice is shared with the plan; callers must not
 // modify it. A seq inside a generation's clear-text prefix is served
-// straight from the raw packets; the first seq past a prefix triggers
-// that generation's one-time parity encode.
+// straight from the raw packets; a seq past a prefix triggers a one-time
+// encode of exactly that parity row.
 func (p *Plan) CookedPayload(seq int) ([]byte, error) {
 	g, idx, err := p.locate(seq)
 	if err != nil {
@@ -269,11 +284,7 @@ func (p *Plan) CookedPayload(seq int) ([]byte, error) {
 	if idx < gen.coder.M() {
 		return gen.raw[idx], nil
 	}
-	parity, err := gen.ensureParity(&p.parityEncodes)
-	if err != nil {
-		return nil, err
-	}
-	return parity[idx-gen.coder.M()], nil
+	return gen.ensureParityRow(idx-gen.coder.M(), &p.parityEncodes)
 }
 
 // ParityEncodes returns how many generations have had their parity
@@ -295,7 +306,16 @@ func (p *Plan) AppendFrame(dst []byte, seq int) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	coreMetrics.frameMarshals.Add(1)
 	return packet.Packet{Seq: seq, Payload: payload}.AppendMarshal(dst)
+}
+
+// Locate maps a global cooked sequence number to its dispersal group and
+// the row index within that group's cooked packets. The frame cache keys
+// entries by (generation, row) so that one cooked frame is shared across
+// every connection asking for it.
+func (p *Plan) Locate(seq int) (gen, row int, err error) {
+	return p.locate(seq)
 }
 
 // locate maps a global cooked sequence number to (generation, index).

@@ -155,6 +155,26 @@ func (c *Coder) EncodeParity(raw [][]byte) ([][]byte, error) {
 	return parity, nil
 }
 
+// EncodeParityRow computes a single redundancy packet — cooked index
+// m+row — without touching the rest of the parity tail. It backs
+// row-granular lazy plan encoding: with the cooked-frame cache in front,
+// serving one redundancy frame costs exactly one row of GF(2^8) work
+// instead of materializing the whole generation, and a row evicted from
+// the frame cache re-cooks alone.
+func (c *Coder) EncodeParityRow(raw [][]byte, row int) ([]byte, error) {
+	size, err := c.checkRaw(raw)
+	if err != nil {
+		return nil, err
+	}
+	if row < 0 || row >= c.n-c.m {
+		return nil, fmt.Errorf("erasure: parity row %d outside [0, %d)", row, c.n-c.m)
+	}
+	out := make([]byte, size)
+	accumulateRow(out, c.dispersal.Row(c.m+row), raw)
+	codecMetrics.parityRows.Add(1)
+	return out, nil
+}
+
 // EncodeInto is the allocation-free variant of Encode for hot transmission
 // loops: cooked must contain n slices of the raw packet size.
 func (c *Coder) EncodeInto(cooked, raw [][]byte) error {

@@ -1,0 +1,268 @@
+package framecache
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func key(plan string, gen, row int) Key {
+	return Key{Plan: plan, Gamma: 1.5, Gen: gen, Row: row}
+}
+
+func TestGetOrCookCachesAndHits(t *testing.T) {
+	c := New(Options{})
+	cooked := 0
+	cook := func() ([]byte, error) {
+		cooked++
+		return []byte("frame-0"), nil
+	}
+	for i := 0; i < 3; i++ {
+		frame, err := c.GetOrCook(key("p", 0, 0), cook)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(frame, []byte("frame-0")) {
+			t.Fatalf("frame = %q", frame)
+		}
+	}
+	if cooked != 1 {
+		t.Fatalf("cooked %d times, want 1", cooked)
+	}
+	s := c.Stats()
+	if s.Hits != 2 || s.Misses != 1 || s.Cooks != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.HitRate() < 0.6 || s.HitRate() > 0.7 {
+		t.Fatalf("hit rate = %v, want 2/3", s.HitRate())
+	}
+	if s.Entries != 1 || s.Bytes <= 0 {
+		t.Fatalf("occupancy = %d entries %d bytes", s.Entries, s.Bytes)
+	}
+}
+
+func TestGetMissesThenHit(t *testing.T) {
+	c := New(Options{})
+	if _, ok := c.Get(key("p", 0, 1)); ok {
+		t.Fatal("unexpected hit on empty cache")
+	}
+	if _, err := c.GetOrCook(key("p", 0, 1), func() ([]byte, error) { return []byte("x"), nil }); err != nil {
+		t.Fatal(err)
+	}
+	frame, ok := c.Get(key("p", 0, 1))
+	if !ok || !bytes.Equal(frame, []byte("x")) {
+		t.Fatalf("Get = %q, %v", frame, ok)
+	}
+}
+
+func TestCookErrorNotCached(t *testing.T) {
+	c := New(Options{})
+	boom := errors.New("boom")
+	if _, err := c.GetOrCook(key("p", 0, 0), func() ([]byte, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if s := c.Stats(); s.Entries != 0 {
+		t.Fatalf("error was cached: %+v", s)
+	}
+	// A later cook succeeds and is cached.
+	if _, err := c.GetOrCook(key("p", 0, 0), func() ([]byte, error) { return []byte("ok"), nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key("p", 0, 0)); !ok {
+		t.Fatal("recovered cook not cached")
+	}
+}
+
+func TestByteBudgetEvictsLRU(t *testing.T) {
+	frame := make([]byte, 256)
+	perEntry := int64(len(frame)) + entryOverhead + 1 // plan key "p"
+	c := New(Options{Bytes: 4 * perEntry})
+	for row := 0; row < 6; row++ {
+		if _, err := c.GetOrCook(key("p", 0, row), func() ([]byte, error) { return frame, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := c.Stats()
+	if s.Entries != 4 || s.Evictions != 2 {
+		t.Fatalf("stats = %+v, want 4 entries, 2 evictions", s)
+	}
+	if s.Bytes > 4*perEntry {
+		t.Fatalf("bytes %d over budget %d", s.Bytes, 4*perEntry)
+	}
+	// The oldest rows went first.
+	if _, ok := c.Get(key("p", 0, 0)); ok {
+		t.Fatal("row 0 should have been evicted")
+	}
+	if _, ok := c.Get(key("p", 0, 5)); !ok {
+		t.Fatal("row 5 should be resident")
+	}
+}
+
+func TestMaxEntriesCap(t *testing.T) {
+	c := New(Options{MaxEntries: 2})
+	for row := 0; row < 5; row++ {
+		c.GetOrCook(key("p", 0, row), func() ([]byte, error) { return []byte{byte(row)}, nil })
+	}
+	if s := c.Stats(); s.Entries != 2 {
+		t.Fatalf("entries = %d, want 2", s.Entries)
+	}
+}
+
+func TestOversizedFrameServedNotCached(t *testing.T) {
+	c := New(Options{Bytes: 64})
+	frame, err := c.GetOrCook(key("p", 0, 0), func() ([]byte, error) { return make([]byte, 1024), nil })
+	if err != nil || len(frame) != 1024 {
+		t.Fatalf("frame = %d bytes, err %v", len(frame), err)
+	}
+	if s := c.Stats(); s.Entries != 0 {
+		t.Fatalf("oversized frame was cached: %+v", s)
+	}
+}
+
+func TestNegativeBudgetDisables(t *testing.T) {
+	c := New(Options{Bytes: -1})
+	cooked := 0
+	for i := 0; i < 3; i++ {
+		c.GetOrCook(key("p", 0, 0), func() ([]byte, error) { cooked++; return []byte("x"), nil })
+	}
+	if cooked != 3 {
+		t.Fatalf("cooked %d, want 3 (cache disabled)", cooked)
+	}
+	if s := c.Stats(); s.Entries != 0 || s.Hits != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestInvalidatePlanDropsOnlyThatPlan(t *testing.T) {
+	c := New(Options{})
+	for row := 0; row < 3; row++ {
+		c.GetOrCook(key("a", 0, row), func() ([]byte, error) { return []byte("a"), nil })
+		c.GetOrCook(key("b", 0, row), func() ([]byte, error) { return []byte("b"), nil })
+	}
+	if n := c.InvalidatePlan("a"); n != 3 {
+		t.Fatalf("invalidated %d, want 3", n)
+	}
+	if _, ok := c.Get(key("a", 0, 0)); ok {
+		t.Fatal("plan a still resident")
+	}
+	if _, ok := c.Get(key("b", 0, 0)); !ok {
+		t.Fatal("plan b should be untouched")
+	}
+	if s := c.Stats(); s.Invalidations != 3 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestInvalidationPoisonsInFlightCook pins the eviction-vs-cook race: a
+// cook that was already running when its plan was invalidated must not
+// insert a stale frame afterwards.
+func TestInvalidationPoisonsInFlightCook(t *testing.T) {
+	c := New(Options{})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.GetOrCook(key("p", 0, 0), func() ([]byte, error) {
+			close(started)
+			<-release
+			return []byte("stale"), nil
+		})
+	}()
+	<-started
+	c.InvalidatePlan("p")
+	close(release)
+	<-done
+	if _, ok := c.Get(key("p", 0, 0)); ok {
+		t.Fatal("stale frame inserted by a cook racing InvalidatePlan")
+	}
+}
+
+// TestSingleflightDedup drives many concurrent misses of one key and
+// requires exactly one cook. Run under -race it also exercises the
+// shared-slice publication.
+func TestSingleflightDedup(t *testing.T) {
+	c := New(Options{})
+	var cooks, entered atomic.Int64
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	const workers = 16
+	frames := make([][]byte, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-gate
+			entered.Add(1)
+			frame, err := c.GetOrCook(key("p", 2, 7), func() ([]byte, error) {
+				cooks.Add(1)
+				// Hold the cook open until every worker has at least
+				// reached GetOrCook, so the late arrivals must coalesce
+				// onto this flight rather than hit the finished entry.
+				for entered.Load() < workers {
+					time.Sleep(time.Millisecond)
+				}
+				return []byte("cooked-once"), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			frames[i] = frame
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	if got := cooks.Load(); got != 1 {
+		t.Fatalf("cooked %d times under contention, want 1", got)
+	}
+	for i, f := range frames {
+		if !bytes.Equal(f, []byte("cooked-once")) {
+			t.Fatalf("worker %d saw %q", i, f)
+		}
+	}
+	s := c.Stats()
+	if s.Cooks != 1 || s.Coalesced == 0 {
+		t.Fatalf("stats = %+v, want 1 cook and some coalesced waiters", s)
+	}
+}
+
+func TestConcurrentMixedOperations(t *testing.T) {
+	c := New(Options{Bytes: 8 << 10})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				plan := fmt.Sprintf("plan-%d", i%3)
+				k := Key{Plan: plan, Gamma: 1.5, Gen: i % 2, Row: i % 17}
+				switch i % 5 {
+				case 4:
+					c.InvalidatePlan(plan)
+				default:
+					frame, err := c.GetOrCook(k, func() ([]byte, error) { return make([]byte, 64), nil })
+					if err != nil || len(frame) != 64 {
+						t.Errorf("GetOrCook: %d bytes, %v", len(frame), err)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s := c.Stats(); s.Bytes > 8<<10 {
+		t.Fatalf("budget violated: %+v", s)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	c := New(Options{})
+	c.GetOrCook(key("p", 0, 0), func() ([]byte, error) { return []byte("x"), nil })
+	got := c.Stats().String()
+	if got == "" || !bytes.Contains([]byte(got), []byte("framecache{")) {
+		t.Fatalf("String() = %q", got)
+	}
+}

@@ -96,6 +96,7 @@ func (h *Handler) SetMetrics(reg *obs.Registry) {
 	}
 	h.requests = reg.Counter("gateway.requests")
 	reg.RegisterProbe("planner", func() any { return h.planner.Stats() })
+	reg.RegisterProbe("framecache", func() any { return h.planner.FrameStats() })
 	h.mux.Handle("GET /debug/metrics", obs.MetricsHandler(reg))
 	h.mux.Handle("GET /debug/fetches", obs.FetchesHandler(reg))
 }

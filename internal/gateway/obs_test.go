@@ -9,6 +9,7 @@ import (
 
 	"mobweb/internal/corpus"
 	"mobweb/internal/obs"
+	"mobweb/internal/planner"
 )
 
 // newObservedGateway wires a fresh registry into a gateway, mirroring what
@@ -111,6 +112,77 @@ func TestDebugFetchesEndpoint(t *testing.T) {
 		if rec := get(t, h, "/debug/fetches?n="+bad); rec.Code != http.StatusBadRequest {
 			t.Errorf("n=%s: status %d, want 400", bad, rec.Code)
 		}
+	}
+}
+
+// TestFrameCacheProbeUnderConcurrentLoad exercises satellite 6's gateway
+// half: while several goroutines stream cooked frames through the shared
+// planner (the same planner the HTTP endpoints use), concurrent scrapes
+// of /debug/metrics must keep returning a well-formed framecache probe,
+// and the final snapshot must show real hit traffic.
+func TestFrameCacheProbeUnderConcurrentLoad(t *testing.T) {
+	h, _ := newObservedGateway(t)
+	req := planner.Request{Doc: corpus.DraftName, Query: "mobile web"}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				res, err := h.planner.ResolveFrames(req)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for seq := 0; seq < res.Plan.N(); seq++ {
+					if _, err := res.Frame(seq); err != nil {
+						t.Errorf("frame %d: %v", seq, err)
+						return
+					}
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				rec := get(t, h, "/debug/metrics")
+				if rec.Code != http.StatusOK {
+					t.Errorf("metrics scrape status %d", rec.Code)
+					return
+				}
+				var snap obs.Snapshot
+				if err := json.NewDecoder(rec.Body).Decode(&snap); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, ok := snap.Probes["framecache"]; !ok {
+					t.Error("framecache probe missing from snapshot")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	rec := get(t, h, "/debug/metrics")
+	var snap obs.Snapshot
+	if err := json.NewDecoder(rec.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	probe, ok := snap.Probes["framecache"].(map[string]any)
+	if !ok {
+		t.Fatalf("framecache probe has shape %T", snap.Probes["framecache"])
+	}
+	hits, _ := probe["Hits"].(float64)
+	cooks, _ := probe["Cooks"].(float64)
+	if cooks == 0 {
+		t.Errorf("framecache probe shows no cooks: %v", probe)
+	}
+	// 80 resolutions of one request over a handful of frames: all but the
+	// first sweep must hit.
+	if hits == 0 {
+		t.Errorf("framecache probe shows no hits: %v", probe)
 	}
 }
 

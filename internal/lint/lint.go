@@ -85,7 +85,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // Analyzers returns every registered analyzer, the multichecker's suite.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{PlanMut, GFArith, LockScope, ErrWrap}
+	return []*Analyzer{PlanMut, FrameMut, GFArith, LockScope, ErrWrap}
 }
 
 // buildAllow scans file comments for //lint:allow suppressions. The

@@ -18,10 +18,11 @@ var (
 	// cached plan, so it is covered too.
 	planOwnerTypes = map[string]bool{"Plan": true, "generation": true}
 	// planConstructorAllowed marks owner-package functions that may write
-	// plan fields: constructors, and the sync.Once-guarded lazy parity
+	// plan fields: constructors, and the mutex-guarded lazy parity row
 	// encode (the one sanctioned post-construction write).
 	planConstructorAllowed = func(name string) bool {
-		return strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new") || name == "ensureParity"
+		return strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new") ||
+			name == "ensureParity" || name == "ensureParityRow"
 	}
 	// SharedPlanAccessors return slices that alias cache-owned plan
 	// state. Their results must be treated as read-only; writing through
@@ -62,7 +63,7 @@ func runPlanMut(pass *Pass) error {
 		if inOwner {
 			checkOwnerWrites(pass, name, body)
 		}
-		checkSharedSliceWrites(pass, body)
+		checkSharedSliceWrites(pass, body, SharedPlanAccessors, "a cached plan")
 	})
 	return nil
 }
@@ -118,16 +119,18 @@ func reportProtectedFieldWrite(pass *Pass, lhs ast.Expr, funcName string) {
 }
 
 // checkSharedSliceWrites performs a source-order taint walk of one
-// function body (rule 2). Locals assigned from a shared accessor — or
+// function body. Locals assigned from a shared accessor — or
 // re-slices/aliases of one — are tainted; stores through tainted values
 // are reported; assigning a fresh value to the local clears the taint.
-func checkSharedSliceWrites(pass *Pass, body *ast.BlockStmt) {
+// The accessor set and the owner noun ("a cached plan", "the frame
+// cache") are parameters, so planmut and framemut share the machinery.
+func checkSharedSliceWrites(pass *Pass, body *ast.BlockStmt, accessors map[string]bool, owner string) {
 	tainted := make(map[types.Object]bool)
 
 	taintSource := func(rhs ast.Expr) bool {
 		switch e := ast.Unparen(rhs).(type) {
 		case *ast.CallExpr:
-			return SharedPlanAccessors[calleeFullName(pass.Info, e)]
+			return accessors[calleeFullName(pass.Info, e)]
 		case *ast.Ident:
 			return tainted[pass.Info.Uses[e]]
 		case *ast.SliceExpr:
@@ -135,7 +138,7 @@ func checkSharedSliceWrites(pass *Pass, body *ast.BlockStmt) {
 				return tainted[pass.Info.Uses[id]]
 			}
 			if call, ok := ast.Unparen(e.X).(*ast.CallExpr); ok {
-				return SharedPlanAccessors[calleeFullName(pass.Info, call)]
+				return accessors[calleeFullName(pass.Info, call)]
 			}
 		}
 		return false
@@ -159,7 +162,7 @@ func checkSharedSliceWrites(pass *Pass, body *ast.BlockStmt) {
 			// owner-package rule's business, not taint's.
 			return taintedBase(e.X)
 		case *ast.CallExpr:
-			return SharedPlanAccessors[calleeFullName(pass.Info, e)]
+			return accessors[calleeFullName(pass.Info, e)]
 		}
 		return false
 	}
@@ -188,7 +191,7 @@ func checkSharedSliceWrites(pass *Pass, body *ast.BlockStmt) {
 		case *ast.AssignStmt:
 			for _, lhs := range st.Lhs {
 				if storeThroughShared(lhs) {
-					pass.Reportf(lhs.Pos(), "store through a slice shared with a cached plan; copy it before modifying")
+					pass.Reportf(lhs.Pos(), "store through a slice shared with %s; copy it before modifying", owner)
 				}
 			}
 			// Propagate / clear taint after checking stores. Only the
@@ -208,18 +211,18 @@ func checkSharedSliceWrites(pass *Pass, body *ast.BlockStmt) {
 			}
 		case *ast.IncDecStmt:
 			if storeThroughShared(st.X) {
-				pass.Reportf(st.X.Pos(), "store through a slice shared with a cached plan; copy it before modifying")
+				pass.Reportf(st.X.Pos(), "store through a slice shared with %s; copy it before modifying", owner)
 			}
 		case *ast.CallExpr:
 			if id, ok := ast.Unparen(st.Fun).(*ast.Ident); ok {
 				switch id.Name {
 				case "append":
 					if len(st.Args) > 0 && taintSource(st.Args[0]) {
-						pass.Reportf(st.Args[0].Pos(), "append to a slice shared with a cached plan may write its backing array; copy it first (append([]T(nil), s...))")
+						pass.Reportf(st.Args[0].Pos(), "append to a slice shared with %s may write its backing array; copy it first (append([]T(nil), s...))", owner)
 					}
 				case "copy":
 					if len(st.Args) == 2 && taintSource(st.Args[0]) {
-						pass.Reportf(st.Args[0].Pos(), "copy into a slice shared with a cached plan; copy FROM it into a fresh slice instead")
+						pass.Reportf(st.Args[0].Pos(), "copy into a slice shared with %s; copy FROM it into a fresh slice instead", owner)
 					}
 				}
 			}

@@ -1,0 +1,258 @@
+package planner
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// TestResolveFramesByteIdentity is the correctness floor: every cached
+// frame must be byte-identical to the uncached Plan.Frame output, across
+// clear-prefix rows, parity rows, and generation boundaries.
+func TestResolveFramesByteIdentity(t *testing.T) {
+	cached, _ := newTestPlanner(t, Options{}, "a.xml")
+	plain, _ := newTestPlanner(t, Options{FrameCacheBytes: -1}, "a.xml")
+
+	res, err := cached.ResolveFrames(baseReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cached() {
+		t.Fatal("frame cache should default on")
+	}
+	ref, err := plain.ResolveFrames(baseReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Cached() {
+		t.Fatal("negative budget should disable the frame cache")
+	}
+	if res.Plan.N() != ref.Plan.N() {
+		t.Fatalf("plans disagree: N %d vs %d", res.Plan.N(), ref.Plan.N())
+	}
+	for seq := 0; seq < res.Plan.N(); seq++ {
+		got, err := res.Frame(seq)
+		if err != nil {
+			t.Fatalf("cached seq %d: %v", seq, err)
+		}
+		want, err := ref.Frame(seq)
+		if err != nil {
+			t.Fatalf("plain seq %d: %v", seq, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("seq %d: cached frame differs from uncached", seq)
+		}
+	}
+	if s := cached.FrameStats(); s.Cooks == 0 || s.Entries == 0 {
+		t.Fatalf("frame cache unused: %+v", s)
+	}
+}
+
+// TestResolveFramesSharesAcrossHandles pins the CDN-edge property: two
+// independent resolutions of one request serve the very same frame
+// slice, and repeat access is a hit with no further marshal.
+func TestResolveFramesSharesAcrossHandles(t *testing.T) {
+	p, _ := newTestPlanner(t, Options{}, "a.xml")
+	r1, err := p.ResolveFrames(baseReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := p.ResolveFrames(baseReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Key != r2.Key {
+		t.Fatalf("canonical keys differ: %q vs %q", r1.Key, r2.Key)
+	}
+	f1, err := r1.Frame(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := r2.Frame(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &f1[0] != &f2[0] {
+		t.Fatal("handles do not share the cached frame slice")
+	}
+	s := p.FrameStats()
+	if s.Cooks != 1 || s.Hits == 0 {
+		t.Fatalf("stats = %+v, want one cook then hits", s)
+	}
+}
+
+// TestResolveFramesGammaKeysSeparately drives the γ-adaptation edge: a
+// mid-session γ change must address different cache rows, never reuse
+// frames cooked under the old layout.
+func TestResolveFramesGammaKeysSeparately(t *testing.T) {
+	p, _ := newTestPlanner(t, Options{}, "a.xml")
+	lo, err := p.ResolveFrames(baseReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hiReq := baseReq
+	hiReq.Gamma = 2.0
+	hi, err := p.ResolveFrames(hiReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo.Key == hi.Key {
+		t.Fatal("γ change did not change the frame key")
+	}
+	// Warm both, then verify each serves its own layout's frames.
+	for seq := 0; seq < lo.Plan.N(); seq++ {
+		if _, err := lo.Frame(seq); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for seq := 0; seq < hi.Plan.N(); seq++ {
+		frame, err := hi.Frame(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := hi.Plan.Frame(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(frame, want) {
+			t.Fatalf("γ=2 seq %d: cache served a frame from another layout", seq)
+		}
+	}
+}
+
+// TestReindexInvalidatesFrames rebuilds a document and requires the old
+// frames to be unreachable: the new resolution must serve frames cooked
+// from the new content.
+func TestReindexInvalidatesFrames(t *testing.T) {
+	p, engine := newTestPlanner(t, Options{}, "a.xml")
+	r1, err := p.ResolveFrames(baseReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r1.Frame(0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-index with different content (more paragraphs → different body).
+	if err := engine.Add(synthDoc(t, "a.xml", 13)); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := p.ResolveFrames(baseReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Key == r1.Key {
+		t.Fatal("re-index did not change the frame key")
+	}
+	new0, err := r2.Frame(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := r2.Plan.Frame(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(new0, want) {
+		t.Fatal("post-reindex frame does not match the new plan")
+	}
+	if s := p.FrameStats(); s.Invalidations == 0 {
+		t.Fatalf("re-index dropped no frames: %+v", s)
+	}
+}
+
+// TestPlanEvictionKeepsFrameBytesValid pins the eviction-race contract:
+// a frame-cache hit taken while (or after) the plan cache evicts the
+// plan still serves correct bytes, because a rebuilt plan of the same
+// document version cooks identical frames.
+func TestPlanEvictionKeepsFrameBytesValid(t *testing.T) {
+	// A plan budget too small to hold two plans forces eviction on every
+	// alternation; the frame cache keeps its own (default) budget.
+	p, _ := newTestPlanner(t, Options{CacheBytes: 1, MaxEntries: 1}, "a.xml", "b.xml")
+	reqA := baseReq
+	reqB := baseReq
+	reqB.Doc = "b.xml"
+
+	rA, err := p.ResolveFrames(reqA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := make([][]byte, rA.Plan.N())
+	for seq := range warm {
+		if warm[seq], err = rA.Frame(seq); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Push A's plan out (budget 1 byte caches nothing, but exercise the
+	// path anyway), then resolve A again: same document version, so the
+	// frame key matches and the warmed frames hit.
+	if _, err := p.ResolveFrames(reqB); err != nil {
+		t.Fatal(err)
+	}
+	rA2, err := p.ResolveFrames(reqA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rA2.Key != rA.Key {
+		t.Fatalf("frame key changed across plan eviction: %q vs %q", rA2.Key, rA.Key)
+	}
+	before := p.FrameStats()
+	for seq := 0; seq < rA2.Plan.N(); seq++ {
+		frame, err := rA2.Frame(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(frame, warm[seq]) {
+			t.Fatalf("seq %d: rebuilt plan serves different bytes", seq)
+		}
+	}
+	after := p.FrameStats()
+	if after.Hits-before.Hits != int64(rA2.Plan.N()) {
+		t.Fatalf("expected all %d frames to hit after eviction, stats %+v → %+v", rA2.Plan.N(), before, after)
+	}
+}
+
+// TestResolveFramesConcurrent exercises the full stack under -race:
+// many goroutines streaming one document must agree byte-for-byte and
+// trigger at most one cook per frame.
+func TestResolveFramesConcurrent(t *testing.T) {
+	p, _ := newTestPlanner(t, Options{}, "a.xml")
+	res, err := p.ResolveFrames(baseReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := res.Plan.N()
+	const workers = 8
+	frames := make([][][]byte, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r, err := p.ResolveFrames(baseReq)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mine := make([][]byte, n)
+			for seq := 0; seq < n; seq++ {
+				mine[seq], err = r.Frame(seq)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			frames[w] = mine
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		for seq := 0; seq < n; seq++ {
+			if !bytes.Equal(frames[w][seq], frames[0][seq]) {
+				t.Fatalf("worker %d seq %d: frame bytes diverge", w, seq)
+			}
+		}
+	}
+	if s := p.FrameStats(); s.Cooks > int64(n) {
+		t.Fatalf("cooked %d times for %d frames; dedup failed: %+v", s.Cooks, n, s)
+	}
+}

@@ -35,6 +35,7 @@ import (
 
 	"mobweb/internal/content"
 	"mobweb/internal/core"
+	"mobweb/internal/framecache"
 	"mobweb/internal/gf256"
 	"mobweb/internal/search"
 	"mobweb/internal/textproc"
@@ -57,6 +58,14 @@ type Options struct {
 	// MaxEntries additionally bounds the number of cached plans; zero
 	// means no entry cap (the byte budget alone governs).
 	MaxEntries int
+	// FrameCacheBytes bounds the shared cooked-frame cache behind
+	// ResolveFrames (encoded wire frames, directly writable to sockets).
+	// Zero selects framecache.DefaultCacheBytes; a negative value
+	// disables frame caching, so every Frame call marshals privately.
+	FrameCacheBytes int64
+	// FrameCacheEntries additionally bounds the number of cached frames;
+	// zero means no entry cap.
+	FrameCacheEntries int
 }
 
 // Request names one plan to resolve, in wire spellings. Empty LOD/Notion
@@ -121,12 +130,14 @@ type Stats struct {
 // cacheEntry is one cached plan plus the identity needed to detect
 // staleness: the SC pointer the plan was ranked against. Re-adding a
 // document to the engine swaps its SC, which invalidates the entry on
-// next lookup.
+// next lookup. frameKey records the frame-cache plan key derived from
+// this entry, so invalidation can drop the cooked frames too.
 type cacheEntry struct {
-	key  string
-	sc   *content.SC
-	plan *core.Plan
-	cost int64
+	key      string
+	frameKey string
+	sc       *content.SC
+	plan     *core.Plan
+	cost     int64
 }
 
 // flightCall is one in-progress build that concurrent resolutions of the
@@ -142,12 +153,20 @@ type flightCall struct {
 type Planner struct {
 	engine *search.Engine
 	opts   Options
+	// frames is the shared cooked-frame cache fed by Resolved.Frame; nil
+	// when Options.FrameCacheBytes is negative.
+	frames *framecache.Cache
 
 	mu      sync.Mutex
 	ll      *list.List               // front = most recently used
 	entries map[string]*list.Element // key → element (value *cacheEntry)
 	bytes   int64
 	flight  map[string]*flightCall
+	// scTokens assigns each SC a short unique token embedded in frame
+	// keys, so frames of a re-indexed document can never be confused
+	// with frames of its replacement (pointer reuse notwithstanding).
+	scTokens map[*content.SC]string
+	scSeq    uint64
 
 	hits, misses, coalesced    int64
 	builds, evictions, invalid int64
@@ -162,22 +181,102 @@ func New(engine *search.Engine, opts Options) (*Planner, error) {
 	if opts.CacheBytes == 0 {
 		opts.CacheBytes = DefaultCacheBytes
 	}
-	return &Planner{
-		engine:  engine,
-		opts:    opts,
-		ll:      list.New(),
-		entries: make(map[string]*list.Element),
-		flight:  make(map[string]*flightCall),
-	}, nil
+	p := &Planner{
+		engine:   engine,
+		opts:     opts,
+		ll:       list.New(),
+		entries:  make(map[string]*list.Element),
+		flight:   make(map[string]*flightCall),
+		scTokens: make(map[*content.SC]string),
+	}
+	if opts.FrameCacheBytes >= 0 {
+		p.frames = framecache.New(framecache.Options{
+			Bytes:      opts.FrameCacheBytes,
+			MaxEntries: opts.FrameCacheEntries,
+		})
+	}
+	return p, nil
 }
 
 // Resolve returns the plan for a request, from cache when possible. A
 // *RequestError signals a client-caused failure whose message is safe to
 // forward; any other error is an internal build failure.
 func (p *Planner) Resolve(req Request) (*core.Plan, error) {
-	sc, cfg, queryVec, err := p.resolveParams(req)
+	plan, _, _, err := p.resolve(req)
+	return plan, err
+}
+
+// Resolved couples a plan with the canonical identity the shared frame
+// cache keys by. Frame results are SHARED AND IMMUTABLE slices; callers
+// that must mutate one (e.g. fault injection) copy it first.
+type Resolved struct {
+	// Plan is the resolved transmission plan.
+	Plan *core.Plan
+	// Key is the frame-cache plan key: the canonical plan key plus a
+	// document-version token, so frames of a re-indexed document never
+	// collide with frames of its replacement.
+	Key     string
+	planner *Planner
+}
+
+// Cached reports whether frame caching is active. When false, Frame
+// marshals a private slice per call (the pre-cache behaviour), so stream
+// loops should prefer Plan.AppendFrame with a reusable buffer.
+func (r *Resolved) Cached() bool { return r.planner.frames != nil }
+
+// Frame returns the cooked wire frame for a global sequence number,
+// serving it from the shared frame cache when enabled. The returned
+// slice is shared and immutable when Cached(); writing through it
+// corrupts every connection streaming the same document.
+func (r *Resolved) Frame(seq int) ([]byte, error) {
+	fc := r.planner.frames
+	if fc == nil {
+		return r.Plan.Frame(seq)
+	}
+	gen, row, err := r.Plan.Locate(seq)
 	if err != nil {
 		return nil, err
+	}
+	k := framecache.Key{Plan: r.Key, Gamma: r.Plan.Config().Gamma, Gen: gen, Row: row}
+	// Try the closure-free hit path first; build the cook only on miss.
+	if frame, ok := fc.Get(k); ok {
+		return frame, nil
+	}
+	plan := r.Plan
+	return fc.GetOrCook(k, func() ([]byte, error) {
+		return plan.Frame(seq)
+	})
+}
+
+// ResolveFrames resolves a request into a frame-serving handle. Errors
+// are as for Resolve.
+func (p *Planner) ResolveFrames(req Request) (*Resolved, error) {
+	plan, key, sc, err := p.resolve(req)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	frameKey := key + "\x00" + p.scTokenLocked(sc)
+	p.mu.Unlock()
+	return &Resolved{Plan: plan, Key: frameKey, planner: p}, nil
+}
+
+// FrameStats returns a snapshot of the frame cache's counters (zero when
+// frame caching is disabled).
+func (p *Planner) FrameStats() framecache.Stats {
+	if p.frames == nil {
+		return framecache.Stats{}
+	}
+	return p.frames.Stats()
+}
+
+// resolve is the shared cache/singleflight/build path behind Resolve and
+// ResolveFrames, returning the plan alongside its canonical key and the
+// SC it was ranked against.
+func (p *Planner) resolve(req Request) (*core.Plan, string, *content.SC, error) {
+	sc, cfg, queryVec, err := p.resolveParams(req)
+	if err != nil {
+		return nil, "", nil, err
 	}
 	key := cacheKey(req.Doc, cfg, queryVec)
 
@@ -189,17 +288,17 @@ func (p *Planner) Resolve(req Request) (*core.Plan, error) {
 			p.hits++
 			plan := ent.plan
 			p.mu.Unlock()
-			return plan, nil
+			return plan, key, sc, nil
 		}
-		// The document was re-indexed since this plan was built.
-		p.removeLocked(elem)
-		p.invalid++
+		// The document was re-indexed since this plan was built; its
+		// cooked frames are stale too.
+		p.invalidateLocked(elem)
 	}
 	if call, ok := p.flight[key]; ok {
 		p.coalesced++
 		p.mu.Unlock()
 		call.wg.Wait()
-		return call.plan, call.err
+		return call.plan, key, sc, call.err
 	}
 	call := &flightCall{}
 	call.wg.Add(1)
@@ -222,7 +321,32 @@ func (p *Planner) Resolve(req Request) (*core.Plan, error) {
 
 	call.plan, call.err = plan, buildErr
 	call.wg.Done()
-	return plan, buildErr
+	return plan, key, sc, buildErr
+}
+
+// scTokenLocked returns the document-version token for an SC, assigning
+// the next one on first sight. Callers hold p.mu.
+func (p *Planner) scTokenLocked(sc *content.SC) string {
+	if t, ok := p.scTokens[sc]; ok {
+		return t
+	}
+	p.scSeq++
+	t := strconv.FormatUint(p.scSeq, 16)
+	p.scTokens[sc] = t
+	return t
+}
+
+// invalidateLocked drops one stale cache entry: its plan, its frame-cache
+// residue, and its SC token. Callers hold p.mu. The frame cache's mutex
+// nests strictly inside the planner's (framecache never calls back).
+func (p *Planner) invalidateLocked(elem *list.Element) {
+	ent := elem.Value.(*cacheEntry)
+	if p.frames != nil && ent.frameKey != "" {
+		p.frames.InvalidatePlan(ent.frameKey)
+	}
+	delete(p.scTokens, ent.sc)
+	p.removeLocked(elem)
+	p.invalid++
 }
 
 // Stats returns a snapshot of the planner's counters.
@@ -334,15 +458,23 @@ func (p *Planner) insertLocked(key string, sc *content.SC, plan *core.Plan) {
 	if cost > p.opts.CacheBytes {
 		return
 	}
+	frameKey := key + "\x00" + p.scTokenLocked(sc)
 	if elem, ok := p.entries[key]; ok {
 		// A concurrent build of an invalidated key may have raced us in;
-		// replace it.
+		// replace it, dropping the raced entry's frames when it was built
+		// against a different document version.
+		if old := elem.Value.(*cacheEntry); p.frames != nil && old.frameKey != frameKey {
+			p.frames.InvalidatePlan(old.frameKey)
+		}
 		p.removeLocked(elem)
 	}
-	ent := &cacheEntry{key: key, sc: sc, plan: plan, cost: cost}
+	ent := &cacheEntry{key: key, frameKey: frameKey, sc: sc, plan: plan, cost: cost}
 	p.entries[key] = p.ll.PushFront(ent)
 	p.bytes += cost
 	for p.bytes > p.opts.CacheBytes || (p.opts.MaxEntries > 0 && p.ll.Len() > p.opts.MaxEntries) {
+		// Capacity eviction keeps the frames: a rebuilt plan of the same
+		// key and document version cooks byte-identical frames, so the
+		// frame cache's own LRU governs their lifetime independently.
 		oldest := p.ll.Back()
 		if oldest == nil || oldest == p.ll.Front() {
 			break

@@ -11,6 +11,7 @@ import (
 
 	"mobweb/internal/core"
 	"mobweb/internal/erasure"
+	"mobweb/internal/framecache"
 	"mobweb/internal/obs"
 	"mobweb/internal/planner"
 	"mobweb/internal/search"
@@ -31,6 +32,11 @@ type ServerOptions struct {
 	Planner *planner.Planner
 	// Injector emulates the wireless hop; nil means a clean channel.
 	Injector FaultInjector
+	// InjectorFactory, when set, builds a fresh injector per accepted
+	// connection, overriding Injector. Load generators use it to give
+	// every simulated client its own channel model (α drawn from a
+	// mixture) without sharing mutable injector state across goroutines.
+	InjectorFactory func() FaultInjector
 	// PacketDelay paces the stream (per frame), letting demos visualize
 	// progressive rendering; zero sends at full speed.
 	PacketDelay time.Duration
@@ -90,6 +96,7 @@ func NewServer(engine *search.Engine, opts ServerOptions) (*Server, error) {
 		// inverse-cache/dispatch counters, and the receiver decode
 		// counters. They run at scrape time, outside the registry lock.
 		opts.Metrics.RegisterProbe("planner", func() any { return pl.Stats() })
+		opts.Metrics.RegisterProbe("framecache", func() any { return pl.FrameStats() })
 		opts.Metrics.RegisterProbe("erasure", erasure.MetricsProbe)
 		opts.Metrics.RegisterProbe("core", core.MetricsProbe)
 	}
@@ -104,6 +111,9 @@ func NewServer(engine *search.Engine, opts ServerOptions) (*Server, error) {
 
 // PlannerStats snapshots the planning service's cache counters.
 func (s *Server) PlannerStats() planner.Stats { return s.planner.Stats() }
+
+// FrameStats snapshots the shared cooked-frame cache's counters.
+func (s *Server) FrameStats() framecache.Stats { return s.planner.FrameStats() }
 
 // Serve accepts connections until Close; it always returns a non-nil
 // error (ErrServerClosed after a clean shutdown).
@@ -189,6 +199,10 @@ func (s *Server) Close() error {
 // already parsed), which would otherwise leak one goroutine per failed
 // connection.
 func (s *Server) handle(conn net.Conn) {
+	injector := s.opts.Injector
+	if s.opts.InjectorFactory != nil {
+		injector = s.opts.InjectorFactory()
+	}
 	requests := make(chan request)
 	handlerDone := make(chan struct{})
 	defer close(handlerDone)
@@ -225,7 +239,7 @@ func (s *Server) handle(conn net.Conn) {
 			err = s.handleSearch(w, req)
 		case "fetch":
 			s.sm.reqFetch.Inc()
-			err = s.handleFetch(w, req, requests)
+			err = s.handleFetch(w, req, requests, injector)
 		case "stop":
 			// A stale stop from a stream that already ended; ignore.
 			continue
@@ -258,8 +272,8 @@ func (s *Server) handleSearch(w *bufio.Writer, req request) error {
 	return w.Flush()
 }
 
-func (s *Server) handleFetch(w *bufio.Writer, req request, requests <-chan request) error {
-	plan, errMsg := s.buildPlan(req)
+func (s *Server) handleFetch(w *bufio.Writer, req request, requests <-chan request, injector FaultInjector) error {
+	resolved, errMsg := s.buildPlan(req)
 	if errMsg != "" {
 		s.sm.fetchErrors.Inc()
 		if err := writeJSON(w, response{Error: errMsg}); err != nil {
@@ -267,6 +281,7 @@ func (s *Server) handleFetch(w *bufio.Writer, req request, requests <-chan reque
 		}
 		return w.Flush()
 	}
+	plan := resolved.Plan
 
 	have := make(map[int]bool, len(req.Have))
 	for _, seq := range req.Have {
@@ -286,10 +301,18 @@ func (s *Server) handleFetch(w *bufio.Writer, req request, requests <-chan reque
 		return err
 	}
 
-	// One frame buffer serves the whole round: AppendFrame rebuilds the
-	// frame from the plan each iteration, so the injector corrupting the
-	// previous contents in place cannot leak into the next frame.
+	// Frames come from the shared frame cache when it is enabled: the
+	// slices are shared across connections and immutable, so the clean
+	// path writes them straight to the socket with no per-connection
+	// marshal or copy. Injectors may corrupt frames in place, so any
+	// injector other than the no-op first copies the cached bytes into
+	// this connection's private frameBuf — never append-in-place on a
+	// shared slice. With the cache disabled, the pre-cache path remains:
+	// AppendFrame rebuilds the frame into frameBuf each iteration, which
+	// also keeps a previous in-place corruption from leaking forward.
 	var frameBuf []byte
+	_, cleanChannel := injector.(NopInjector)
+	useCache := resolved.Cached()
 	sent := 0
 stream:
 	for seq := 0; seq < plan.N(); seq++ {
@@ -310,15 +333,35 @@ stream:
 			return fmt.Errorf("transport: %q request during stream", req.Op)
 		default:
 		}
-		var err error
-		frameBuf, err = plan.AppendFrame(frameBuf[:0], seq)
-		if err != nil {
-			return err
-		}
-		out, send := s.opts.Injector.Inject(frameBuf, seq)
-		if !send {
-			s.sm.framesDropped.Inc()
-			continue
+		var out []byte
+		if useCache {
+			frame, err := resolved.Frame(seq)
+			if err != nil {
+				return err
+			}
+			if cleanChannel {
+				out = frame // shared, immutable; written verbatim
+			} else {
+				frameBuf = append(frameBuf[:0], frame...)
+				var send bool
+				out, send = injector.Inject(frameBuf, seq)
+				if !send {
+					s.sm.framesDropped.Inc()
+					continue
+				}
+			}
+		} else {
+			var err error
+			frameBuf, err = plan.AppendFrame(frameBuf[:0], seq)
+			if err != nil {
+				return err
+			}
+			var send bool
+			out, send = injector.Inject(frameBuf, seq)
+			if !send {
+				s.sm.framesDropped.Inc()
+				continue
+			}
 		}
 		if err := writeFrame(w, out); err != nil {
 			return err
@@ -354,13 +397,13 @@ func decodeRequest(line []byte) (request, error) {
 	return req, nil
 }
 
-// buildPlan resolves a fetch request through the shared planner; it
-// returns a client-facing error message rather than an error for
-// request-level problems. Planner errors are safe to forward: request
-// problems carry curated messages and build failures match what this
-// layer historically surfaced.
-func (s *Server) buildPlan(req request) (*core.Plan, string) {
-	plan, err := s.planner.Resolve(planner.Request{
+// buildPlan resolves a fetch request through the shared planner into a
+// frame-serving handle; it returns a client-facing error message rather
+// than an error for request-level problems. Planner errors are safe to
+// forward: request problems carry curated messages and build failures
+// match what this layer historically surfaced.
+func (s *Server) buildPlan(req request) (*planner.Resolved, string) {
+	resolved, err := s.planner.ResolveFrames(planner.Request{
 		Doc:    req.Doc,
 		Query:  req.Query,
 		LOD:    req.LOD,
@@ -370,7 +413,7 @@ func (s *Server) buildPlan(req request) (*core.Plan, string) {
 	if err != nil {
 		return nil, err.Error()
 	}
-	return plan, ""
+	return resolved, ""
 }
 
 var _ io.Closer = (*Server)(nil)
