@@ -19,16 +19,25 @@ func TestTreeLintsClean(t *testing.T) {
 	}
 }
 
-// The multichecker must register the full suite.
+// The multichecker must register the full suite: the per-package
+// analyzers and the whole-program ones (which carry RunProgram instead
+// of Run).
 func TestAnalyzersRegistered(t *testing.T) {
 	as := lint.Analyzers()
-	if len(as) < 4 {
-		t.Fatalf("got %d analyzers, want at least 4", len(as))
+	want := map[string]bool{
+		"planmut": false, "framemut": false, "gfarith": false, "lockscope": false,
+		"errwrap": false, "lockorder": false, "goroleak": false, "nondet": false,
+		"hotalloc": false,
 	}
-	want := map[string]bool{"planmut": false, "gfarith": false, "lockscope": false, "errwrap": false}
+	if len(as) != len(want) {
+		t.Errorf("got %d analyzers, want %d", len(as), len(want))
+	}
 	for _, a := range as {
-		if a.Name == "" || a.Doc == "" || a.Run == nil {
-			t.Errorf("analyzer %+v missing Name/Doc/Run", a)
+		if a.Name == "" || a.Doc == "" {
+			t.Errorf("analyzer %+v missing Name/Doc", a)
+		}
+		if (a.Run == nil) == (a.RunProgram == nil) {
+			t.Errorf("analyzer %s must have exactly one of Run/RunProgram", a.Name)
 		}
 		if _, ok := want[a.Name]; ok {
 			want[a.Name] = true

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"mobweb/internal/erasure"
 	"mobweb/internal/obs"
@@ -237,6 +238,11 @@ func (r *Receiver) generationIntact(g int) []erasure.Received {
 			out = append(out, erasure.Received{Index: seq - cookedOff, Data: payload})
 		}
 	}
+	// Map iteration order must not leak into the decode: Decode prefers
+	// clear rows but fills the remainder with redundant rows in input
+	// order, so an unsorted set varies the chosen row set — and with it
+	// the inversion-cache key and the work profile — run to run.
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
 	return out
 }
 

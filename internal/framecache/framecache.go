@@ -195,9 +195,9 @@ func (c *Cache) GetOrCook(key Key, cook func() ([]byte, error)) ([]byte, error) 
 	epoch := c.epochs[key.Plan]
 	c.mu.Unlock()
 
-	start := time.Now()
+	start := time.Now()         //mobweb:nondet-ok cook-time stats, never part of frame bytes or keys
 	frame, err := cook()
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) //mobweb:nondet-ok cook-time stats
 
 	c.mu.Lock()
 	delete(c.flights, key)

@@ -137,6 +137,8 @@ func chooseKernel(env string) *kernel {
 // fastest. The whole benchmark moves ~1.5 MB per kernel, well under a
 // millisecond — cheap enough for process init, long enough to rank the
 // implementations reliably on the hardware at hand.
+//
+//mobweb:nondet-ok kernel choice affects speed, never GF(2^8) results
 func calibrate() *kernel {
 	const (
 		size   = 4096
@@ -184,6 +186,7 @@ var kernelLogExp = &kernel{
 	},
 }
 
+//mobweb:hot reference kernel; still runs per byte when calibration picks it
 func logExpMulAdd(c byte, dst, src []byte) {
 	logC := int(_tables.log[c])
 	for i, s := range src {
@@ -193,6 +196,7 @@ func logExpMulAdd(c byte, dst, src []byte) {
 	}
 }
 
+//mobweb:hot reference kernel; still runs per byte when calibration picks it
 func logExpMulSlice(c byte, dst, src []byte) {
 	logC := int(_tables.log[c])
 	for i, s := range src {
@@ -206,6 +210,7 @@ func logExpMulSlice(c byte, dst, src []byte) {
 
 // pairwiseRows is the generic row accumulation: one two-operand pass per
 // coefficient, with the degenerate coefficients peeled off.
+//mobweb:hot row accumulation for the logexp and nibble kernels
 func pairwiseRows(mulAdd func(byte, []byte, []byte), coeffs []byte, dst []byte, srcs [][]byte) {
 	for j, c := range coeffs {
 		switch c {
@@ -240,6 +245,7 @@ var kernelTable = &kernel{
 
 // tableMulAdd works 16 bytes per iteration as two independent 8-byte
 // gathers whose accumulation chains overlap in the pipeline.
+//mobweb:hot every byte of every cooked packet flows through here
 func tableMulAdd(c byte, dst, src []byte) {
 	row := &_mul.full[c]
 	n := len(src) &^ 15
@@ -260,6 +266,7 @@ func tableMulAdd(c byte, dst, src []byte) {
 	}
 }
 
+//mobweb:hot every byte of every cooked packet flows through here
 func tableMulSlice(c byte, dst, src []byte) {
 	row := &_mul.full[c]
 	n := len(src) &^ 15
@@ -284,13 +291,22 @@ func tableMulSlice(c byte, dst, src []byte) {
 // read-modify-write: four fused sources cost one dst pass instead of
 // four. Zero coefficients are compacted away first; c == 1 needs no
 // special case (row 1 of the product table is the identity).
+//mobweb:hot per parity row per frame; feeds the zero-alloc send path
 func tableMulAddRows(coeffs []byte, dst []byte, srcs [][]byte) {
-	// Compact the non-zero terms. The arrays are tiny (M per call), so
-	// this costs nothing next to the byte work.
+	if len(coeffs) > 256 {
+		// A GF(2^8) code has at most 255 rows, so this cannot happen for
+		// field-valid systems; stay correct for callers that try anyway.
+		pairwiseRows(tableMulAdd, coeffs, dst, srcs)
+		return
+	}
+	// Compact the non-zero terms into fixed-size stack arrays. This used
+	// to make three slices per call — per parity row, per frame — which
+	// the hotalloc analyzer flagged: the send path's AllocsPerRun gates
+	// budget zero for kernel work.
 	live := 0
-	rows := make([]*[256]byte, len(coeffs))
-	data := make([][]byte, len(coeffs))
-	cc := make([]byte, len(coeffs))
+	var rows [256]*[256]byte
+	var data [256][]byte
+	var cc [256]byte
 	for j, c := range coeffs {
 		if c == 0 {
 			continue
@@ -365,6 +381,7 @@ var kernelNibble = &kernel{
 // nibbleProduct assembles the products of 8 packed source bytes from the
 // two 16-entry nibble tables. Go's precedence makes s>>k&15 parse as
 // (s>>k)&15.
+//mobweb:hot inner gather of the nibble kernel, called once per 8 bytes
 func nibbleProduct(lo, hi *[16]byte, s uint64) uint64 {
 	return uint64(lo[s&15]^hi[s>>4&15]) |
 		uint64(lo[s>>8&15]^hi[s>>12&15])<<8 |
@@ -376,6 +393,7 @@ func nibbleProduct(lo, hi *[16]byte, s uint64) uint64 {
 		uint64(lo[s>>56&15]^hi[s>>60&15])<<56
 }
 
+//mobweb:hot every byte of every cooked packet flows through here
 func nibbleMulAdd(c byte, dst, src []byte) {
 	lo, hi := &_mul.lo[c], &_mul.hi[c]
 	n := len(src) &^ 7
@@ -391,6 +409,7 @@ func nibbleMulAdd(c byte, dst, src []byte) {
 	}
 }
 
+//mobweb:hot every byte of every cooked packet flows through here
 func nibbleMulSlice(c byte, dst, src []byte) {
 	lo, hi := &_mul.lo[c], &_mul.hi[c]
 	n := len(src) &^ 7
@@ -410,6 +429,7 @@ func nibbleMulSlice(c byte, dst, src []byte) {
 // xorSlice computes dst[i] ^= src[i] eight bytes at a time. It is the
 // c == 1 path of MulAddSlice and the body of AddSlice; XOR is field
 // addition, so there is no table work at all.
+//mobweb:hot c == 1 fast path of every row accumulation
 func xorSlice(dst, src []byte) {
 	n := len(src) &^ 7
 	i := 0

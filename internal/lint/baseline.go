@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Findings baseline: `mobweblint -baseline lint.baseline` fails only on
+// findings NOT recorded in the file, so a newly-tightened analyzer can
+// land with its pre-existing findings grandfathered and CI still gates
+// every new one. Regenerate with -write-baseline after triaging.
+//
+// Format: '#' comment lines, then one finding per line,
+//
+//	analyzer<TAB>slash/relative/path.go<TAB>message
+//
+// Line and column numbers are deliberately omitted — unrelated edits
+// move findings around without changing what they are — and repeated
+// identical findings appear once per occurrence (the baseline is a
+// multiset: fixing one of three identical findings still shrinks it).
+
+// BaselineKey is the identity of a finding for baseline matching. The
+// file path is made root-relative and slash-separated so baselines are
+// portable across checkouts.
+func BaselineKey(root string, d Diagnostic) string {
+	file := d.Pos.Filename
+	if root != "" {
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+	}
+	return d.Analyzer + "\t" + filepath.ToSlash(file) + "\t" + d.Message
+}
+
+// ParseBaseline reads a baseline file into its finding multiset.
+func ParseBaseline(data []byte) (map[string]int, error) {
+	out := make(map[string]int)
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimRight(line, "\r")
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.Count(line, "\t") != 2 {
+			return nil, fmt.Errorf("lint: baseline line %d: want analyzer<TAB>file<TAB>message, got %q", i+1, line)
+		}
+		out[line]++
+	}
+	return out, nil
+}
+
+// FormatBaseline renders the findings as a baseline file, sorted.
+func FormatBaseline(root string, diags []Diagnostic) []byte {
+	keys := make([]string, len(diags))
+	for i, d := range diags {
+		keys[i] = BaselineKey(root, d)
+	}
+	sort.Strings(keys)
+	var buf bytes.Buffer
+	buf.WriteString("# mobweblint findings baseline.\n")
+	buf.WriteString("# One finding per line: analyzer<TAB>file<TAB>message (no line numbers,\n")
+	buf.WriteString("# so unrelated edits don't invalidate it). CI fails only on findings\n")
+	buf.WriteString("# absent from this file; regenerate with `mobweblint -write-baseline`.\n")
+	for _, k := range keys {
+		buf.WriteString(k)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// ApplyBaseline returns the findings not covered by the baseline,
+// consuming one baseline entry per match.
+func ApplyBaseline(baseline map[string]int, root string, diags []Diagnostic) []Diagnostic {
+	remaining := make(map[string]int, len(baseline))
+	for k, n := range baseline {
+		remaining[k] = n
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		k := BaselineKey(root, d)
+		if remaining[k] > 0 {
+			remaining[k]--
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package lint_test
+
+import (
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mobweb/internal/lint"
+)
+
+func diagAt(file, analyzer, msg string) lint.Diagnostic {
+	return lint.Diagnostic{
+		Pos:      token.Position{Filename: file, Line: 42, Column: 3},
+		Analyzer: analyzer,
+		Message:  msg,
+	}
+}
+
+func TestBaselineKeyRelativizes(t *testing.T) {
+	root := filepath.Join(string(filepath.Separator), "repo")
+	inside := diagAt(filepath.Join(root, "internal", "x", "y.go"), "nondet", "wall-clock read")
+	if got, want := lint.BaselineKey(root, inside), "nondet\tinternal/x/y.go\twall-clock read"; got != want {
+		t.Errorf("BaselineKey inside root = %q, want %q", got, want)
+	}
+	// Line/column never appear: the whole point is surviving unrelated edits.
+	if strings.Contains(lint.BaselineKey(root, inside), "42") {
+		t.Error("BaselineKey leaked a line number")
+	}
+	outside := diagAt(filepath.Join(string(filepath.Separator), "elsewhere", "z.go"), "nondet", "m")
+	if got := lint.BaselineKey(root, outside); strings.HasPrefix(got, "nondet\t..") {
+		t.Errorf("file outside the root must keep its absolute path, got %q", got)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	root := filepath.Join(string(filepath.Separator), "repo")
+	diags := []lint.Diagnostic{
+		diagAt(filepath.Join(root, "b.go"), "hotalloc", "make allocates"),
+		diagAt(filepath.Join(root, "a.go"), "nondet", "wall-clock read"),
+		diagAt(filepath.Join(root, "a.go"), "nondet", "wall-clock read"), // duplicate: multiset
+	}
+	data := lint.FormatBaseline(root, diags)
+	parsed, err := lint.ParseBaseline(data)
+	if err != nil {
+		t.Fatalf("ParseBaseline(FormatBaseline(...)): %v", err)
+	}
+	if parsed["nondet\ta.go\twall-clock read"] != 2 {
+		t.Errorf("duplicate finding must parse with count 2, got %v", parsed)
+	}
+	if len(parsed) != 2 {
+		t.Errorf("want 2 distinct keys, got %v", parsed)
+	}
+	// Header and body: comments lead, findings are sorted.
+	text := string(data)
+	if !strings.HasPrefix(text, "#") {
+		t.Error("baseline must start with a comment header")
+	}
+	if strings.Index(text, "hotalloc\tb.go") > strings.Index(text, "nondet\ta.go") {
+		t.Error("baseline findings must be sorted")
+	}
+}
+
+func TestParseBaselineRejectsMalformedLines(t *testing.T) {
+	if _, err := lint.ParseBaseline([]byte("# fine\nnondet\tonly-one-tab\n")); err == nil {
+		t.Error("a line without exactly two tabs must be rejected")
+	}
+	got, err := lint.ParseBaseline([]byte("# comment\n\n\na\tb\tc\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["a\tb\tc"] != 1 {
+		t.Errorf("comments and blanks must be skipped, findings kept: %v", got)
+	}
+}
+
+func TestApplyBaselineConsumesMultiset(t *testing.T) {
+	root := filepath.Join(string(filepath.Separator), "repo")
+	d := diagAt(filepath.Join(root, "a.go"), "nondet", "wall-clock read")
+	baseline := map[string]int{lint.BaselineKey(root, d): 1}
+	// Two identical findings against one baselined: exactly one survives.
+	out := lint.ApplyBaseline(baseline, root, []lint.Diagnostic{d, d})
+	if len(out) != 1 {
+		t.Errorf("baseline entry must be consumed once, got %d surviving findings", len(out))
+	}
+	// The input baseline map must not be mutated (Run may apply it twice).
+	if baseline[lint.BaselineKey(root, d)] != 1 {
+		t.Error("ApplyBaseline mutated its input map")
+	}
+	// A fully-covered run yields nothing.
+	if out := lint.ApplyBaseline(baseline, root, []lint.Diagnostic{d}); len(out) != 0 {
+		t.Errorf("covered finding must be filtered, got %v", out)
+	}
+}

@@ -1,0 +1,227 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// The call graph is keyed by types.Func.FullName() strings rather than
+// *types.Func identity: every target package is type-checked separately
+// against export data, so the *types.Func for planner.Resolve seen while
+// checking package transport is a different object from the one seen
+// while checking package planner itself. FullName ("(*mobweb/internal/
+// planner.Planner).Resolve") is stable across those views.
+
+// FuncNode is one function (declaration or literal) in the loaded
+// program.
+type FuncNode struct {
+	// Name is the FullName key: "(pkg.Type).Method", "pkg.Func", or for
+	// function literals "enclosing$N" in source order.
+	Name string
+	// Pkg is the loaded package containing the body.
+	Pkg *Package
+	// Decl is the named declaration, nil for literals.
+	Decl *ast.FuncDecl
+	// Lit is the literal body, nil for declarations.
+	Lit *ast.FuncLit
+	// Calls are the static call sites in the body, excluding those inside
+	// nested literals (which get their own nodes).
+	Calls []CallSite
+}
+
+// Body returns the function's block.
+func (n *FuncNode) Body() *ast.BlockStmt {
+	if n.Decl != nil {
+		return n.Decl.Body
+	}
+	if n.Lit != nil {
+		return n.Lit.Body
+	}
+	return nil
+}
+
+// CallSite is one static call from a function body.
+type CallSite struct {
+	// Callee is the target's FullName; always non-empty (dynamic calls
+	// through function values are not recorded).
+	Callee string
+	// Call is the call expression, for positions.
+	Call *ast.CallExpr
+	// Deferred marks `defer f(...)`; Go marks `go f(...)`. Both run
+	// outside the statement's source position (function exit / new
+	// goroutine), which lock-order walks must respect.
+	Deferred bool
+	Go       bool
+}
+
+// CallGraph is the whole-program static call graph over every function
+// body in the loaded target packages. External callees (stdlib, export-
+// data-only deps) appear as edge targets but have no node.
+type CallGraph struct {
+	Nodes map[string]*FuncNode
+	// byBody finds the node owning a given body, used to map a GoStmt's
+	// function literal back to its node.
+	byBody map[*ast.BlockStmt]*FuncNode
+}
+
+// NodeFor returns the graph node owning the body, or nil.
+func (g *CallGraph) NodeFor(body *ast.BlockStmt) *FuncNode {
+	return g.byBody[body]
+}
+
+// SortedNames returns every node name in deterministic order, so walks
+// over the graph produce stable diagnostics.
+func (g *CallGraph) SortedNames() []string {
+	names := make([]string, 0, len(g.Nodes))
+	for name := range g.Nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// buildCallGraph indexes every function body across the packages.
+func buildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{
+		Nodes:  make(map[string]*FuncNode),
+		byBody: make(map[*ast.BlockStmt]*FuncNode),
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				name := declFullName(pkg, fd)
+				node := &FuncNode{Name: name, Pkg: pkg, Decl: fd}
+				g.add(node)
+				g.collect(pkg, node, fd.Body, name)
+			}
+		}
+	}
+	return g
+}
+
+func (g *CallGraph) add(n *FuncNode) {
+	g.Nodes[n.Name] = n
+	if body := n.Body(); body != nil {
+		g.byBody[body] = n
+	}
+}
+
+// collect records the call sites directly inside body (literals
+// excluded) and recursively creates nodes for nested literals, named
+// parent$1, parent$2, ... in source order.
+func (g *CallGraph) collect(pkg *Package, node *FuncNode, body *ast.BlockStmt, parent string) {
+	litCount := 0
+	var walk func(n ast.Node, deferred, goStmt bool)
+	walk = func(n ast.Node, deferred, goStmt bool) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				litCount++
+				lit := &FuncNode{
+					Name: fmt.Sprintf("%s$%d", parent, litCount),
+					Pkg:  pkg,
+					Lit:  x,
+				}
+				g.add(lit)
+				g.collect(pkg, lit, x.Body, lit.Name)
+				return false
+			case *ast.DeferStmt:
+				g.site(pkg, node, x.Call, true, false)
+				// Arguments evaluate at the defer statement; only the
+				// call itself is delayed. Walk them with the current
+				// flags, and the callee expression too (it may contain
+				// literals).
+				walk(x.Call.Fun, deferred, goStmt)
+				for _, a := range x.Call.Args {
+					walk(a, deferred, goStmt)
+				}
+				return false
+			case *ast.GoStmt:
+				g.site(pkg, node, x.Call, false, true)
+				walk(x.Call.Fun, deferred, goStmt)
+				for _, a := range x.Call.Args {
+					walk(a, deferred, goStmt)
+				}
+				return false
+			case *ast.CallExpr:
+				g.site(pkg, node, x, deferred, goStmt)
+				return true
+			}
+			return true
+		})
+	}
+	walk(body, false, false)
+}
+
+func (g *CallGraph) site(pkg *Package, node *FuncNode, call *ast.CallExpr, deferred, goStmt bool) {
+	name := calleeFullName(pkg.Info, call)
+	if name == "" {
+		// Dynamic call through a function value — or a call of a literal
+		// spelled inline (go func(){...}()), which the literal node
+		// already covers.
+		return
+	}
+	node.Calls = append(node.Calls, CallSite{Callee: name, Call: call, Deferred: deferred, Go: goStmt})
+}
+
+// declFullName computes the FullName key for a declaration in a loaded
+// package, matching what types.Func.FullName() produces for the same
+// function seen through export data.
+func declFullName(pkg *Package, fd *ast.FuncDecl) string {
+	if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+		return obj.FullName()
+	}
+	// Unresolvable declarations (blank name) fall back to a positional
+	// key so the node still exists.
+	return fmt.Sprintf("%s.%s@%d", pkg.PkgPath, fd.Name.Name, pkg.Fset.Position(fd.Pos()).Line)
+}
+
+// reachableClosure computes, for every node, the union of `direct`
+// values over the node's static call-graph closure (itself included).
+// It is the shared fixpoint behind "may this function acquire lock
+// class C?" and "may this call reach time.Now?". Edges through `go`
+// statements are excluded when excludeGo is set: a spawned goroutine's
+// acquisitions do not happen under the caller's locks.
+func reachableClosure(g *CallGraph, direct map[string]map[string]bool, excludeGo bool) map[string]map[string]bool {
+	out := make(map[string]map[string]bool, len(g.Nodes))
+	for name, vals := range direct {
+		cp := make(map[string]bool, len(vals))
+		for v := range vals {
+			cp[v] = true
+		}
+		out[name] = cp
+	}
+	// Iterate to fixpoint; the graph is small (one repo), so a simple
+	// sweep loop beats maintaining a worklist.
+	for changed := true; changed; {
+		changed = false
+		for _, name := range g.SortedNames() {
+			node := g.Nodes[name]
+			for _, site := range node.Calls {
+				if excludeGo && site.Go {
+					continue
+				}
+				callee, ok := out[site.Callee]
+				if !ok {
+					continue
+				}
+				for v := range callee {
+					if out[name] == nil {
+						out[name] = make(map[string]bool)
+					}
+					if !out[name][v] {
+						out[name][v] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package lint_test
+
+import (
+	"sort"
+	"testing"
+
+	"mobweb/internal/lint"
+)
+
+const (
+	lockorderPath = "mobweb/internal/lint/testdata/src/lockorder"
+	goroleakPath  = "mobweb/internal/lint/testdata/src/goroleak"
+)
+
+// The call graph is keyed by types.Func FullName strings because
+// cross-package type-checking against export data gives distinct
+// *types.Func values for the same function; these tests pin the naming
+// scheme and the defer/go flags the analyzers rely on.
+func TestCallGraphNodesAndSites(t *testing.T) {
+	pkgs, err := lint.Load(".", "./testdata/src/lockorder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := lint.NewProgram(pkgs)
+	g := prog.Graph
+
+	caller := g.Nodes[lockorderPath+".cThenD"]
+	if caller == nil {
+		t.Fatalf("no node for cThenD; have %v", g.SortedNames())
+	}
+	foundLockD := false
+	for _, site := range caller.Calls {
+		if site.Callee == lockorderPath+".lockD" {
+			foundLockD = true
+			if site.Deferred || site.Go {
+				t.Errorf("plain call recorded as deferred=%v go=%v", site.Deferred, site.Go)
+			}
+		}
+	}
+	if !foundLockD {
+		t.Errorf("cThenD's call to lockD not recorded; sites: %+v", caller.Calls)
+	}
+
+	spawner := g.Nodes[lockorderPath+".fThenSpawnE"]
+	if spawner == nil {
+		t.Fatal("no node for fThenSpawnE")
+	}
+	foundGo := false
+	for _, site := range spawner.Calls {
+		if site.Callee == lockorderPath+".lockE" {
+			foundGo = true
+			if !site.Go {
+				t.Error("go lockE() must carry the Go flag (lockorder excludes goroutine edges)")
+			}
+		}
+	}
+	if !foundGo {
+		t.Errorf("fThenSpawnE's go statement not recorded; sites: %+v", spawner.Calls)
+	}
+
+	names := g.SortedNames()
+	if !sort.StringsAreSorted(names) {
+		t.Error("SortedNames must be sorted for deterministic diagnostics")
+	}
+}
+
+// Function literals get their own nodes named parent$N so a goroutine
+// body is never analyzed under its spawner's locks.
+func TestCallGraphFuncLitNodes(t *testing.T) {
+	pkgs, err := lint.Load(".", "./testdata/src/goroleak")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := lint.NewProgram(pkgs)
+	lit := prog.Graph.Nodes[goroleakPath+".leakyLit$1"]
+	if lit == nil {
+		t.Fatalf("no node for leakyLit's literal; have %v", prog.Graph.SortedNames())
+	}
+	if lit.Decl != nil || lit.Lit == nil {
+		t.Error("literal node must carry Lit, not Decl")
+	}
+	if body := lit.Body(); body == nil || prog.Graph.NodeFor(body) != lit {
+		t.Error("NodeFor must map a literal's body back to its node")
+	}
+}

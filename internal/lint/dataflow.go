@@ -1,0 +1,431 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the small intraprocedural dataflow core under the
+// whole-program analyzers. Two pieces:
+//
+//   - heldWalker: a forward, block-structured walk of one function body
+//     tracking whether one lock class is held, invoking a callback at
+//     every call evaluated under the lock. It shares lockscope's
+//     branch-merge lattice (mergeBranches / fallsThrough): the state is
+//     a single bool per tracked class, branches merge conservatively
+//     toward "released", and `defer Unlock` pins the class held to
+//     function end. Running it once per class acquired in the body
+//     keeps the lattice trivial while still giving lockorder the
+//     "acquired B while holding A" events it needs.
+//
+//   - loopExits: reachability of a loop exit from inside a loop body,
+//     tracking break-target nesting (a `break` inside a nested select
+//     does NOT exit the loop — the exact misreading behind the historic
+//     transport reader leak). goroleak builds on it.
+
+// lockMethods are the sync.Mutex/RWMutex methods the walkers model.
+// TryLock/TryRLock are deliberately absent: a try-acquire cannot
+// deadlock, so it neither starts a critical section nor forms an
+// ordering edge.
+var lockMethods = map[string]bool{
+	"Lock": true, "RLock": true, "Unlock": true, "RUnlock": true,
+}
+
+// lockClass classifies call as a mutex method on a global lock class,
+// returning the class key, the receiver spelling, and the method name.
+// Classes are instance-insensitive:
+//
+//	"pkgpath.Type.field"      a mutex field, any instance of the type
+//	"pkgpath.Type.(embedded)" an embedded mutex, any instance
+//	"pkgpath.varname"         a package-level mutex variable
+//
+// Locals and parameters return "": their ordering is invisible across
+// functions, and flagging them would only produce noise.
+func lockClass(pkg *Package, call *ast.CallExpr) (class, spell, method string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", "", ""
+	}
+	fn := calleeFunc(pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" || !lockMethods[fn.Name()] {
+		return "", "", ""
+	}
+	method = fn.Name()
+	spell = types.ExprString(sel.X)
+	recv := namedOrPointee(pkg.Info.Types[sel.X].Type)
+	if recv == nil || recv.Obj().Pkg() == nil {
+		return "", "", ""
+	}
+	if name := recv.Obj().Name(); name != "Mutex" && name != "RWMutex" {
+		// mu is embedded: sel.X's own type is the embedding struct.
+		return recv.Obj().Pkg().Path() + "." + name + ".(embedded)", spell, method
+	}
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		// s.mu.Lock(): class is the owning type plus field name.
+		owner := namedOrPointee(pkg.Info.Types[x.X].Type)
+		if owner == nil || owner.Obj().Pkg() == nil {
+			return "", "", ""
+		}
+		return owner.Obj().Pkg().Path() + "." + owner.Obj().Name() + "." + x.Sel.Name, spell, method
+	case *ast.Ident:
+		// mu.Lock(): only package-level variables form a class.
+		v, ok := pkg.Info.Uses[x].(*types.Var)
+		if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+			return "", "", ""
+		}
+		return v.Pkg().Path() + "." + v.Name(), spell, method
+	}
+	return "", "", ""
+}
+
+// heldEvent is delivered by heldWalker for everything that happens while
+// the tracked class is held.
+type heldEvent struct {
+	// Call is the expression evaluated under the lock.
+	Call *ast.CallExpr
+	// Class/Spell/Method are set when Call is itself a mutex operation.
+	Class, Spell, Method string
+	// AcquiredAt is where the tracked class was most recently acquired.
+	AcquiredAt token.Pos
+	// AcquireSpell is the receiver spelling of that acquisition.
+	AcquireSpell string
+	// AcquireMethod is "Lock" or "RLock" for that acquisition.
+	AcquireMethod string
+}
+
+// heldWalker tracks one lock class through one function body.
+type heldWalker struct {
+	pkg   *Package
+	class string
+	// onEvent fires for every call evaluated while class is held,
+	// including nested mutex operations.
+	onEvent func(heldEvent)
+
+	deferred      bool
+	acquiredAt    token.Pos
+	acquireSpell  string
+	acquireMethod string
+}
+
+// walkHeld runs the walker over a body for one class.
+func walkHeld(pkg *Package, body *ast.BlockStmt, class string, onEvent func(heldEvent)) {
+	w := &heldWalker{pkg: pkg, class: class, onEvent: onEvent}
+	w.walkList(body.List, false)
+}
+
+// classesAcquired returns the distinct global lock classes acquired
+// directly in the body (nested literals excluded), with one witness
+// spelling each, in source order.
+func classesAcquired(pkg *Package, body *ast.BlockStmt) []string {
+	seen := make(map[string]bool)
+	var out []string
+	inspectSkippingFuncLits(body, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if class, _, method := lockClass(pkg, call); class != "" && (method == "Lock" || method == "RLock") && !seen[class] {
+			seen[class] = true
+			out = append(out, class)
+		}
+	})
+	return out
+}
+
+func (w *heldWalker) walkList(stmts []ast.Stmt, held bool) bool {
+	for _, st := range stmts {
+		held = w.walkStmt(st, held)
+	}
+	return held
+}
+
+func (w *heldWalker) walkStmt(st ast.Stmt, held bool) bool {
+	switch s := st.(type) {
+	case *ast.ExprStmt:
+		return w.scanExpr(s.X, held)
+	case *ast.DeferStmt:
+		// A deferred unlock of the class pins it held to function end.
+		// Other deferred calls run at exit under an unknowable lock
+		// regime; err toward silence and skip the call itself, but the
+		// argument expressions evaluate here and now.
+		if w.deferUnlocksClass(s) {
+			if held {
+				w.deferred = true
+			}
+			return held
+		}
+		for _, arg := range s.Call.Args {
+			held = w.scanExpr(arg, held)
+		}
+		return held
+	case *ast.GoStmt:
+		// The goroutine body runs elsewhere, not under this lock; its
+		// arguments evaluate here.
+		for _, arg := range s.Call.Args {
+			held = w.scanExpr(arg, held)
+		}
+		return held
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			held = w.scanExpr(e, held)
+		}
+		for _, e := range s.Lhs {
+			held = w.scanExpr(e, held)
+		}
+		return held
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			held = w.scanExpr(e, held)
+		}
+		return held
+	case *ast.SendStmt:
+		held = w.scanExpr(s.Chan, held)
+		return w.scanExpr(s.Value, held)
+	case *ast.SelectStmt:
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				w.walkList(cc.Body, held)
+			}
+		}
+		return held
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held = w.walkStmt(s.Init, held)
+		}
+		held = w.scanExpr(s.Cond, held)
+		bodyHeld := w.walkList(s.Body.List, held)
+		elseHeld := held
+		elseFalls := true
+		if s.Else != nil {
+			elseHeld = w.walkStmt(s.Else, held)
+			elseFalls = fallsThrough(s.Else)
+		}
+		return mergeBranches(held,
+			branch{bodyHeld, fallsThroughList(s.Body.List)},
+			branch{elseHeld, elseFalls})
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held = w.walkStmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			held = w.scanExpr(s.Cond, held)
+		}
+		w.walkList(s.Body.List, held)
+		return held
+	case *ast.RangeStmt:
+		held = w.scanExpr(s.X, held)
+		w.walkList(s.Body.List, held)
+		return held
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held = w.walkStmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			held = w.scanExpr(s.Tag, held)
+		}
+		return w.walkCases(s.Body, held)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			held = w.walkStmt(s.Init, held)
+		}
+		return w.walkCases(s.Body, held)
+	case *ast.BlockStmt:
+		return w.walkList(s.List, held)
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, held)
+	case *ast.IncDecStmt:
+		return w.scanExpr(s.X, held)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						held = w.scanExpr(v, held)
+					}
+				}
+			}
+		}
+		return held
+	default:
+		return held
+	}
+}
+
+func (w *heldWalker) walkCases(body *ast.BlockStmt, held bool) bool {
+	branches := make([]branch, 0, len(body.List))
+	for _, clause := range body.List {
+		if cc, ok := clause.(*ast.CaseClause); ok {
+			after := w.walkList(cc.Body, held)
+			branches = append(branches, branch{after, fallsThroughList(cc.Body)})
+		}
+	}
+	return mergeBranches(held, branches...)
+}
+
+// scanExpr visits every call in the expression in evaluation order,
+// updating the held state across lock/unlock operations of the tracked
+// class and delivering events for everything evaluated while held.
+// Nested function literals are skipped (their bodies are independent
+// graph nodes).
+func (w *heldWalker) scanExpr(e ast.Expr, held bool) bool {
+	if e == nil {
+		return held
+	}
+	var calls []*ast.CallExpr
+	inspectSkippingFuncLits(e, func(n ast.Node) {
+		if call, ok := n.(*ast.CallExpr); ok {
+			calls = append(calls, call)
+		}
+	})
+	for _, call := range calls {
+		class, spell, method := lockClass(w.pkg, call)
+		if class == w.class {
+			switch method {
+			case "Lock", "RLock":
+				if held {
+					// Re-acquiring the tracked class while held: the
+					// self-deadlock event, delivered before the state
+					// (already held) is refreshed.
+					w.emit(call, class, spell, method)
+				}
+				held = true
+				w.acquiredAt = call.Pos()
+				w.acquireSpell = spell
+				w.acquireMethod = method
+			case "Unlock", "RUnlock":
+				if !w.deferred {
+					held = false
+				}
+			}
+			continue
+		}
+		if held {
+			w.emit(call, class, spell, method)
+		}
+	}
+	return held
+}
+
+func (w *heldWalker) emit(call *ast.CallExpr, class, spell, method string) {
+	w.onEvent(heldEvent{
+		Call: call, Class: class, Spell: spell, Method: method,
+		AcquiredAt: w.acquiredAt, AcquireSpell: w.acquireSpell, AcquireMethod: w.acquireMethod,
+	})
+}
+
+// deferUnlocksClass reports whether the defer releases the tracked
+// class, directly or inside a deferred closure.
+func (w *heldWalker) deferUnlocksClass(d *ast.DeferStmt) bool {
+	if class, _, method := lockClass(w.pkg, d.Call); class == w.class && (method == "Unlock" || method == "RUnlock") {
+		return true
+	}
+	if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+		found := false
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if class, _, method := lockClass(w.pkg, call); class == w.class && (method == "Unlock" || method == "RUnlock") {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+	return false
+}
+
+// loopExits reports whether control can leave the loop from inside its
+// body: a return; a break that binds to THIS loop (bare break not
+// swallowed by a nested for/switch/select, or a labeled break naming
+// this loop's label); a goto (conservatively an exit); or a terminal
+// call (panic, os.Exit, runtime.Goexit, log.Fatal*, testing Fatal*).
+// Function literals inside the body are not part of the loop's control
+// flow and are skipped.
+func loopExits(info *types.Info, body *ast.BlockStmt, label string) bool {
+	exits := false
+	var walk func(n ast.Node, depth int)
+	walk = func(n ast.Node, depth int) {
+		if exits || n == nil {
+			return
+		}
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return
+		case *ast.ReturnStmt:
+			exits = true
+			return
+		case *ast.BranchStmt:
+			switch s.Tok {
+			case token.BREAK:
+				if s.Label == nil && depth == 0 {
+					exits = true
+				} else if s.Label != nil && s.Label.Name == label {
+					exits = true
+				}
+			case token.GOTO:
+				exits = true
+			}
+			return
+		case *ast.ForStmt:
+			walkChildren(s, func(c ast.Node) { walk(c, depth+1) })
+			return
+		case *ast.RangeStmt:
+			walkChildren(s, func(c ast.Node) { walk(c, depth+1) })
+			return
+		case *ast.SwitchStmt:
+			walkChildren(s, func(c ast.Node) { walk(c, depth+1) })
+			return
+		case *ast.TypeSwitchStmt:
+			walkChildren(s, func(c ast.Node) { walk(c, depth+1) })
+			return
+		case *ast.SelectStmt:
+			walkChildren(s, func(c ast.Node) { walk(c, depth+1) })
+			return
+		case *ast.CallExpr:
+			if isTerminalCall(info, s) {
+				exits = true
+				return
+			}
+		}
+		walkChildren(n, func(c ast.Node) { walk(c, depth) })
+	}
+	for _, st := range body.List {
+		walk(st, 0)
+	}
+	return exits
+}
+
+// walkChildren visits n's direct children once each.
+func walkChildren(n ast.Node, visit func(ast.Node)) {
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			visit(c)
+		}
+		return false
+	})
+}
+
+// isTerminalCall reports whether the call never returns.
+func isTerminalCall(info *types.Info, call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+		return true
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() + "." + fn.Name() {
+	case "os.Exit", "runtime.Goexit", "log.Fatal", "log.Fatalf", "log.Fatalln",
+		"testing.Fatal", "testing.Fatalf", "testing.FailNow", "testing.Skip",
+		"testing.Skipf", "testing.SkipNow":
+		return true
+	}
+	return false
+}

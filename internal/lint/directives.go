@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Comment directives: the `//mobweb:<name>` convention shared by the
+// nondet and hotalloc analyzers (and open to future ones). Unlike
+// //lint:allow — which suppresses an already-raised finding on one line
+// — a mobweb directive changes what an analyzer looks at:
+//
+//	//mobweb:nondet-ok <reason>   this line, or this whole function, is
+//	                              genuinely wall-clock/random; nondet
+//	                              must not flag it
+//	//mobweb:hot <reason>         this function is a hot path; hotalloc
+//	                              must flag allocations inside it
+//
+// Line form: the directive sits on (or immediately above) the code it
+// covers. Function form: the directive is a line of the function's doc
+// comment and covers the whole body. The reason text after the name is
+// for humans and is not parsed. See DESIGN.md §13.
+
+// directivePrefix introduces every machine-readable mobweb directive.
+const directivePrefix = "//mobweb:"
+
+// directiveIndex resolves line-level directives across every file of a
+// load (keys are "file:line", like the //lint:allow index, so packages
+// can share one).
+type directiveIndex struct {
+	lines map[string]map[string]bool
+}
+
+// buildDirectives scans file comments for //mobweb: directives. A
+// directive covers the line it sits on; a directive comment alone on a
+// line covers the following line too, so it can sit above long
+// statements:
+//
+//	//mobweb:nondet-ok cook-time stats
+//	start := time.Now()
+func buildDirectives(fset *token.FileSet, files []*ast.File) *directiveIndex {
+	idx := &directiveIndex{lines: make(map[string]map[string]bool)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, ok := parseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				idx.add(pos.Filename, pos.Line, name)
+				if pos.Column == 1 || isCommentOnlyLine(fset, f, c) {
+					idx.add(pos.Filename, pos.Line+1, name)
+				}
+			}
+		}
+	}
+	return idx
+}
+
+func (d *directiveIndex) add(file string, line int, name string) {
+	key := fmt.Sprintf("%s:%d", file, line)
+	if d.lines[key] == nil {
+		d.lines[key] = make(map[string]bool)
+	}
+	d.lines[key][name] = true
+}
+
+// onLine reports whether the named directive covers the position's line.
+func (d *directiveIndex) onLine(pos token.Position, name string) bool {
+	if d == nil {
+		return false
+	}
+	return d.lines[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)][name]
+}
+
+// parseDirective splits "//mobweb:nondet-ok herd avoidance" into its
+// name ("nondet-ok"); the reason text is for humans only.
+func parseDirective(text string) (name string, ok bool) {
+	rest, ok := strings.CutPrefix(text, directivePrefix)
+	if !ok {
+		return "", false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", false
+	}
+	return fields[0], true
+}
+
+// funcDirective reports whether the function's doc comment carries the
+// named directive, covering the whole body:
+//
+//	// deadline computes the per-operation I/O deadline.
+//	//mobweb:nondet-ok deadlines are wall-clock by nature
+//	func (c *Client) deadline(ctx context.Context) time.Time { ... }
+func funcDirective(fd *ast.FuncDecl, name string) bool {
+	if fd == nil || fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if got, ok := parseDirective(c.Text); ok && got == name {
+			return true
+		}
+	}
+	return false
+}
+
+// isCommentOnlyLine reports whether the comment is the only thing on its
+// line (a directive above the covered statement rather than trailing it).
+// It is approximated by the comment starting in column ≤ the file's
+// typical indentation — in practice, by there being no declaration or
+// statement token earlier on the same line, which the parser encodes by
+// attaching such comments as leading comment groups. The check here is
+// positional: nothing non-blank precedes the comment on its line.
+func isCommentOnlyLine(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
+	pos := fset.Position(c.Pos())
+	// A trailing comment follows code, so some node of the file ends on
+	// the same line before the comment starts. Scanning the whole file
+	// per comment would be quadratic; instead use the comment's column:
+	// gofmt places trailing comments after at least one tab or space
+	// beyond column 1, while standalone comments start the line (at any
+	// indentation, but with only whitespace before them). The parser
+	// gives no direct "standalone" bit, so check the file content via
+	// the fset's line start.
+	tf := fset.File(c.Pos())
+	if tf == nil {
+		return false
+	}
+	lineStart := tf.LineStart(pos.Line)
+	// If every position between line start and the comment is part of no
+	// AST node, the prefix is whitespace. Approximate by asking whether
+	// any statement/expression in the file *ends* in that interval.
+	standalone := true
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || standalone == false {
+			return false
+		}
+		if n.End() > lineStart && n.End() <= c.Pos() {
+			if _, isComment := n.(*ast.Comment); !isComment {
+				if _, isGroup := n.(*ast.CommentGroup); !isGroup {
+					standalone = false
+				}
+			}
+		}
+		return standalone
+	})
+	return standalone
+}

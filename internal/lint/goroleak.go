@@ -1,0 +1,249 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroLeak flags goroutines with no guaranteed exit path — the redial /
+// resume and chaos-injector code is where these bite: a leaked reader
+// per reconnect is invisible in tests and fatal in a fleet. Two shapes
+// are reported, both modeled on the historic transport reader leak
+// (server.go's handle() now documents the fix):
+//
+//  1. A goroutine whose body contains an unconditional `for { ... }`
+//     loop with no way out: no return, no break binding to that loop
+//     (a break inside a nested select does NOT exit the loop — the
+//     exact misreading behind the historic leak), no goto, no terminal
+//     call. Loops over channels (`for v := range ch`) are exempt:
+//     closing the channel is their exit path.
+//
+//  2. A plain (non-select) send inside a loop in a goroutine, on a
+//     channel the package demonstrably makes unbuffered: when the
+//     receiver stops receiving — client gone, error return upstream —
+//     the send blocks forever and pins the goroutine. Sends wrapped in
+//     a select (with a done/cancel case) and sends on channels that are
+//     buffered or of unknown origin are silent.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc: "flag goroutines without an exit path: unconditional loops that cannot terminate, and " +
+		"bare sends on unbuffered channels inside goroutine loops (the leaked-reader shape)",
+	Run: runGoroLeak,
+}
+
+func runGoroLeak(pass *Pass) error {
+	// Map function objects to their declarations so `go s.run()` can be
+	// followed into a same-package body.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+
+	reported := make(map[token.Pos]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if body := goroutineBody(pass, decls, g); body != nil {
+				checkGoroutineBody(pass, body, reported)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// goroutineBody resolves the body a go statement spawns: a literal's
+// body, or the declaration of a same-package function. Cross-package
+// spawns return nil — that body is analyzed when its own package is.
+func goroutineBody(pass *Pass, decls map[*types.Func]*ast.FuncDecl, g *ast.GoStmt) *ast.BlockStmt {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	if fn := calleeFunc(pass.Info, g.Call); fn != nil {
+		if fd, ok := decls[fn]; ok {
+			return fd.Body
+		}
+	}
+	return nil
+}
+
+func checkGoroutineBody(pass *Pass, body *ast.BlockStmt, reported map[token.Pos]bool) {
+	report := func(pos token.Pos, format string, args ...any) {
+		if !reported[pos] {
+			reported[pos] = true
+			pass.Reportf(pos, format, args...)
+		}
+	}
+
+	// Shape 1: unconditional loops with no exit. Labels are tracked so
+	// `break outer` counts as an exit of the labeled loop.
+	var labels []string
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			// A nested literal is its own goroutine only if spawned by a
+			// nested GoStmt, which the file-level inspect finds itself.
+			return
+		case *ast.LabeledStmt:
+			labels = append(labels, s.Label.Name)
+			walk(s.Stmt)
+			labels = labels[:len(labels)-1]
+			return
+		case *ast.ForStmt:
+			if s.Cond == nil {
+				label := ""
+				if len(labels) > 0 {
+					label = labels[len(labels)-1]
+				}
+				if !loopExits(pass.Info, s.Body, label) {
+					report(s.Pos(), "goroutine loops forever with no exit path (no return, break, or terminal call); add a done/context case so shutdown can reach it")
+				}
+			}
+		}
+		if n != nil {
+			walkChildren(n, walk)
+		}
+	}
+	for _, st := range body.List {
+		walk(st)
+	}
+
+	// Shape 2: bare unbuffered sends inside loops.
+	checkBareSends(pass, body, false, report)
+}
+
+// checkBareSends walks the goroutine body looking for plain SendStmts
+// inside loops. Sends appearing as a select's comm clause are skipped —
+// the select is the fix this analyzer asks for.
+func checkBareSends(pass *Pass, n ast.Node, inLoop bool, report func(token.Pos, string, ...any)) {
+	switch s := n.(type) {
+	case *ast.FuncLit:
+		return
+	case *ast.ForStmt:
+		if s.Init != nil {
+			checkBareSends(pass, s.Init, inLoop, report)
+		}
+		checkBareSends(pass, s.Body, true, report)
+		return
+	case *ast.RangeStmt:
+		checkBareSends(pass, s.Body, true, report)
+		return
+	case *ast.SelectStmt:
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				// The comm operation itself is select-guarded; only the
+				// case bodies keep the current loop context.
+				for _, st := range cc.Body {
+					checkBareSends(pass, st, inLoop, report)
+				}
+			}
+		}
+		return
+	case *ast.SendStmt:
+		if inLoop {
+			if obj := chanObject(pass, s.Chan); obj != nil && packageMakesUnbuffered(pass, obj) {
+				report(s.Pos(), "send on unbuffered channel %s inside a goroutine loop with no select: if the receiver stops (error return, client gone) this goroutine blocks forever; select on it with a done channel", obj.Name())
+			}
+		}
+	}
+	if n != nil {
+		walkChildren(n, func(c ast.Node) { checkBareSends(pass, c, inLoop, report) })
+	}
+}
+
+// chanObject resolves the channel expression to its variable, nil when
+// it isn't a simple variable or field reference.
+func chanObject(pass *Pass, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return pass.Info.Uses[x]
+	case *ast.SelectorExpr:
+		return pass.Info.Uses[x.Sel]
+	}
+	return nil
+}
+
+// packageMakesUnbuffered reports whether the package contains a
+// `make(chan T)` (or explicit zero capacity) assigned to the object.
+// Finding no make at all — a parameter, a channel made elsewhere —
+// reports false: the analyzer only speaks when it can see the capacity.
+func packageMakesUnbuffered(pass *Pass, obj types.Object) bool {
+	unbuffered := false
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				if len(s.Lhs) != len(s.Rhs) {
+					return true
+				}
+				for i, lhs := range s.Lhs {
+					if chanObject(pass, lhs) == obj || identDefines(pass, lhs, obj) {
+						if isUnbufferedMake(pass, s.Rhs[i]) {
+							unbuffered = true
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range s.Names {
+					if pass.Info.Defs[name] == obj && i < len(s.Values) {
+						if isUnbufferedMake(pass, s.Values[i]) {
+							unbuffered = true
+						}
+					}
+				}
+			}
+			return !unbuffered
+		})
+		if unbuffered {
+			break
+		}
+	}
+	return unbuffered
+}
+
+// identDefines reports whether e is an identifier that := -defines obj.
+func identDefines(pass *Pass, e ast.Expr, obj types.Object) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && pass.Info.Defs[id] == obj
+}
+
+// isUnbufferedMake reports whether e is make(chan T) or make(chan T, 0).
+func isUnbufferedMake(pass *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "make" {
+		return false
+	}
+	if _, ok := pass.Info.Uses[id].(*types.Builtin); !ok {
+		return false
+	}
+	if len(call.Args) == 0 {
+		return false
+	}
+	t := pass.Info.Types[call.Args[0]]
+	if !t.IsType() {
+		return false
+	}
+	if _, ok := t.Type.Underlying().(*types.Chan); !ok {
+		return false
+	}
+	if len(call.Args) == 1 {
+		return true
+	}
+	cap := pass.Info.Types[call.Args[1]]
+	return cap.Value != nil && cap.Value.String() == "0"
+}

@@ -1,0 +1,25 @@
+package lint_test
+
+import (
+	"testing"
+
+	"mobweb/internal/lint"
+	"mobweb/internal/lint/linttest"
+)
+
+func TestGoroLeak(t *testing.T) {
+	linttest.Run(t, lint.GoroLeak, "./testdata/src/goroleak")
+}
+
+// The transport package carries the historic leaked-reader fix and the
+// textproc pipeline carries reviewed //lint:allow annotations; both must
+// stay clean so the analyzer's noise floor stays at zero.
+func TestGoroLeakCleanOnTransportAndTextproc(t *testing.T) {
+	diags, err := lint.Run(".", []string{"mobweb/internal/transport", "mobweb/internal/textproc"}, []*lint.Analyzer{lint.GoroLeak})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}

@@ -1,0 +1,28 @@
+package lint_test
+
+import (
+	"testing"
+
+	"mobweb/internal/lint"
+	"mobweb/internal/lint/linttest"
+)
+
+func TestHotAlloc(t *testing.T) {
+	linttest.Run(t, lint.HotAlloc, "./testdata/src/hotalloc")
+}
+
+// The production hot paths — the GF(2^8) kernels, CRC, packet marshal/
+// parse, frame append/write — are all annotated //mobweb:hot and must
+// stay allocation-clean (their AllocsPerRun tests pin the runtime side;
+// this pins the static side).
+func TestHotAllocCleanOnAnnotatedTree(t *testing.T) {
+	diags, err := lint.Run(".",
+		[]string{"mobweb/internal/gf256", "mobweb/internal/crc", "mobweb/internal/packet", "mobweb/internal/core", "mobweb/internal/transport"},
+		[]*lint.Analyzer{lint.HotAlloc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}

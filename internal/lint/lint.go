@@ -17,6 +17,20 @@
 //     boundaries must be wrapped with %w (or carried as a typed
 //     *planner.RequestError) so the client-facing 404/400 mapping keeps
 //     seeing the chain.
+//   - lockorder: the global mutex acquisition-order graph (built over a
+//     cross-package call graph, see callgraph.go/program.go) must be
+//     acyclic — planner.mu strictly outer to framecache.Cache.mu, and
+//     framecache never calls back.
+//   - goroleak: goroutines need an exit path; no unconditional loops
+//     without a way out, no bare unbuffered sends in goroutine loops
+//     (the historic transport reader-leak shape).
+//   - nondet: the packages feeding golden traces, seeded chaos and
+//     cache keys must not read wall clocks, draw unseeded randomness,
+//     or leak map iteration order into output (//mobweb:nondet-ok opts
+//     genuinely wall-clock lines out).
+//   - hotalloc: //mobweb:hot functions — the GF(2^8) kernels, CRC,
+//     packet marshal, frame append/write — must not allocate (fmt,
+//     make, growing append, boxing), guarding the zero-alloc wins.
 //
 // The framework mirrors the golang.org/x/tools go/analysis API surface
 // (Analyzer, Pass, Reportf, analysistest-style fixtures with // want
@@ -35,6 +49,8 @@ import (
 )
 
 // Analyzer is one static check, in the image of analysis.Analyzer.
+// Exactly one of Run and RunProgram is set: Run sees one package at a
+// time, RunProgram sees the whole load (call graph included) at once.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and //lint:allow
 	// suppressions.
@@ -43,6 +59,11 @@ type Analyzer struct {
 	Doc string
 	// Run inspects one package and reports findings through the pass.
 	Run func(*Pass) error
+	// RunProgram inspects the whole program: every target package plus
+	// the cross-package call graph (see program.go). Program analyzers
+	// run before per-package ones so they can suppress subsumed
+	// findings (lockorder absorbing lockscope symptoms).
+	RunProgram func(*ProgramPass) error
 }
 
 // Pass carries one analyzer's view of one type-checked package.
@@ -84,8 +105,13 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 }
 
 // Analyzers returns every registered analyzer, the multichecker's suite.
+// Program-wide analyzers (lockorder, nondet) share one whole-program
+// view per run; the rest see one package at a time.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{PlanMut, FrameMut, GFArith, LockScope, ErrWrap}
+	return []*Analyzer{
+		PlanMut, FrameMut, GFArith, LockScope, ErrWrap,
+		LockOrder, GoroLeak, NonDet, HotAlloc,
+	}
 }
 
 // buildAllow scans file comments for //lint:allow suppressions. The

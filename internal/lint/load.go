@@ -59,37 +59,13 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		return nil, fmt.Errorf("lint: go list %v: %v\n%s", patterns, err, stderr.String())
 	}
 
-	exports := make(map[string]string)
-	var targets []listPackage
-	dec := json.NewDecoder(bytes.NewReader(out))
-	for {
-		var p listPackage
-		if err := dec.Decode(&p); err == io.EOF {
-			break
-		} else if err != nil {
-			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
-		}
-		if p.Error != nil {
-			return nil, fmt.Errorf("lint: %s: %s", p.ImportPath, p.Error.Err)
-		}
-		if p.Export != "" {
-			exports[p.ImportPath] = p.Export
-		}
-		if !p.DepOnly {
-			targets = append(targets, p)
-		}
+	exports, targets, err := decodeListOutput(out)
+	if err != nil {
+		return nil, err
 	}
-	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
 
 	fset := token.NewFileSet()
-	lookup := func(path string) (io.ReadCloser, error) {
-		file, ok := exports[path]
-		if !ok {
-			return nil, fmt.Errorf("lint: no export data for %q", path)
-		}
-		return os.Open(file)
-	}
-	imp := importer.ForCompiler(fset, "gc", lookup)
+	imp := importer.ForCompiler(fset, "gc", exportLookup(exports))
 
 	var pkgs []*Package
 	for _, t := range targets {
@@ -125,17 +101,90 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	return pkgs, nil
 }
 
+// decodeListOutput parses the JSON stream `go list -deps -export -json`
+// produces into the export-data index and the (sorted) target packages.
+// Any per-package error — a type error in a dependency, an import cycle
+// — is surfaced here rather than half-loading.
+func decodeListOutput(out []byte) (exports map[string]string, targets []listPackage, err error) {
+	exports = make(map[string]string)
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, nil, fmt.Errorf("lint: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+	return exports, targets, nil
+}
+
+// exportLookup adapts the ImportPath→export-file index to the reader
+// interface importer.ForCompiler wants. Stdlib-vendored modules need a
+// remap: net/http's source says `import "golang.org/x/net/http/httpguts"`
+// — the path the importer asks for — but go list reports that package
+// (and its export file) as "vendor/golang.org/x/net/http/httpguts".
+func exportLookup(exports map[string]string) func(path string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			file, ok = exports["vendor/"+path]
+		}
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+}
+
 // Run loads the patterns and applies every analyzer to every package,
-// returning the findings sorted by position.
+// returning the findings sorted by position. Whole-program analyzers
+// run first over a shared Program; per-package findings they suppressed
+// (one defect, one report) are dropped before sorting.
 func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
 	pkgs, err := Load(dir, patterns...)
 	if err != nil {
 		return nil, err
 	}
+	var programAnalyzers, pkgAnalyzers []*Analyzer
+	for _, a := range analyzers {
+		if a.RunProgram != nil {
+			programAnalyzers = append(programAnalyzers, a)
+		} else {
+			pkgAnalyzers = append(pkgAnalyzers, a)
+		}
+	}
+
 	var diags []Diagnostic
+	var prog *Program
+	if len(programAnalyzers) > 0 {
+		prog = NewProgram(pkgs)
+		for _, a := range programAnalyzers {
+			pass := &ProgramPass{
+				Analyzer: a,
+				Program:  prog,
+				report:   func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.RunProgram(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s: %w", a.Name, err)
+			}
+		}
+	}
+
+	var pkgDiags []Diagnostic
 	for _, pkg := range pkgs {
 		allow := buildAllow(pkg.Fset, pkg.Files)
-		for _, a := range analyzers {
+		for _, a := range pkgAnalyzers {
 			pass := &Pass{
 				Analyzer: a,
 				Fset:     pkg.Fset,
@@ -143,12 +192,18 @@ func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, er
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
 				allow:    allow,
-				report:   func(d Diagnostic) { diags = append(diags, d) },
+				report:   func(d Diagnostic) { pkgDiags = append(pkgDiags, d) },
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.PkgPath, err)
 			}
 		}
+	}
+	for _, d := range pkgDiags {
+		if prog != nil && prog.suppressed(d) {
+			continue
+		}
+		diags = append(diags, d)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]

@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// decodeListOutput consumes the JSON stream `go list -deps -export
+// -json` writes: dependencies first (DepOnly, with export data), then
+// the targets.
+func TestDecodeListOutput(t *testing.T) {
+	out := []byte(`{
+	"ImportPath": "example.com/dep",
+	"Dir": "/cache/dep",
+	"Export": "/cache/dep.a",
+	"DepOnly": true
+}
+{
+	"ImportPath": "example.com/b",
+	"Dir": "/src/b",
+	"GoFiles": ["b.go"],
+	"Export": "/cache/b.a"
+}
+{
+	"ImportPath": "example.com/a",
+	"Dir": "/src/a",
+	"GoFiles": ["a.go", "a2.go"]
+}
+`)
+	exports, targets, err := decodeListOutput(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exports["example.com/dep"] != "/cache/dep.a" || exports["example.com/b"] != "/cache/b.a" {
+		t.Errorf("export index wrong: %v", exports)
+	}
+	if _, ok := exports["example.com/a"]; ok {
+		t.Error("package without export data must not be indexed")
+	}
+	if len(targets) != 2 {
+		t.Fatalf("DepOnly packages must not be targets; got %d targets", len(targets))
+	}
+	if targets[0].ImportPath != "example.com/a" || targets[1].ImportPath != "example.com/b" {
+		t.Errorf("targets must be sorted by import path: %v, %v", targets[0].ImportPath, targets[1].ImportPath)
+	}
+	if len(targets[0].GoFiles) != 2 {
+		t.Errorf("GoFiles lost in decoding: %v", targets[0].GoFiles)
+	}
+}
+
+func TestDecodeListOutputSurfacesPackageErrors(t *testing.T) {
+	out := []byte(`{"ImportPath": "example.com/broken", "Error": {"Err": "import cycle not allowed"}}`)
+	if _, _, err := decodeListOutput(out); err == nil || !strings.Contains(err.Error(), "import cycle") {
+		t.Errorf("per-package error must surface, got: %v", err)
+	}
+	if _, _, err := decodeListOutput([]byte("not json")); err == nil {
+		t.Error("malformed go list output must error, not half-load")
+	}
+}
+
+func TestExportLookupMissing(t *testing.T) {
+	lookup := exportLookup(map[string]string{})
+	if _, err := lookup("example.com/ghost"); err == nil || !strings.Contains(err.Error(), `no export data for "example.com/ghost"`) {
+		t.Errorf("missing export data must name the package, got: %v", err)
+	}
+}
+
+func TestLoadBadPattern(t *testing.T) {
+	if _, err := Load(".", "./does-not-exist"); err == nil {
+		t.Error("loading a nonexistent pattern must fail")
+	}
+}
+
+// A module with an import cycle must fail the load with the go list
+// error, not a partial program.
+func TestLoadImportCycle(t *testing.T) {
+	dir := t.TempDir()
+	write := func(rel, content string) {
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module cycletest\n\ngo 1.21\n")
+	write("a/a.go", "package a\n\nimport \"cycletest/b\"\n\nfunc A() { b.B() }\n")
+	write("b/b.go", "package b\n\nimport \"cycletest/a\"\n\nfunc B() { a.A() }\n")
+	if _, err := Load(dir, "./..."); err == nil {
+		t.Error("an import cycle must fail the load")
+	}
+}
+
+// The loader must handle stdlib packages whose dependency closure
+// includes vendored modules (net/http pulls vendored golang.org/x/net):
+// go list reports them under their vendored import paths with their own
+// export files, and type-checking the target against that export data
+// must succeed.
+func TestLoadVendoredStdlib(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the net/http dependency closure")
+	}
+	pkgs, err := Load(".", "net/http/internal/ascii")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].PkgPath != "net/http/internal/ascii" {
+		t.Fatalf("unexpected load result: %+v", pkgs)
+	}
+	// The real vendored case: net/http itself imports
+	// vendor/golang.org/x/net/http/httpguts and friends.
+	pkgs, err = Load(".", "net/http")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Types == nil || pkgs[0].Types.Scope().Lookup("Server") == nil {
+		t.Fatal("net/http did not type-check against its vendored deps' export data")
+	}
+}

@@ -1,0 +1,52 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"mobweb/internal/lint"
+	"mobweb/internal/lint/linttest"
+)
+
+func TestLockOrder(t *testing.T) {
+	linttest.Run(t, lint.LockOrder, "./testdata/src/lockorder")
+}
+
+// A lock-order cycle and a lockscope held-across-blocker finding inside
+// the same critical section are one defect; lint.Run must keep the cycle
+// report and drop the symptom. The lockscope finding on the cycle-free
+// mutex must survive the dedup.
+func TestLockOrderSuppressesLockScopeInsideCycle(t *testing.T) {
+	diags, err := lint.Run(".", []string{"./testdata/src/lockdedup"}, []*lint.Analyzer{lint.LockScope, lint.LockOrder})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cycles, scope []lint.Diagnostic
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "lockorder":
+			cycles = append(cycles, d)
+		case "lockscope":
+			scope = append(scope, d)
+		}
+	}
+	if len(cycles) < 2 {
+		t.Errorf("want the cycle reported from both witnessing edges, got %d lockorder findings: %v", len(cycles), cycles)
+	}
+	if len(scope) != 1 {
+		t.Fatalf("want exactly the cycle-free lockscope finding to survive dedup, got %d: %v", len(scope), scope)
+	}
+	if !strings.Contains(scope[0].Message, "muLone") {
+		t.Errorf("surviving lockscope finding should be about muLone, got: %s", scope[0])
+	}
+
+	// Sanity: without lockorder in the run, both lockscope findings exist —
+	// proving the dedup (not the walker) removed the in-cycle one.
+	alone, err := lint.Run(".", []string{"./testdata/src/lockdedup"}, []*lint.Analyzer{lint.LockScope})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alone) != 2 {
+		t.Errorf("lockscope alone should report both sleeps, got %d: %v", len(alone), alone)
+	}
+}

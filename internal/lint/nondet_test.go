@@ -1,0 +1,44 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"mobweb/internal/lint"
+	"mobweb/internal/lint/linttest"
+)
+
+const nondetFixture = "mobweb/internal/lint/testdata/src/nondet"
+
+func TestNonDet(t *testing.T) {
+	defer linttest.Override(&lint.NondetPackages, []string{nondetFixture})()
+	linttest.Run(t, lint.NonDet, "./testdata/src/nondet")
+}
+
+// When the impure helper package is loaded alongside the fixture, the
+// call-graph closure must carry its wall-clock read back to the call
+// site inside the deterministic package — a helper package cannot
+// smuggle a clock in.
+func TestNonDetSeesThroughHelperPackages(t *testing.T) {
+	defer linttest.Override(&lint.NondetPackages, []string{nondetFixture})()
+	diags, err := lint.Run(".",
+		[]string{"./testdata/src/nondet", "./testdata/src/nondet/impure"},
+		[]*lint.Analyzer{lint.NonDet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range diags {
+		if strings.Contains(d.Message, "impure.Stamp") && strings.Contains(d.Message, "wall-clock read time.Now") {
+			found = true
+		}
+		// The source inside impure itself is outside the deterministic
+		// set and must not be reported there.
+		if strings.Contains(d.Pos.Filename, "impure") {
+			t.Errorf("diagnostic inside the non-deterministic helper package: %s", d)
+		}
+	}
+	if !found {
+		t.Errorf("no indirect finding for the call into impure.Stamp; got: %v", diags)
+	}
+}

@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+)
+
+// Program is the whole-program view shared by cross-package analyzers:
+// every loaded target package, the static call graph over all of them,
+// and the //mobweb: directive index. One Program is built per Run and
+// handed to each analyzer that declares RunProgram.
+type Program struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+	// Graph is the FullName-keyed static call graph (see callgraph.go).
+	Graph *CallGraph
+
+	directives *directiveIndex
+	allow      map[string]map[string]bool
+	// suppress maps an analyzer name to line ranges where its findings
+	// are subsumed by a whole-program finding (lockscope findings inside
+	// a lockorder cycle's critical section report one defect, not two).
+	suppress map[string][]lineRange
+}
+
+type lineRange struct {
+	file       string
+	from, to   int
+	subsumedBy string
+}
+
+// NewProgram builds the shared analysis state over the loaded packages.
+func NewProgram(pkgs []*Package) *Program {
+	prog := &Program{
+		Pkgs:     pkgs,
+		Graph:    buildCallGraph(pkgs),
+		suppress: make(map[string][]lineRange),
+		allow:    make(map[string]map[string]bool),
+	}
+	if len(pkgs) > 0 {
+		prog.Fset = pkgs[0].Fset
+	}
+	for _, pkg := range pkgs {
+		for key, names := range buildAllow(pkg.Fset, pkg.Files) {
+			prog.allow[key] = names
+		}
+	}
+	prog.directives = buildProgramDirectives(pkgs)
+	return prog
+}
+
+func buildProgramDirectives(pkgs []*Package) *directiveIndex {
+	idx := &directiveIndex{lines: make(map[string]map[string]bool)}
+	for _, pkg := range pkgs {
+		for key, names := range buildDirectives(pkg.Fset, pkg.Files).lines {
+			idx.lines[key] = names
+		}
+	}
+	return idx
+}
+
+// Directive reports whether the named //mobweb: directive covers pos's
+// line in any loaded file.
+func (prog *Program) Directive(pos token.Position, name string) bool {
+	return prog.directives.onLine(pos, name)
+}
+
+// Suppress registers a line range in which the named analyzer's
+// per-package findings are dropped because a whole-program finding
+// already covers the defect.
+func (prog *Program) Suppress(analyzer, file string, from, to int, subsumedBy string) {
+	if from > to {
+		from, to = to, from
+	}
+	prog.suppress[analyzer] = append(prog.suppress[analyzer], lineRange{file: file, from: from, to: to, subsumedBy: subsumedBy})
+}
+
+// suppressed reports whether the diagnostic falls in a registered range.
+func (prog *Program) suppressed(d Diagnostic) bool {
+	for _, r := range prog.suppress[d.Analyzer] {
+		if d.Pos.Filename == r.file && d.Pos.Line >= r.from && d.Pos.Line <= r.to {
+			return true
+		}
+	}
+	return false
+}
+
+// ProgramPass carries one whole-program analyzer's reporting context.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Program  *Program
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos unless a //lint:allow comment on that
+// line suppresses this analyzer.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Program.Fset.Position(pos)
+	key := fmt.Sprintf("%s:%d", position.Filename, position.Line)
+	if names, ok := p.Program.allow[key]; ok && (names[p.Analyzer.Name] || names["all"]) {
+		return
+	}
+	p.report(Diagnostic{Pos: position, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,119 @@
+// Package goroleak is the fixture for the goroutine-leak analyzer: the
+// two leaked-reader shapes (unconditional loop without exit, bare
+// unbuffered send in a loop) and the shutdown patterns that must stay
+// silent.
+package goroleak
+
+func step()     {}
+func use(v int) {}
+
+// leakyLit spawns a literal that can never stop: the redial-loop leak.
+func leakyLit() {
+	go func() {
+		for { // want "goroutine loops forever with no exit path"
+			step()
+		}
+	}()
+}
+
+// leakyDecl spawns a same-package declaration; the analyzer follows the
+// go statement into its body.
+func leakyDecl() {
+	go run()
+}
+
+func run() {
+	for { // want "goroutine loops forever with no exit path"
+		step()
+	}
+}
+
+// leakyNestedBreak is the historic transport reader bug: the break binds
+// to the select, not the loop, so the loop still has no exit.
+func leakyNestedBreak(done chan struct{}) {
+	go func() {
+		for { // want "goroutine loops forever with no exit path"
+			select {
+			case <-done:
+				break
+			default:
+				step()
+			}
+		}
+	}()
+}
+
+// leakySender pushes on a channel this package makes unbuffered, with no
+// select: when the consumer stops after the first value, the goroutine
+// blocks forever.
+func leakySender() int {
+	results := make(chan int)
+	go func() {
+		for i := 0; i < 1000; i++ {
+			results <- i // want "send on unbuffered channel results inside a goroutine loop with no select"
+		}
+	}()
+	return <-results
+}
+
+// cleanWorker is the fix the analyzer asks for: every iteration can
+// leave via the done case, and the send is select-guarded.
+func cleanWorker(done chan struct{}, out chan int) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case out <- 1:
+			}
+		}
+	}()
+}
+
+// cleanRange exits when the channel closes — the idiomatic pipeline
+// stage shape (textproc's five stages).
+func cleanRange(ch chan int) {
+	go func() {
+		for v := range ch {
+			use(v)
+		}
+	}()
+}
+
+// cleanLabeledBreak exits through a labeled break from inside the
+// select: the correct spelling of what leakyNestedBreak got wrong.
+func cleanLabeledBreak(done chan struct{}) {
+	go func() {
+	pump:
+		for {
+			select {
+			case <-done:
+				break pump
+			default:
+				step()
+			}
+		}
+	}()
+}
+
+// cleanBuffered sends on a channel made with capacity: the send cannot
+// pin the goroutine past the buffer, and sizing that buffer is the
+// caller's stated intent.
+func cleanBuffered() {
+	results := make(chan int, 8)
+	go func() {
+		for i := 0; i < 8; i++ {
+			results <- i
+		}
+	}()
+}
+
+// allowedPump documents a process-lifetime goroutine: the suppression
+// is the reviewed way to keep one.
+func allowedPump() {
+	go func() {
+		for { //lint:allow goroleak (process-lifetime pump by design; reviewed)
+			step()
+		}
+	}()
+}

@@ -1,0 +1,118 @@
+// Package hotalloc is the fixture for the hot-path allocation analyzer:
+// one function per allocation shape under //mobweb:hot, and the
+// zero-alloc idioms (caller-owned buffers, [:0] reuse, cold error
+// returns, value literals) that must stay silent.
+package hotalloc
+
+import "fmt"
+
+type header struct{ seq int }
+
+var scratchBuf []byte
+
+func sink(v any) { _ = v }
+
+// hotMake allocates a fresh buffer every call.
+//
+//mobweb:hot fixture
+func hotMake(n int) []byte {
+	buf := make([]byte, n) // want `make in //mobweb:hot hotMake allocates per call`
+	return buf
+}
+
+// hotAppend grows a slice that nobody provided capacity for.
+//
+//mobweb:hot fixture
+func hotAppend(v byte) []byte {
+	var buf []byte
+	buf = append(buf, v) // want `growing append in //mobweb:hot hotAppend`
+	return buf
+}
+
+// hotFmt formats on the hot path.
+//
+//mobweb:hot fixture
+func hotFmt(seq int) string {
+	s := fmt.Sprintf("frame-%d", seq) // want `fmt\.Sprintf in //mobweb:hot hotFmt allocates for every verb`
+	return s
+}
+
+// hotConv copies the payload through a string.
+//
+//mobweb:hot fixture
+func hotConv(payload []byte) int {
+	key := string(payload) // want `string/\[\]byte conversion in //mobweb:hot hotConv copies the data`
+	return len(key)
+}
+
+// hotBox boxes an int into an interface parameter.
+//
+//mobweb:hot fixture
+func hotBox(seq int) {
+	sink(seq) // want `int value boxed into interface parameter in //mobweb:hot hotBox`
+}
+
+// hotLiteral allocates a slice literal per call.
+//
+//mobweb:hot fixture
+func hotLiteral(a, b byte) []byte {
+	pair := []byte{a, b} // want `slice literal in //mobweb:hot hotLiteral`
+	return pair
+}
+
+// hotPtrLit heap-allocates through &T{}.
+//
+//mobweb:hot fixture
+func hotPtrLit() *header {
+	h := &header{seq: 1} // want `&T\{\} in //mobweb:hot hotPtrLit heap-allocates`
+	return h
+}
+
+// coldMake is not annotated: allocation outside //mobweb:hot functions
+// is none of this analyzer's business.
+func coldMake(n int) []byte {
+	return make([]byte, n)
+}
+
+// hotAppendParam is the AppendMarshal idiom: the caller owns the buffer
+// and amortizes its capacity across calls.
+//
+//mobweb:hot fixture
+func hotAppendParam(dst []byte, v byte) []byte {
+	dst = append(dst, v)
+	return dst
+}
+
+// hotReuse re-slices existing storage to zero length before appending.
+//
+//mobweb:hot fixture
+func hotReuse(v byte) {
+	scratchBuf = append(scratchBuf[:0], v)
+}
+
+// hotReturnFmt wraps an error on the way out: exits are cold by
+// construction and exempt.
+//
+//mobweb:hot fixture
+func hotReturnFmt(n int) ([]byte, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("hotalloc fixture: bad size %d", n)
+	}
+	return scratchBuf[:0], nil
+}
+
+// hotValueLiteral builds a plain struct value, which stays on the stack.
+//
+//mobweb:hot fixture
+func hotValueLiteral(seq int) int {
+	h := header{seq: seq}
+	return h.seq
+}
+
+// hotAllowed takes the reviewed escape hatch for a measured cold path.
+//
+//mobweb:hot fixture
+func hotAllowed(n int) []byte {
+	big := make([]byte, n) //lint:allow hotalloc (cold slow path; measured off the frame loop)
+	return big
+}

@@ -1,0 +1,43 @@
+// Package lockdedup reproduces the overlap between lockscope and
+// lockorder: a critical section that both sleeps (lockscope's
+// held-across-blocker finding) and closes a lock-order cycle. The cycle
+// is the root cause; lint.Run must keep the lockorder report and drop
+// the lockscope symptom inside the cycle's critical section. The
+// lockscope finding outside any cycle must survive.
+package lockdedup
+
+import (
+	"sync"
+	"time"
+)
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+	muLone sync.Mutex
+)
+
+// abWithSleep sleeps inside the A→B half of the cycle: lockscope's
+// finding on the Sleep line is subsumed by the cycle report.
+func abWithSleep() {
+	muA.Lock()
+	time.Sleep(time.Millisecond)
+	muB.Lock()
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func ba() {
+	muB.Lock()
+	muA.Lock()
+	muA.Unlock()
+	muB.Unlock()
+}
+
+// sleepLone holds a cycle-free mutex across a sleep: a plain lockscope
+// finding that dedup must NOT eat.
+func sleepLone() {
+	muLone.Lock()
+	time.Sleep(time.Millisecond)
+	muLone.Unlock()
+}

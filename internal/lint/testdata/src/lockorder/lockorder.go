@@ -1,0 +1,92 @@
+// Package lockorder is the fixture for the acquisition-order analyzer:
+// an AB/BA cycle witnessed from both sides, an indirect cycle through a
+// callee, a self-deadlock, and the disciplined patterns that must stay
+// silent (consistent ordering, goroutine-spawned acquisitions).
+package lockorder
+
+import "sync"
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+	muC sync.Mutex
+	muD sync.Mutex
+	muE sync.Mutex
+	muF sync.Mutex
+	muG sync.Mutex
+)
+
+// abThenBa and baThenAb acquire in opposite orders: the classic
+// deadlock, reported at both witnessing edges.
+func abThenBa() {
+	muA.Lock()
+	muB.Lock() // want `lock order cycle: lockorder\.muB acquired while lockorder\.muA is held .*cycle: lockorder\.muA → lockorder\.muB → lockorder\.muA`
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func baThenAb() {
+	muB.Lock()
+	muA.Lock() // want `lock order cycle: lockorder\.muA acquired while lockorder\.muB is held`
+	muA.Unlock()
+	muB.Unlock()
+}
+
+// cThenD closes its half of the cycle indirectly: the call-graph closure
+// knows lockD acquires muD.
+func cThenD() {
+	muC.Lock()
+	lockD() // want `lock order cycle: lockorder\.muD acquired via call to lockorder\.lockD while lockorder\.muC is held`
+	muC.Unlock()
+}
+
+func lockD() {
+	muD.Lock()
+	muD.Unlock()
+}
+
+func dThenC() {
+	muD.Lock()
+	muC.Lock() // want `lock order cycle: lockorder\.muC acquired while lockorder\.muD is held`
+	muC.Unlock()
+	muD.Unlock()
+}
+
+// reLock acquires a class it already holds through the same spelling: a
+// certain self-deadlock, no cycle needed.
+func reLock() {
+	muG.Lock()
+	muG.Lock() // want `muG locked again while already held \(self-deadlock`
+	muG.Unlock()
+	muG.Unlock()
+}
+
+// outerInner1/2 follow one consistent order on every path — the
+// documented discipline. No cycle, no report.
+func outerInner1() {
+	muE.Lock()
+	muF.Lock()
+	muF.Unlock()
+	muE.Unlock()
+}
+
+func outerInner2() {
+	muE.Lock()
+	defer muE.Unlock()
+	muF.Lock()
+	defer muF.Unlock()
+}
+
+// fThenSpawnE would close an E/F cycle if goroutine spawns counted as
+// acquisitions of the spawner — they must not: the child's locks are
+// taken on its own stack, after the parent may well have released.
+func fThenSpawnE() {
+	muF.Lock()
+	go lockE()
+	muF.Unlock()
+}
+
+func lockE() {
+	muE.Lock()
+	muE.Unlock()
+}

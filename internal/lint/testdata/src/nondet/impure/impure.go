@@ -1,0 +1,11 @@
+// Package impure sits outside the deterministic set on purpose: the
+// nondet analyzer must see through calls into it (the "helper package
+// smuggles a clock in" case) via the call-graph closure.
+package impure
+
+import "time"
+
+// Stamp reads the wall clock.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}

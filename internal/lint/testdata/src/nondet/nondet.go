@@ -1,0 +1,90 @@
+// Package nondet is the fixture for the determinism analyzer. Its
+// import path is substituted for NondetPackages in the test, making
+// every function here "deterministic by contract": wall-clock reads,
+// global randomness and map-order leaks must be flagged; the seeded /
+// sorted / annotated idioms must stay silent.
+package nondet
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"mobweb/internal/lint/testdata/src/nondet/impure"
+)
+
+// stamp reads the wall clock directly.
+func stamp() int64 {
+	return time.Now().UnixNano() // want `wall-clock read time\.Now in deterministic package nondet`
+}
+
+// jitter draws from math/rand's package-level (global, unseeded) source.
+func jitter() int64 {
+	return rand.Int63n(10) // want `unseeded global randomness rand\.Int63n in deterministic package nondet`
+}
+
+// keys leaks map iteration order: the slice is never sorted.
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration order reaches out via append and out is never sorted afterwards`
+		out = append(out, k)
+	}
+	return out
+}
+
+// dump writes to an ordered sink from inside a map range.
+func dump(m map[string]int) {
+	for k := range m { // want `map iteration order reaches fmt\.Println`
+		fmt.Println(k)
+	}
+}
+
+// viaHelper reaches the clock through a package outside the
+// deterministic set. Reported only when impure's body is loaded too —
+// nondet_test.go covers it with the ./... pattern; under this fixture's
+// single-package load the callee is opaque and the analyzer stays
+// silent rather than guess.
+func viaHelper() int64 {
+	return impure.Stamp()
+}
+
+// seeded is the reproducible idiom the repo's chaos and simulator code
+// uses: an explicit source, seed chosen by the caller.
+func seeded(seed int64) int64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Int63n(10)
+}
+
+// sortedKeys collects in map order and then sorts — the planner
+// cacheKey idiom. Order cannot leak.
+func sortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// invert builds another map: map targets are order-insensitive.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// cookStamp is a genuinely wall-clock statistic, excluded line by line.
+func cookStamp() int64 {
+	return time.Now().UnixNano() //mobweb:nondet-ok cook-time stat; never part of a golden trace
+}
+
+// timing is excluded wholesale by a function-level directive.
+//
+//mobweb:nondet-ok timing harness; excluded from golden comparisons
+func timing() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}

@@ -74,7 +74,7 @@ func BuildIndex(doc *document.Document, opts Options) (*Index, error) {
 		defer close(lemmatized)
 		for t := range recognized {
 			t.lemma = Lemmatize(t.raw)
-			lemmatized <- t
+			lemmatized <- t //lint:allow goroleak (linear pipeline: BuildIndex drains every stage to close)
 		}
 	}()
 
@@ -86,7 +86,7 @@ func BuildIndex(doc *document.Document, opts Options) (*Index, error) {
 			if IsStopWord(t.raw) || IsStopWord(t.lemma) {
 				continue
 			}
-			filtered <- t
+			filtered <- t //lint:allow goroleak (linear pipeline: BuildIndex drains every stage to close)
 		}
 	}()
 

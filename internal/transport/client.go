@@ -36,6 +36,11 @@ type RetryPolicy struct {
 	BaseDelay time.Duration
 	// MaxDelay caps the exponentially growing wait; zero means 2 s.
 	MaxDelay time.Duration
+	// Seed, when non-zero, makes the jittered backoff sequence
+	// deterministic: chaos tests and the seeded load generator replay
+	// identical reconnect timing run after run. Zero draws a fresh
+	// per-client seed, preserving the herd-avoidance spread.
+	Seed int64
 }
 
 // NoRetry disables reconnection: the first connection failure is
@@ -86,6 +91,11 @@ type Client struct {
 	// zero value enables it with defaults when a redial function exists
 	// (see RetryPolicy, NoRetry).
 	Retry RetryPolicy
+	// jitter is the client's own backoff randomness, seeded from
+	// Retry.Seed (lazily, on first reconnect). The global math/rand
+	// source is never used: reconnect timing must be replayable under a
+	// seed, and the nondet analyzer holds this package to that.
+	jitter *rand.Rand
 	// Alpha estimates the channel corruption probability from observed
 	// corrupted/received windows (§4.4). It is created lazily on the
 	// first AdaptGamma fetch and persists across fetches — α is a
@@ -147,8 +157,25 @@ func (c *Client) SetRedial(redial func() (net.Conn, error)) { c.redial = redial 
 // Close releases the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
+// backoffWait returns the jittered wait before the next redial attempt:
+// full jitter over the upper half of the window, so waits stay spread
+// out across clients without collapsing toward zero. The randomness is
+// the client's own seeded source, never the global one.
+func (c *Client) backoffWait(delay time.Duration) time.Duration {
+	if c.jitter == nil {
+		seed := c.Retry.Seed
+		if seed == 0 {
+			//mobweb:nondet-ok fresh per-client seed when the caller gave none
+			seed = time.Now().UnixNano()
+		}
+		c.jitter = rand.New(rand.NewSource(seed))
+	}
+	return delay/2 + time.Duration(c.jitter.Int63n(int64(delay/2)+1))
+}
+
 // deadline computes the per-operation I/O deadline: the read/write
 // timeout, tightened by the context's own deadline when that is sooner.
+//mobweb:nondet-ok I/O deadlines are wall-clock by nature
 func (c *Client) deadline(ctx context.Context) time.Time {
 	t := c.Timeout
 	if t == 0 {
@@ -233,10 +260,8 @@ func (c *Client) reconnect(ctx context.Context) error {
 				delay = p.MaxDelay
 			}
 		}
-		// Full jitter over the upper half of the window: waits stay
-		// spread out across clients without collapsing toward zero.
-		wait := delay/2 + time.Duration(rand.Int63n(int64(delay/2)+1))
-		timer := time.NewTimer(wait)
+		//mobweb:nondet-ok backoff timer sleeps wall-clock time; duration is seed-driven
+		timer := time.NewTimer(c.backoffWait(delay))
 		select {
 		case <-ctx.Done():
 			timer.Stop()

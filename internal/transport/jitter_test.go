@@ -1,0 +1,78 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+// Regression for a defect the nondet analyzer surfaced: reconnect jitter
+// used the global math/rand source, so two runs with identical seeds
+// produced different backoff timing — unreproducible chaos soaks. The
+// backoff source now belongs to the client and honours RetryPolicy.Seed.
+
+func backoffSequence(seed int64, n int) []time.Duration {
+	c := &Client{Retry: RetryPolicy{Seed: seed}}
+	p := c.Retry.withDefaults()
+	out := make([]time.Duration, 0, n)
+	delay := p.BaseDelay
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			delay *= 2
+			if delay > p.MaxDelay {
+				delay = p.MaxDelay
+			}
+		}
+		out = append(out, c.backoffWait(delay))
+	}
+	return out
+}
+
+func TestBackoffSeedDeterministic(t *testing.T) {
+	a := backoffSequence(42, 8)
+	b := backoffSequence(42, 8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("attempt %d: seeded backoff diverged: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := backoffSequence(43, 8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("different seeds produced identical backoff sequences %v", a)
+	}
+}
+
+func TestBackoffStaysInUpperHalfWindow(t *testing.T) {
+	c := &Client{Retry: RetryPolicy{Seed: 7}}
+	for _, delay := range []time.Duration{50 * time.Millisecond, 400 * time.Millisecond, 2 * time.Second} {
+		for i := 0; i < 100; i++ {
+			w := c.backoffWait(delay)
+			if w < delay/2 || w > delay {
+				t.Fatalf("backoffWait(%v) = %v outside [%v, %v]", delay, w, delay/2, delay)
+			}
+		}
+	}
+}
+
+func TestBackoffUnseededClientsDiverge(t *testing.T) {
+	// Zero seed draws per-client randomness: a herd of clients must not
+	// share one backoff schedule. Two fresh clients agreeing on an 8-draw
+	// sequence over a wide window is (1/(25ms+1ns-steps))^8 ≈ never.
+	a := &Client{}
+	b := &Client{}
+	same := true
+	for i := 0; i < 8; i++ {
+		if a.backoffWait(50*time.Millisecond) != b.backoffWait(50*time.Millisecond) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("unseeded clients produced identical jitter sequences")
+	}
+}

@@ -91,6 +91,7 @@ type response struct {
 }
 
 // writeFrame writes one length-prefixed packet frame.
+//mobweb:hot runs once per frame on every connection
 func writeFrame(w io.Writer, frame []byte) error {
 	if len(frame) == 0 || len(frame) > MaxFrameSize {
 		return fmt.Errorf("transport: frame size %d outside (0, %d]", len(frame), MaxFrameSize)

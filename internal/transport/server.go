@@ -176,6 +176,7 @@ func (s *Server) Close() error {
 	s.closed = true
 	ln := s.ln
 	conns := make([]net.Conn, 0, len(s.conns))
+	//mobweb:nondet-ok shutdown closes every conn; close order is immaterial
 	for c := range s.conns {
 		conns = append(conns, c)
 	}
@@ -225,6 +226,7 @@ func (s *Server) handle(conn net.Conn) {
 
 	w := bufio.NewWriter(conn)
 	for {
+		//mobweb:nondet-ok idle-timeout deadline, wall-clock by nature
 		if err := conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout)); err != nil {
 			return
 		}
