@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench bench-json bench-load cover figures paperscale fuzz lint lint-json vulncheck verify clean
+.PHONY: all build test race bench bench-json bench-load bench-fleet cover figures paperscale fuzz lint lint-json vulncheck verify clean
 
 all: build test
 
@@ -78,6 +78,18 @@ bench-json:
 # results/. See DESIGN.md §12.
 bench-load:
 	go run ./cmd/mrtload -json BENCH_load.json -txt results/framecache-bench.txt -min-hit-rate 0.9
+
+# Sharded-fleet robustness run: a front over three in-process replicas,
+# Zipf load with per-packet pacing so streams are long enough for the
+# seeded mid-run kill of the hottest replica to land mid-stream. Gates:
+# zero outright failures among admitted fetches, zero byte mismatches
+# against the pre-kill reference, and a completed-fetch floor.
+# BENCH_fleet.json at the repo root, human table under results/. See
+# DESIGN.md §14.
+bench-fleet:
+	go run ./cmd/mrtload -fleet 3 -clients 200 -docs 8 -doc-kb 12 \
+		-fleet-delay 2ms -concurrency 32 -seed 1 -min-completed 0.95 \
+		-json BENCH_fleet.json -txt results/fleet-bench.txt
 
 # Regenerate every table and figure at the default reduced scale.
 figures:

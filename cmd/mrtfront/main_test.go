@@ -1,0 +1,39 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestParseReplicas(t *testing.T) {
+	reps, err := parseReplicas("a=10.0.0.1:8047@10.0.0.1:8049, 10.0.0.2:8047 ,c=10.0.0.3:8047")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 3 {
+		t.Fatalf("parsed %d replicas, want 3", len(reps))
+	}
+	if reps[0].Name != "a" || reps[0].Addr != "10.0.0.1:8047" || reps[0].MetricsAddr != "10.0.0.1:8049" {
+		t.Errorf("replica 0 = %+v", reps[0])
+	}
+	// Unnamed entries are numbered by position.
+	if reps[1].Name != "r1" || reps[1].Addr != "10.0.0.2:8047" || reps[1].MetricsAddr != "" {
+		t.Errorf("replica 1 = %+v", reps[1])
+	}
+	if reps[2].Name != "c" || reps[2].Addr != "10.0.0.3:8047" {
+		t.Errorf("replica 2 = %+v", reps[2])
+	}
+}
+
+func TestParseReplicasRejectsBadSpecs(t *testing.T) {
+	for _, spec := range []string{"", "  ", "a=", "=1.2.3.4:1", "a=1.2.3.4:1@", "a=1.2.3.4:1,,b=1.2.3.4:2"} {
+		if _, err := parseReplicas(spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}
+
+func TestRunRejectsMissingReplicas(t *testing.T) {
+	if err := run([]string{"-addr", "127.0.0.1:0"}); err == nil {
+		t.Fatal("run without -replicas succeeded")
+	}
+}

@@ -1,0 +1,465 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"mobweb/internal/core"
+	"mobweb/internal/obs"
+	"mobweb/internal/planner"
+	"mobweb/internal/shard"
+	"mobweb/internal/transport"
+)
+
+// fleetConfig extends the workload description with the fleet shape.
+type fleetConfig struct {
+	config
+	replicas     int
+	kill         bool
+	restart      bool
+	shedMax      int
+	delay        time.Duration
+	minCompleted float64
+}
+
+// fleetReport is the BENCH_fleet.json payload: the sharded tier's
+// robustness under load with a mid-run replica kill.
+type fleetReport struct {
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+
+	Replicas int     `json:"replicas"`
+	Clients  int     `json:"clients"`
+	Docs     int     `json:"docs"`
+	DocKB    int     `json:"doc_kb"`
+	ZipfS    float64 `json:"zipf_s"`
+	Seed     int64   `json:"seed"`
+	ShedMax  int     `json:"shed_max_inflight"`
+	Killed   string  `json:"killed_replica,omitempty"`
+	Restart  bool    `json:"restarted"`
+
+	Fetches        int     `json:"fetches"`
+	Completed      int     `json:"completed"`
+	Shed           int     `json:"shed"`
+	ShedRetries    int     `json:"shed_retries"`
+	Failures       int     `json:"failures"`
+	ByteMismatches int     `json:"byte_mismatches"`
+	Seconds        float64 `json:"seconds"`
+	P50Ms          float64 `json:"p50_ms"`
+	P99Ms          float64 `json:"p99_ms"`
+	MeanMs         float64 `json:"mean_ms"`
+	CompletedFrac  float64 `json:"completed_frac"`
+	ShedRate       float64 `json:"shed_rate"`
+
+	FrontReroutes  int64 `json:"front_reroutes"`
+	FrontSheds     int64 `json:"front_sheds"`
+	FrontMarkdowns int64 `json:"front_markdowns"`
+}
+
+// fleetReplica is one in-process backend of the benchmark fleet.
+type fleetReplica struct {
+	name        string
+	addr        string
+	metricsAddr string
+	engineCfg   config
+	delay       time.Duration
+	planOpts    planner.Options
+
+	mu        sync.Mutex
+	srv       *transport.Server
+	serveDone chan struct{}
+}
+
+// start boots (or re-boots) the replica's transport server on addr.
+func (r *fleetReplica) start() error {
+	ln, err := net.Listen("tcp", r.addr)
+	if err != nil {
+		return err
+	}
+	engine, err := buildCorpus(r.engineCfg)
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	pl, err := planner.New(engine, r.planOpts)
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	srv, err := transport.NewServer(engine, transport.ServerOptions{
+		Name:        r.name,
+		Defaults:    core.Config{Gamma: r.engineCfg.gamma},
+		Planner:     pl,
+		PacketDelay: r.delay,
+		Capability:  transport.NewCapabilityState(transport.CapFull),
+	})
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	done := make(chan struct{})
+	r.mu.Lock()
+	r.srv = srv
+	r.serveDone = done
+	r.mu.Unlock()
+	go func() {
+		defer close(done)
+		srv.Serve(ln)
+	}()
+	return nil
+}
+
+// kill stops the replica mid-flight; idempotent.
+func (r *fleetReplica) kill() {
+	r.mu.Lock()
+	srv, done := r.srv, r.serveDone
+	r.srv = nil
+	r.mu.Unlock()
+	if srv == nil {
+		return
+	}
+	srv.Close()
+	<-done
+}
+
+// runFleet drives the seeded workload through a front over an in-process
+// replica fleet, killing one replica mid-run, and reports robustness:
+// completed fetches, byte-identity against a pre-run reference, shed
+// behaviour, and the front's reroute/markdown counters.
+func runFleet(cfg fleetConfig, jsonPath, txtPath string) error {
+	rep := fleetReport{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Replicas:   cfg.replicas,
+		Clients:    cfg.clients,
+		Docs:       cfg.docs,
+		DocKB:      cfg.docKB,
+		ZipfS:      cfg.zipfS,
+		Seed:       cfg.seed,
+		ShedMax:    cfg.shedMax,
+		Restart:    cfg.restart,
+	}
+
+	// Every replica indexes an identical deterministic corpus, so cooked
+	// frames agree per (plan, seq) and re-routes splice byte-identically.
+	replicas := make([]*fleetReplica, cfg.replicas)
+	fleet := make([]shard.Replica, cfg.replicas)
+	for i := range replicas {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		addr := ln.Addr().String()
+		ln.Close()
+		r := &fleetReplica{
+			name:      fmt.Sprintf("r%d", i),
+			addr:      addr,
+			engineCfg: cfg.config,
+			delay:     cfg.delay,
+			planOpts: planner.Options{
+				Defaults:        core.Config{Gamma: cfg.gamma},
+				CacheBytes:      cfg.planCacheMB << 20,
+				FrameCacheBytes: cfg.frameMB << 20,
+			},
+		}
+		reg := obs.NewRegistry()
+		mux := http.NewServeMux()
+		mux.Handle("GET /debug/metrics", obs.MetricsHandler(reg))
+		mln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		r.metricsAddr = mln.Addr().String()
+		msrv := &http.Server{Handler: mux}
+		go msrv.Serve(mln)
+		defer msrv.Close()
+		if err := r.start(); err != nil {
+			return err
+		}
+		defer r.kill()
+		replicas[i] = r
+		fleet[i] = shard.Replica{Name: r.name, Addr: r.addr, MetricsAddr: r.metricsAddr}
+	}
+
+	// Pre-run reference bodies, fetched directly from one replica: the
+	// bytes every front-proxied fetch must reproduce, kill or no kill.
+	reference := make(map[string][]byte, cfg.docs)
+	for d := 0; d < cfg.docs; d++ {
+		body, err := directFetch(replicas[0].addr, docName(d))
+		if err != nil {
+			return fmt.Errorf("reference fetch %s: %w", docName(d), err)
+		}
+		reference[docName(d)] = body
+	}
+
+	frontReg := obs.NewRegistry()
+	front, err := shard.NewFront(shard.Options{
+		Replicas: fleet,
+		Gate:     shard.GateOptions{MaxInFlight: cfg.shedMax},
+		Monitor:  shard.MonitorOptions{Every: 100 * time.Millisecond},
+		Retry:    transport.RetryPolicy{Seed: cfg.seed},
+		Metrics:  frontReg,
+	})
+	if err != nil {
+		return err
+	}
+	fln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	frontDone := make(chan struct{})
+	go func() {
+		defer close(frontDone)
+		front.Serve(fln)
+	}()
+	defer func() {
+		front.Close()
+		<-frontDone
+	}()
+	frontAddr := fln.Addr().String()
+
+	// Deterministic workload, same construction as the cache passes.
+	wlRng := rand.New(rand.NewSource(cfg.seed))
+	zipf := rand.NewZipf(wlRng, cfg.zipfS, 1, uint64(cfg.docs-1))
+	docNames := make([]string, cfg.clients)
+	waits := make([]time.Duration, cfg.clients)
+	for i := range docNames {
+		docNames[i] = docName(int(zipf.Uint64()))
+		if cfg.rate > 0 {
+			waits[i] = time.Duration(wlRng.ExpFloat64() / cfg.rate * float64(time.Second))
+		}
+	}
+	// Kill the replica owning the most-fetched document: the one
+	// guaranteed to have streams in flight when it dies, so the run
+	// actually exercises the mid-stream re-route path.
+	names := make([]string, cfg.replicas)
+	for i, r := range fleet {
+		names[i] = r.Name
+	}
+	ring, err := shard.NewRing(names, 0)
+	if err != nil {
+		return err
+	}
+	freq := map[string]int{}
+	hottest := docNames[0]
+	for _, d := range docNames {
+		freq[d]++
+		if freq[d] > freq[hottest] {
+			hottest = d
+		}
+	}
+	killIdx := ring.Pick(hottest)
+	killAt := cfg.clients * 2 / 5
+	restartAt := cfg.clients * 4 / 5
+
+	type outcome struct {
+		latency     time.Duration
+		completed   bool
+		shed        bool
+		failed      bool
+		mismatch    bool
+		shedRetries int
+	}
+	outcomes := make([]outcome, cfg.clients)
+	sem := make(chan struct{}, cfg.maxInflight)
+	var wg sync.WaitGroup
+	var lifecycle sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < cfg.clients; i++ {
+		if waits[i] > 0 {
+			time.Sleep(waits[i])
+		}
+		if cfg.kill && i == killAt {
+			lifecycle.Add(1)
+			go func() {
+				defer lifecycle.Done()
+				replicas[killIdx].kill()
+			}()
+			rep.Killed = replicas[killIdx].name
+		}
+		if cfg.kill && cfg.restart && i == restartAt {
+			lifecycle.Add(1)
+			go func() {
+				defer lifecycle.Done()
+				if err := replicas[killIdx].start(); err != nil {
+					fmt.Printf("fleet: restart %s: %v\n", replicas[killIdx].name, err)
+				}
+			}()
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			t0 := time.Now()
+			o := &outcomes[i]
+			body, shedRetries, err := fleetFetch(frontAddr, docNames[i], cfg.seed+int64(i))
+			o.latency = time.Since(t0)
+			o.shedRetries = shedRetries
+			switch {
+			case err == nil:
+				o.completed = true
+				if !bytes.Equal(body, reference[docNames[i]]) {
+					o.mismatch = true
+				}
+			case errors.Is(err, transport.ErrShed):
+				o.shed = true
+			default:
+				o.failed = true
+			}
+		}(i)
+	}
+	wg.Wait()
+	lifecycle.Wait()
+	rep.Seconds = time.Since(start).Seconds()
+
+	latencies := make([]time.Duration, 0, cfg.clients)
+	for _, o := range outcomes {
+		rep.ShedRetries += o.shedRetries
+		switch {
+		case o.completed:
+			rep.Completed++
+			latencies = append(latencies, o.latency)
+			if o.mismatch {
+				rep.ByteMismatches++
+			}
+		case o.shed:
+			rep.Shed++
+		default:
+			rep.Failures++
+		}
+	}
+	rep.Fetches = cfg.clients
+	if len(latencies) > 0 {
+		rep.P50Ms = percentile(latencies, 0.50)
+		rep.P99Ms = percentile(latencies, 0.99)
+		rep.MeanMs = meanMs(latencies)
+	}
+	rep.CompletedFrac = float64(rep.Completed) / float64(cfg.clients)
+	rep.ShedRate = float64(rep.Shed) / float64(cfg.clients)
+	snap := frontReg.Snapshot()
+	rep.FrontReroutes = snap.Counters["front.reroutes"]
+	rep.FrontSheds = snap.Counters["front.sheds"]
+	rep.FrontMarkdowns = snap.Counters["front.markdowns"]
+
+	text := summarizeFleet(rep)
+	fmt.Print(text)
+	if txtPath != "" {
+		if err := writeFileMkdir(txtPath, []byte(text)); err != nil {
+			return err
+		}
+	}
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := writeFileMkdir(jsonPath, append(data, '\n')); err != nil {
+			return err
+		}
+	}
+
+	// Gates. Byte-identity is unconditional: a single spliced stream
+	// that reconstructs to different bytes is a correctness bug, never
+	// an acceptable trade under load.
+	if rep.ByteMismatches > 0 {
+		return fmt.Errorf("%d re-routed fetches reconstructed different bytes", rep.ByteMismatches)
+	}
+	if rep.Failures > 0 {
+		return fmt.Errorf("%d admitted fetches failed outright", rep.Failures)
+	}
+	if cfg.minCompleted > 0 && rep.CompletedFrac < cfg.minCompleted {
+		return fmt.Errorf("completed fraction %.3f below gate %.3f", rep.CompletedFrac, cfg.minCompleted)
+	}
+	return nil
+}
+
+// fleetFetch runs one client session against the front, retrying shed
+// refusals after the server's hint — the cooperative backoff a
+// well-behaved weakly-connected client applies. A fetch that is still
+// shed after the attempt budget returns the shed error (the caller
+// counts it as shed, not failed).
+func fleetFetch(addr, doc string, seed int64) (body []byte, shedRetries int, err error) {
+	const maxAttempts = 8
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		c, derr := transport.Dial(addr)
+		if derr != nil {
+			return nil, shedRetries, derr
+		}
+		c.Timeout = 30 * time.Second
+		c.Retry = transport.RetryPolicy{Seed: seed}
+		res, ferr := c.Fetch(transport.FetchOptions{Doc: doc, Caching: true, MaxRounds: 20})
+		c.Close()
+		if ferr == nil {
+			if res.Body == nil {
+				return nil, shedRetries, fmt.Errorf("fetch %s: no body reconstructed", doc)
+			}
+			return res.Body, shedRetries, nil
+		}
+		lastErr = ferr
+		var shed *transport.ShedError
+		if !errors.As(ferr, &shed) && !errors.Is(ferr, transport.ErrShed) {
+			return nil, shedRetries, ferr
+		}
+		shedRetries++
+		wait := 50 * time.Millisecond
+		if shed != nil && shed.RetryAfter > 0 {
+			wait = shed.RetryAfter
+		}
+		time.Sleep(wait)
+	}
+	return nil, shedRetries, lastErr
+}
+
+// directFetch pulls one document straight off a replica.
+func directFetch(addr, doc string) ([]byte, error) {
+	c, err := transport.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	c.Timeout = 30 * time.Second
+	res, err := c.Fetch(transport.FetchOptions{Doc: doc, Caching: true})
+	if err != nil {
+		return nil, err
+	}
+	if res.Body == nil {
+		return nil, fmt.Errorf("fetch %s: no body reconstructed", doc)
+	}
+	return res.Body, nil
+}
+
+// summarizeFleet renders the human-readable fleet summary.
+func summarizeFleet(rep fleetReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mrtload fleet: %d replicas, %d clients, %d docs (~%d KiB), zipf %.2f, seed %d, shed-max %d, %s/%s %d cpu\n",
+		rep.Replicas, rep.Clients, rep.Docs, rep.DocKB, rep.ZipfS, rep.Seed, rep.ShedMax, rep.GOOS, rep.GOARCH, rep.NumCPU)
+	if rep.Killed != "" {
+		verb := "killed mid-run"
+		if rep.Restart {
+			verb = "killed mid-run, restarted"
+		}
+		fmt.Fprintf(&b, "  replica %s %s\n", rep.Killed, verb)
+	}
+	fmt.Fprintf(&b, "  %d completed, %d shed (%d shed-retries), %d failed, %d byte mismatches in %.2fs\n",
+		rep.Completed, rep.Shed, rep.ShedRetries, rep.Failures, rep.ByteMismatches, rep.Seconds)
+	fmt.Fprintf(&b, "  p50 %7.2fms  p99 %7.2fms  mean %7.2fms   completed %.1f%%  shed rate %.1f%%\n",
+		rep.P50Ms, rep.P99Ms, rep.MeanMs, 100*rep.CompletedFrac, 100*rep.ShedRate)
+	fmt.Fprintf(&b, "  front: reroutes %d, sheds %d, markdowns %d\n",
+		rep.FrontReroutes, rep.FrontSheds, rep.FrontMarkdowns)
+	return b.String()
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunFleetSmoke drives the fleet pass end to end: two replicas
+// behind a front, a mid-run kill, the byte-identity gate, and the
+// BENCH_fleet.json artifact.
+func TestRunFleetSmoke(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_fleet.json")
+	err := run([]string{
+		"-fleet", "2", "-clients", "10", "-docs", "3", "-doc-kb", "3",
+		"-fleet-delay", "1ms", "-seed", "1",
+		"-json", jsonPath, "-min-completed", "0.9",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep fleetReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Replicas != 2 || rep.Fetches != 10 {
+		t.Errorf("report shape = %d replicas / %d fetches", rep.Replicas, rep.Fetches)
+	}
+	if rep.ByteMismatches != 0 {
+		t.Errorf("byte mismatches = %d, want 0", rep.ByteMismatches)
+	}
+	if rep.Failures != 0 {
+		t.Errorf("failures = %d, want 0", rep.Failures)
+	}
+	if rep.Killed == "" {
+		t.Error("no replica was killed despite -fleet-kill default")
+	}
+	if rep.FrontMarkdowns < 1 {
+		t.Errorf("front markdowns = %d, want >= 1 after the kill", rep.FrontMarkdowns)
+	}
+}
+
+// TestRunFleetCompletedGate starves admission (budget of one) so
+// concurrent fetches shed; any that exhaust the retry budget drop the
+// completed fraction below the 100% gate. If scheduling happens to let
+// every retry through, the run legitimately passes — only a non-gate
+// error fails the test.
+func TestRunFleetCompletedGate(t *testing.T) {
+	err := run([]string{
+		"-fleet", "2", "-clients", "6", "-docs", "2", "-doc-kb", "2",
+		"-fleet-kill=false", "-fleet-shed-max", "1", "-concurrency", "6",
+		"-seed", "1", "-json", "", "-min-completed", "1.0",
+	})
+	if err != nil && !strings.Contains(err.Error(), "completed fraction") {
+		t.Fatalf("unexpected fleet error: %v", err)
+	}
+}

@@ -143,6 +143,12 @@ func run(args []string) error {
 	txtPath := fs.String("txt", "", "also write the text summary here (stdout always gets it)")
 	minHitRate := fs.Float64("min-hit-rate", 0, "fail unless the cached pass's frame-cache hit rate reaches this (CI gate)")
 	skipBaseline := fs.Bool("no-baseline", false, "skip the cache-disabled baseline pass")
+	fleet := fs.Int("fleet", 0, "run the sharded-fleet robustness pass over this many in-process replicas behind a front, instead of the cache passes (0 disables)")
+	fleetKill := fs.Bool("fleet-kill", true, "fleet mode: kill one seeded replica mid-run")
+	fleetRestart := fs.Bool("fleet-restart", false, "fleet mode: restart the killed replica late in the run")
+	fleetShedMax := fs.Int("fleet-shed-max", 0, "fleet mode: front admission budget (0 means 64, negative disables shedding)")
+	fleetDelay := fs.Duration("fleet-delay", 0, "fleet mode: per-packet pacing on each replica, so streams are long enough for the kill to land mid-stream")
+	minCompleted := fs.Float64("min-completed", 0, "fleet mode: fail unless this fraction of fetches completes (CI gate)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -169,6 +175,23 @@ func run(args []string) error {
 		mix:         mix,
 		planCacheMB: *planMB,
 		frameMB:     *frameMB,
+	}
+
+	if *fleet > 0 {
+		if *jsonPath == "BENCH_load.json" {
+			// Fleet mode gets its own default artifact name so a fleet run
+			// never clobbers the frame-cache benchmark.
+			*jsonPath = "BENCH_fleet.json"
+		}
+		return runFleet(fleetConfig{
+			config:       cfg,
+			replicas:     *fleet,
+			kill:         *fleetKill,
+			restart:      *fleetRestart,
+			shedMax:      *fleetShedMax,
+			delay:        *fleetDelay,
+			minCompleted: *minCompleted,
+		}, *jsonPath, *txtPath)
 	}
 
 	rep := report{

@@ -28,6 +28,7 @@ import (
 	"mobweb/internal/obs"
 	"mobweb/internal/planner"
 	"mobweb/internal/search"
+	"mobweb/internal/shard"
 	"mobweb/internal/textproc"
 	"mobweb/internal/transport"
 )
@@ -43,6 +44,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("mrtserver", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:8047", "listen address")
 	httpAddr := fs.String("http", "", "also serve the HTTP gateway (e.g. 127.0.0.1:8080)")
+	docVia := fs.String("doc-via", "", "back the gateway's /doc with a packet-transport fetch to this address (a replica or mrtfront); shed/degraded surface as 503 + Retry-After")
 	dir := fs.String("dir", "", "directory of additional .xml/.html documents")
 	alpha := fs.Float64("alpha", 0, "emulated per-packet corruption probability")
 	seed := fs.Int64("seed", 1, "fault injection seed")
@@ -59,6 +61,10 @@ func run(args []string) error {
 	gfKernel := fs.String("gf-kernel", "", "GF(2^8) slice kernel: logexp, table, nibble or auto (default: $MOBWEB_GF_KERNEL or auto-calibrate)")
 	metricsAddr := fs.String("metrics-addr", "", "serve /debug/metrics, /debug/fetches and /debug/vars on this address (e.g. 127.0.0.1:8049)")
 	statsEvery := fs.Duration("stats-every", 0, "log a one-line metrics summary at this interval (0 disables)")
+	replicaName := fs.String("replica-name", "", "replica identity reported in fetch responses and scraped by a shard front")
+	capability := fs.String("capability", "", "serve at a reduced tier: full, fetch-degraded, clear-prefix or search-only")
+	shedMax := fs.Int("shed-max-inflight", 0, "admission budget: max concurrent fetch streams before shedding (0 disables)")
+	shedRetryAfter := fs.Duration("shed-retry-after", 0, "retry-after hint attached to shed refusals (0 means 250ms)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -119,10 +125,31 @@ func run(args []string) error {
 		reg = obs.NewRegistry()
 	}
 	opts := transport.ServerOptions{
+		Name:        *replicaName,
 		Defaults:    core.Config{Gamma: *gamma},
 		Planner:     pl,
 		PacketDelay: *delay,
 		Metrics:     reg,
+	}
+	// Always expose a capability state when the server is fleet-facing
+	// (metrics scraped by a front) or explicitly tiered, so the front's
+	// health checker can read the mode.
+	if *capability != "" || *metricsAddr != "" {
+		mode, err := transport.ParseCapability(*capability)
+		if err != nil {
+			return err
+		}
+		opts.Capability = transport.NewCapabilityState(mode)
+		if mode != transport.CapFull {
+			fmt.Printf("capability tier: %s\n", mode)
+		}
+	}
+	if *shedMax > 0 {
+		opts.Admission = shard.NewGate(shard.GateOptions{
+			MaxInFlight: *shedMax,
+			RetryAfter:  *shedRetryAfter,
+		})
+		fmt.Printf("admission control: %d in-flight fetch streams\n", *shedMax)
 	}
 	if *alpha > 0 {
 		model, err := channel.NewBernoulli(*alpha, *seed)
@@ -197,6 +224,9 @@ func run(args []string) error {
 		}()
 	}
 
+	if *docVia != "" && *httpAddr == "" {
+		return fmt.Errorf("-doc-via requires -http")
+	}
 	var httpSrv *http.Server
 	if *httpAddr != "" {
 		gw, err := gateway.NewWithPlanner(engine, pl)
@@ -204,6 +234,10 @@ func run(args []string) error {
 			return err
 		}
 		gw.SetMetrics(reg)
+		if *docVia != "" {
+			gw.SetFetcher(dialFetcher{addr: *docVia})
+			fmt.Printf("gateway /doc via packet transport at %s\n", *docVia)
+		}
 		httpLn, err := net.Listen("tcp", *httpAddr)
 		if err != nil {
 			return err
@@ -225,6 +259,21 @@ func run(args []string) error {
 	fmt.Println(pl.Stats())
 	fmt.Println(pl.FrameStats())
 	return nil
+}
+
+// dialFetcher backs the gateway's /doc with a fresh transport connection
+// per request: a shared *transport.Client serializes fetches on one TCP
+// conn, while the front (or replica) is built to multiplex many short
+// connections.
+type dialFetcher struct{ addr string }
+
+func (d dialFetcher) Fetch(opts transport.FetchOptions) (*transport.FetchResult, error) {
+	c, err := transport.Dial(d.addr)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	return c.Fetch(opts)
 }
 
 // statsLine condenses a registry snapshot into the periodic log line: the

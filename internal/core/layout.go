@@ -165,6 +165,12 @@ func (l Layout) genBounds(seq int) (gen, rawOff, cookedOff int, err error) {
 	return 0, 0, 0, fmt.Errorf("core: seq %d outside [0, %d)", seq, l.N())
 }
 
+// IsClear reports whether cooked seq carries a clear-text (systematic)
+// row rather than parity. A clear-prefix-only replica streams only these
+// rows: clean channels still reconstruct from the M intact data rows of
+// each generation, at the cost of extra rounds on lossy channels.
+func (l Layout) IsClear(seq int) bool { return l.clearRawIndex(seq) >= 0 }
+
 // clearRawIndex returns the global raw index carried in clear text by
 // cooked seq, or -1 for redundancy packets.
 func (l Layout) clearRawIndex(seq int) int {

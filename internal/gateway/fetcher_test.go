@@ -1,0 +1,159 @@
+package gateway
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"mobweb/internal/obs"
+	"mobweb/internal/transport"
+)
+
+// stubFetcher scripts the transport tier's behaviour for gateway tests.
+type stubFetcher struct {
+	res *transport.FetchResult
+	err error
+}
+
+func (s *stubFetcher) Fetch(transport.FetchOptions) (*transport.FetchResult, error) {
+	return s.res, s.err
+}
+
+// newRemoteGateway builds a gateway whose /doc is backed by the stub.
+func newRemoteGateway(t *testing.T, f Fetcher) (*Handler, *obs.Registry) {
+	t.Helper()
+	h := newGateway(t)
+	reg := obs.NewRegistry()
+	h.SetMetrics(reg)
+	h.SetFetcher(f)
+	return h, reg
+}
+
+func TestDocRemoteServesBodyWithTierHeaders(t *testing.T) {
+	h, reg := newRemoteGateway(t, &stubFetcher{res: &transport.FetchResult{
+		Body:       []byte("reconstructed document"),
+		Replica:    "b-replica",
+		Capability: "fetch-degraded",
+		Rounds:     1,
+	}})
+	rec := get(t, h, "/doc/the-draft.xml?q=mobile")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200", rec.Code)
+	}
+	if got := rec.Body.String(); got != "reconstructed document" {
+		t.Errorf("body = %q", got)
+	}
+	if got := rec.Header().Get("X-Mobweb-Replica"); got != "b-replica" {
+		t.Errorf("X-Mobweb-Replica = %q, want b-replica", got)
+	}
+	if got := rec.Header().Get("X-Mobweb-Capability"); got != "fetch-degraded" {
+		t.Errorf("X-Mobweb-Capability = %q, want fetch-degraded", got)
+	}
+	logged := reg.FetchLog().Recent(0)
+	if len(logged) != 1 || logged[0].Origin != "gateway" || logged[0].Err != "" || logged[0].Replica != "b-replica" {
+		t.Errorf("gateway fetch log = %+v", logged)
+	}
+}
+
+func TestDocRemoteDefaultsCapabilityHeaderToFull(t *testing.T) {
+	h, _ := newRemoteGateway(t, &stubFetcher{res: &transport.FetchResult{Body: []byte("x")}})
+	rec := get(t, h, "/doc/the-draft.xml")
+	if got := rec.Header().Get("X-Mobweb-Capability"); got != "full" {
+		t.Errorf("X-Mobweb-Capability = %q, want full", got)
+	}
+	if rec.Header().Get("X-Mobweb-Replica") != "" {
+		t.Error("X-Mobweb-Replica set despite an anonymous server")
+	}
+}
+
+func TestDocRemoteShedBecomes503WithRetryAfter(t *testing.T) {
+	h, reg := newRemoteGateway(t, &stubFetcher{
+		err: fmt.Errorf("round 1: %w", &transport.ShedError{RetryAfter: 1500 * time.Millisecond}),
+	})
+	rec := get(t, h, "/doc/the-draft.xml")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", rec.Code)
+	}
+	// 1.5 s rounds UP: retrying at 1 s would beat the hint.
+	if got := rec.Header().Get("Retry-After"); got != "2" {
+		t.Errorf("Retry-After = %q, want 2", got)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["gateway.unavailable"] != 1 {
+		t.Errorf("gateway.unavailable = %d, want 1", snap.Counters["gateway.unavailable"])
+	}
+	logged := reg.FetchLog().Recent(0)
+	if len(logged) != 1 || logged[0].Err != "shed" {
+		t.Errorf("fetch log class = %+v, want shed", logged)
+	}
+}
+
+func TestDocRemoteBareShedGetsMinimumRetryAfter(t *testing.T) {
+	h, _ := newRemoteGateway(t, &stubFetcher{err: transport.ErrShed})
+	rec := get(t, h, "/doc/the-draft.xml")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", rec.Code)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "1" {
+		t.Errorf("Retry-After = %q, want the 1 s minimum", got)
+	}
+}
+
+func TestDocRemoteDegradedBecomes503(t *testing.T) {
+	h, reg := newRemoteGateway(t, &stubFetcher{
+		err: fmt.Errorf("fetch refused by down fleet: %w", transport.ErrDegraded),
+	})
+	rec := get(t, h, "/doc/the-draft.xml")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("degraded 503 carries no Retry-After")
+	}
+	logged := reg.FetchLog().Recent(0)
+	if len(logged) != 1 || logged[0].Err != "degraded" {
+		t.Errorf("fetch log class = %+v, want degraded", logged)
+	}
+}
+
+func TestDocRemoteOtherErrorsBecome502(t *testing.T) {
+	h, reg := newRemoteGateway(t, &stubFetcher{err: transport.ErrRoundsExhausted})
+	rec := get(t, h, "/doc/the-draft.xml")
+	if rec.Code != http.StatusBadGateway {
+		t.Fatalf("status = %d, want 502", rec.Code)
+	}
+	logged := reg.FetchLog().Recent(0)
+	if len(logged) != 1 || logged[0].Err != "rounds-exhausted" {
+		t.Errorf("fetch log class = %+v, want rounds-exhausted", logged)
+	}
+}
+
+func TestDocRemoteBadParamsRejectedBeforeFetch(t *testing.T) {
+	h, _ := newRemoteGateway(t, &stubFetcher{res: &transport.FetchResult{Body: []byte("x")}})
+	if rec := get(t, h, "/doc/the-draft.xml?lod=bogus"); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad lod status = %d, want 400", rec.Code)
+	}
+	if rec := get(t, h, "/doc/the-draft.xml?notion=bogus"); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad notion status = %d, want 400", rec.Code)
+	}
+}
+
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 1},
+		{-time.Second, 1},
+		{250 * time.Millisecond, 1},
+		{time.Second, 1},
+		{1001 * time.Millisecond, 2},
+		{5 * time.Second, 5},
+	}
+	for _, c := range cases {
+		if got := retryAfterSeconds(c.d); got != c.want {
+			t.Errorf("retryAfterSeconds(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}

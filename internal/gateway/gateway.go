@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"mobweb/internal/content"
 	"mobweb/internal/core"
@@ -31,7 +32,15 @@ import (
 	"mobweb/internal/planner"
 	"mobweb/internal/search"
 	"mobweb/internal/textproc"
+	"mobweb/internal/transport"
 )
+
+// Fetcher downloads a document over the FT-MRT packet transport.
+// *transport.Client satisfies it, whether dialled straight at one
+// replica or at a shard front.
+type Fetcher interface {
+	Fetch(opts transport.FetchOptions) (*transport.FetchResult, error)
+}
 
 // Handler serves the gateway endpoints. Construct with New or
 // NewWithPlanner.
@@ -39,9 +48,18 @@ type Handler struct {
 	engine  *search.Engine
 	planner *planner.Planner
 	mux     *http.ServeMux
+	// fetcher, when set, backs GET /doc with the packet-transport tier
+	// instead of the local engine; see SetFetcher.
+	fetcher Fetcher
 	// requests counts gateway requests when a metrics registry is
 	// attached via SetMetrics; nil (no-op) otherwise.
 	requests *obs.Counter
+	// unavailable counts /doc requests refused with 503 because the
+	// fetch tier shed them or was degraded below fetching.
+	unavailable *obs.Counter
+	// fetchLog receives one record per transport-backed /doc request
+	// when a registry is attached.
+	fetchLog *obs.FetchLog
 }
 
 var _ http.Handler = (*Handler)(nil)
@@ -95,10 +113,29 @@ func (h *Handler) SetMetrics(reg *obs.Registry) {
 		return
 	}
 	h.requests = reg.Counter("gateway.requests")
+	h.unavailable = reg.Counter("gateway.unavailable")
+	h.fetchLog = reg.FetchLog()
 	reg.RegisterProbe("planner", func() any { return h.planner.Stats() })
 	reg.RegisterProbe("framecache", func() any { return h.planner.FrameStats() })
 	h.mux.Handle("GET /debug/metrics", obs.MetricsHandler(reg))
 	h.mux.Handle("GET /debug/fetches", obs.FetchesHandler(reg))
+}
+
+// SetFetcher routes GET /doc through the FT-MRT packet transport — a
+// client dialled at a replica or shard front — instead of the local
+// engine. Call it once, before serving; a nil fetcher is a no-op.
+//
+// In this mode the gateway translates the fetch tier's robustness
+// signals into stock HTTP: a shed fetch (admission control) or a fleet
+// degraded below fetching becomes 503 Service Unavailable with a
+// Retry-After header, so conventional browsers and proxies back off
+// without understanding the packet protocol. Successful responses name
+// the serving tier in X-Mobweb-Replica and X-Mobweb-Capability headers.
+func (h *Handler) SetFetcher(f Fetcher) {
+	if f == nil {
+		return
+	}
+	h.fetcher = f
 }
 
 // ServeHTTP implements http.Handler.
@@ -218,6 +255,10 @@ func writePlanError(w http.ResponseWriter, err error) {
 }
 
 func (h *Handler) handleDoc(w http.ResponseWriter, r *http.Request) {
+	if h.fetcher != nil {
+		h.handleDocRemote(w, r)
+		return
+	}
 	sc, ok := h.engine.SC(r.PathValue("name"))
 	if !ok {
 		http.Error(w, "unknown document", http.StatusNotFound)
@@ -293,6 +334,98 @@ func (h *Handler) handleDoc(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// handleDocRemote serves GET /doc off the packet transport (SetFetcher
+// mode): the reconstructed document body, with the serving replica and
+// capability tier in response headers, and the fetch tier's shed /
+// degraded refusals mapped onto 503 + Retry-After.
+func (h *Handler) handleDocRemote(w http.ResponseWriter, r *http.Request) {
+	query := r.URL.Query()
+	opts := transport.FetchOptions{
+		Doc:     r.PathValue("name"),
+		Query:   query.Get("q"),
+		Caching: true,
+	}
+	if s := query.Get("lod"); s != "" {
+		lod, err := planner.ParseLOD(s)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		opts.LOD = lod
+	}
+	if s := query.Get("notion"); s != "" {
+		notion, err := planner.ParseNotion(s)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		opts.Notion = notion
+	}
+	res, err := h.fetcher.Fetch(opts)
+	rec := obs.FetchRecord{Doc: opts.Doc, Origin: "gateway", Err: transport.ErrorClass(err)}
+	if res != nil {
+		rec.Rounds = res.Rounds
+		rec.Reconnects = res.Reconnects
+		rec.Received = res.PacketsReceived
+		rec.Corrupted = res.PacketsCorrupted
+		rec.Held = res.HeldPackets
+		rec.Replica = res.Replica
+	}
+	h.fetchLog.Record(rec)
+	if err != nil {
+		h.writeFetchError(w, err)
+		return
+	}
+	if res.Replica != "" {
+		w.Header().Set("X-Mobweb-Replica", res.Replica)
+	}
+	capability := res.Capability
+	if capability == "" {
+		capability = transport.CapFull.String()
+	}
+	w.Header().Set("X-Mobweb-Capability", capability)
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write(res.Body)
+}
+
+// writeFetchError maps transport-tier fetch errors onto HTTP statuses:
+// shed and degraded refusals are the fleet protecting itself — 503 with
+// a Retry-After so stock HTTP clients back off — and anything else is a
+// 502 from the gateway's point of view (the backend tier failed).
+func (h *Handler) writeFetchError(w http.ResponseWriter, err error) {
+	var shed *transport.ShedError
+	switch {
+	case errors.As(err, &shed):
+		h.unavailable.Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(shed.RetryAfter)))
+		http.Error(w, "fetch tier shedding load", http.StatusServiceUnavailable)
+	case errors.Is(err, transport.ErrShed):
+		h.unavailable.Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(0)))
+		http.Error(w, "fetch tier shedding load", http.StatusServiceUnavailable)
+	case errors.Is(err, transport.ErrDegraded):
+		h.unavailable.Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(0)))
+		http.Error(w, "fetch tier degraded below document fetching", http.StatusServiceUnavailable)
+	default:
+		http.Error(w, err.Error(), http.StatusBadGateway)
+	}
+}
+
+// retryAfterSeconds converts the shed hint to whole seconds for the
+// Retry-After header, rounding up so the client never retries before
+// the hinted moment; non-positive hints become the minimum of 1 s.
+func retryAfterSeconds(d time.Duration) int {
+	if d <= 0 {
+		return 1
+	}
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

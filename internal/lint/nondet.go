@@ -24,6 +24,7 @@ var NondetPackages = []string{
 	"mobweb/internal/obs",
 	"mobweb/internal/packet",
 	"mobweb/internal/planner",
+	"mobweb/internal/shard",
 	"mobweb/internal/sim",
 	"mobweb/internal/trace",
 	"mobweb/internal/transport",

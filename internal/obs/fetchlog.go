@@ -29,9 +29,17 @@ type FetchRecord struct {
 	// stream (server records; selective retransmission).
 	Have int `json:"have,omitempty"`
 	// Alpha and Gamma are the final §4.4 channel estimate and requested
-	// redundancy ratio, when adaptive γ ran.
+	// redundancy ratio, when adaptive γ ran. Server records carry the
+	// effective γ the stream was planned with (0 means server default),
+	// which surfaces the degraded-mode clamp.
 	Alpha float64 `json:"alpha,omitempty"`
 	Gamma float64 `json:"gamma,omitempty"`
+	// Replica names the replica that served (server records) or finished
+	// (front-tier records) the stream, in a sharded fleet.
+	Replica string `json:"replica,omitempty"`
+	// Reroutes counts mid-stream replica switches the front tier performed
+	// for this fetch (front-tier records).
+	Reroutes int `json:"reroutes,omitempty"`
 	// Events is the fetch's traced timeline, when the fetch carried a
 	// Trace.
 	Events []Event `json:"events,omitempty"`

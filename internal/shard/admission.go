@@ -1,0 +1,102 @@
+package shard
+
+import (
+	"sync"
+	"time"
+
+	"mobweb/internal/transport"
+)
+
+// GateOptions tunes one tier's admission budget.
+type GateOptions struct {
+	// MaxInFlight caps concurrent fetch streams; zero means 64, negative
+	// disables the gate (everything admitted).
+	MaxInFlight int
+	// ResumeHeadroom reserves slots that only resume/retransmission
+	// rounds (non-empty Have list) may use, so a burst of new fetches
+	// cannot starve the rounds of fetches already under way; zero means
+	// MaxInFlight/4 (minimum 1).
+	ResumeHeadroom int
+	// RetryAfter is the hint attached to shed refusals; zero means
+	// 250 ms.
+	RetryAfter time.Duration
+}
+
+func (o GateOptions) withDefaults() GateOptions {
+	if o.MaxInFlight == 0 {
+		o.MaxInFlight = 64
+	}
+	if o.ResumeHeadroom <= 0 {
+		o.ResumeHeadroom = o.MaxInFlight / 4
+		if o.ResumeHeadroom < 1 {
+			o.ResumeHeadroom = 1
+		}
+	}
+	if o.ResumeHeadroom >= o.MaxInFlight {
+		o.ResumeHeadroom = o.MaxInFlight - 1
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = 250 * time.Millisecond
+	}
+	return o
+}
+
+// Gate is a concurrency-budget admission controller implementing
+// transport.Admitter: new fetches are admitted while the budget minus
+// the resume headroom has room; resume rounds draw on the full budget.
+// Both tiers use it — each replica guards its own planner/encoder
+// capacity, and the front tier guards the fleet's aggregate. Safe for
+// concurrent use.
+type Gate struct {
+	opts     GateOptions
+	disabled bool
+
+	mu       sync.Mutex
+	inflight int
+}
+
+// NewGate builds a gate; a negative MaxInFlight disables it.
+func NewGate(opts GateOptions) *Gate {
+	disabled := opts.MaxInFlight < 0
+	return &Gate{opts: opts.withDefaults(), disabled: disabled}
+}
+
+// Admit implements transport.Admitter. The returned release is
+// idempotent, so error paths may defer it even when a success path
+// already released explicitly.
+func (g *Gate) Admit(resume bool) (release func(), retryAfter time.Duration, ok bool) {
+	if g == nil || g.disabled {
+		return func() {}, 0, true
+	}
+	limit := g.opts.MaxInFlight
+	if !resume {
+		limit -= g.opts.ResumeHeadroom
+	}
+	g.mu.Lock()
+	if g.inflight >= limit {
+		g.mu.Unlock()
+		return nil, g.opts.RetryAfter, false
+	}
+	g.inflight++
+	g.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			g.mu.Lock()
+			g.inflight--
+			g.mu.Unlock()
+		})
+	}, 0, true
+}
+
+// InFlight reports the current admitted-stream count.
+func (g *Gate) InFlight() int {
+	if g == nil || g.disabled {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.inflight
+}
+
+var _ transport.Admitter = (*Gate)(nil)

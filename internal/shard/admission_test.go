@@ -1,0 +1,89 @@
+package shard
+
+import (
+	"testing"
+	"time"
+)
+
+func TestGateAdmitsUpToBudget(t *testing.T) {
+	g := NewGate(GateOptions{MaxInFlight: 4, ResumeHeadroom: 2})
+	var releases []func()
+	for i := 0; i < 2; i++ {
+		release, _, ok := g.Admit(false)
+		if !ok {
+			t.Fatalf("new fetch %d refused below budget", i)
+		}
+		releases = append(releases, release)
+	}
+	// New fetches exhausted their share (max - headroom = 2)…
+	if _, retryAfter, ok := g.Admit(false); ok {
+		t.Fatal("new fetch admitted past the non-resume budget")
+	} else if retryAfter <= 0 {
+		t.Error("shed refusal carries no retry-after hint")
+	}
+	// …but resume rounds still fit in the reserved headroom.
+	for i := 0; i < 2; i++ {
+		release, _, ok := g.Admit(true)
+		if !ok {
+			t.Fatalf("resume round %d starved despite headroom", i)
+		}
+		releases = append(releases, release)
+	}
+	if _, _, ok := g.Admit(true); ok {
+		t.Fatal("resume admitted past the full budget")
+	}
+	if got := g.InFlight(); got != 4 {
+		t.Fatalf("InFlight = %d, want 4", got)
+	}
+	for _, r := range releases {
+		r()
+	}
+	if got := g.InFlight(); got != 0 {
+		t.Fatalf("InFlight after releases = %d, want 0", got)
+	}
+	if _, _, ok := g.Admit(false); !ok {
+		t.Fatal("fetch refused after all releases")
+	}
+}
+
+func TestGateReleaseIdempotent(t *testing.T) {
+	g := NewGate(GateOptions{MaxInFlight: 2})
+	release, _, ok := g.Admit(false)
+	if !ok {
+		t.Fatal("first fetch refused")
+	}
+	release()
+	release()
+	if got := g.InFlight(); got != 0 {
+		t.Fatalf("double release drove InFlight to %d", got)
+	}
+}
+
+func TestGateDisabled(t *testing.T) {
+	g := NewGate(GateOptions{MaxInFlight: -1})
+	for i := 0; i < 1000; i++ {
+		if _, _, ok := g.Admit(false); !ok {
+			t.Fatal("disabled gate refused a fetch")
+		}
+	}
+	var nilGate *Gate
+	if _, _, ok := nilGate.Admit(false); !ok {
+		t.Fatal("nil gate refused a fetch")
+	}
+}
+
+func TestGateRetryAfterConfigurable(t *testing.T) {
+	g := NewGate(GateOptions{MaxInFlight: 1, RetryAfter: 123 * time.Millisecond})
+	release, _, ok := g.Admit(true)
+	if !ok {
+		t.Fatal("first fetch refused")
+	}
+	defer release()
+	_, retryAfter, ok := g.Admit(true)
+	if ok {
+		t.Fatal("second fetch admitted past a budget of 1")
+	}
+	if retryAfter != 123*time.Millisecond {
+		t.Fatalf("retryAfter = %v, want 123ms", retryAfter)
+	}
+}

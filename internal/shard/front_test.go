@@ -1,0 +1,516 @@
+package shard
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"mobweb/internal/core"
+	"mobweb/internal/corpus"
+	"mobweb/internal/obs"
+	"mobweb/internal/transport"
+)
+
+// frontRecord returns the front's most recent fetch-log record for doc.
+func frontRecord(t *testing.T, fl *testFleet, doc string) obs.FetchRecord {
+	t.Helper()
+	for _, rec := range fl.frontReg.FetchLog().Recent(0) {
+		if rec.Doc == doc {
+			return rec
+		}
+	}
+	t.Fatalf("no front fetch-log record for %s", doc)
+	return obs.FetchRecord{}
+}
+
+func TestFetchThroughFrontCleanFleet(t *testing.T) {
+	fl := startFleet(t, 3, transport.ServerOptions{}, Options{})
+	client := fl.client(t)
+	doc := corpus.DraftName
+	res, err := client.Fetch(transport.FetchOptions{Doc: doc, Caching: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := singleServerBody(t, fl.replicas[0], doc)
+	if !bytes.Equal(res.Body, want) {
+		t.Error("front-proxied body differs from single-server fetch")
+	}
+	rec := frontRecord(t, fl, doc)
+	home := fl.replicas[fl.home(doc)].name
+	if rec.Replica != home {
+		t.Errorf("served by %q, want home replica %q", rec.Replica, home)
+	}
+	if rec.Reroutes != 0 {
+		t.Errorf("clean fetch recorded %d reroutes", rec.Reroutes)
+	}
+	if got := fl.counter("front.fetches"); got != 1 {
+		t.Errorf("front.fetches = %d, want 1", got)
+	}
+}
+
+func TestSearchThroughFront(t *testing.T) {
+	fl := startFleet(t, 2, transport.ServerOptions{}, Options{})
+	client := fl.client(t)
+	hits, err := client.Search("mobile web browsing", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 || hits[0].Name != corpus.DraftName {
+		t.Fatalf("search through front returned %v", hits)
+	}
+}
+
+// killAt arranges for replica to be killed once progress reaches the
+// given frame count.
+func killAt(frames int, replica *testReplica, progress *int, killed *sync.WaitGroup) func(transport.Progress) {
+	var once sync.Once
+	return func(transport.Progress) {
+		*progress++
+		if *progress >= frames {
+			once.Do(func() {
+				killed.Add(1)
+				go func() {
+					defer killed.Done()
+					replica.Kill()
+				}()
+			})
+		}
+	}
+}
+
+func TestFetchSurvivesReplicaKillMidStream(t *testing.T) {
+	fl := startFleet(t, 3, transport.ServerOptions{PacketDelay: 2 * time.Millisecond}, Options{
+		Retry: transport.RetryPolicy{Seed: 7, BaseDelay: 10 * time.Millisecond},
+	})
+	doc := corpus.DraftName
+	want := singleServerBody(t, fl.replicas[(fl.home(doc)+1)%3], doc)
+
+	client := fl.client(t)
+	var progress int
+	var killed sync.WaitGroup
+	res, err := client.Fetch(transport.FetchOptions{
+		Doc:        doc,
+		Caching:    true,
+		OnProgress: killAt(5, fl.replicas[fl.home(doc)], &progress, &killed),
+	})
+	killed.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Body, want) {
+		t.Fatal("re-routed fetch body differs from single-server fetch")
+	}
+	// The replica death was absorbed by the front: the client's own
+	// connection never dropped and no extra round was spent.
+	if res.Reconnects != 0 {
+		t.Errorf("client redialed %d times; the front should absorb the kill", res.Reconnects)
+	}
+	if res.Rounds != 1 {
+		t.Errorf("fetch used %d rounds, want 1", res.Rounds)
+	}
+	if got := fl.counter("front.reroutes"); got < 1 {
+		t.Errorf("front.reroutes = %d, want >= 1", got)
+	}
+	rec := frontRecord(t, fl, doc)
+	if rec.Reroutes < 1 {
+		t.Errorf("front fetch log recorded %d reroutes, want >= 1", rec.Reroutes)
+	}
+	if rec.Replica == fl.replicas[fl.home(doc)].name {
+		t.Errorf("fetch log credits the killed home replica %q", rec.Replica)
+	}
+	// Resume is strictly cheaper than starting over: the second replica
+	// skipped the frames already relayed, so the client saw fewer
+	// transmissions than two from-scratch streams would cost.
+	if layoutN := res.HeldPackets; res.PacketsReceived >= layoutN+progress {
+		t.Errorf("received %d packets with %d relayed before the kill; resume not cheaper than restart", res.PacketsReceived, progress)
+	}
+}
+
+// TestChaosTwoReplicaKillsOneFetch is the -race soak: two of three
+// replicas die mid-stream within one fetch, and the fetch still
+// completes byte-identically on the third. The Chaos name routes it into
+// the CI chaos-soak step.
+func TestChaosTwoReplicaKillsOneFetch(t *testing.T) {
+	fl := startFleet(t, 3, transport.ServerOptions{PacketDelay: 2 * time.Millisecond}, Options{
+		Retry: transport.RetryPolicy{Seed: 11, BaseDelay: 10 * time.Millisecond},
+	})
+	doc := corpus.DraftName
+	order := fl.ring.Successors(doc, nil)
+	want := singleServerBody(t, fl.replicas[order[2]], doc)
+
+	client := fl.client(t)
+	var progress int
+	var killed sync.WaitGroup
+	first := killAt(5, fl.replicas[order[0]], &progress, &killed)
+	var once sync.Once
+	res, err := client.Fetch(transport.FetchOptions{
+		Doc:     doc,
+		Caching: true,
+		OnProgress: func(p transport.Progress) {
+			first(p) // increments progress
+			if progress >= 15 {
+				once.Do(func() {
+					killed.Add(1)
+					go func() {
+						defer killed.Done()
+						fl.replicas[order[1]].Kill()
+					}()
+				})
+			}
+		},
+	})
+	killed.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Body, want) {
+		t.Fatal("doubly re-routed fetch body differs from single-server fetch")
+	}
+	if res.Reconnects != 0 {
+		t.Errorf("client redialed %d times; the front should absorb both kills", res.Reconnects)
+	}
+	rec := frontRecord(t, fl, doc)
+	if rec.Reroutes != 2 {
+		t.Errorf("front fetch log recorded %d reroutes, want 2", rec.Reroutes)
+	}
+	if rec.Replica != fl.replicas[order[2]].name {
+		t.Errorf("final serving replica %q, want %q", rec.Replica, fl.replicas[order[2]].name)
+	}
+}
+
+// TestChaosReplicaKillAndRestart drills the whole-replica restart: the
+// home replica dies mid-fetch, gets marked down, comes back, passes the
+// recovery hysteresis, and takes its keyspace back.
+func TestChaosReplicaKillAndRestart(t *testing.T) {
+	fl := startFleet(t, 2, transport.ServerOptions{PacketDelay: 2 * time.Millisecond}, Options{
+		Retry:   transport.RetryPolicy{Seed: 3, BaseDelay: 10 * time.Millisecond},
+		Monitor: MonitorOptions{Every: 20 * time.Millisecond, DownAfter: 2, UpAfter: 2},
+	})
+	doc := corpus.DraftName
+	home := fl.home(doc)
+
+	client := fl.client(t)
+	var progress int
+	var killed sync.WaitGroup
+	res, err := client.Fetch(transport.FetchOptions{
+		Doc:        doc,
+		Caching:    true,
+		OnProgress: killAt(5, fl.replicas[home], &progress, &killed),
+	})
+	killed.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Body == nil {
+		t.Fatal("fetch across the kill did not reconstruct")
+	}
+
+	// The monitor (fed by probe failures and the proxy's failure report)
+	// marks the dead replica down.
+	waitFor(t, 5*time.Second, func() bool {
+		st, _ := fl.front.Monitor().Status(home)
+		return st == StateDown
+	}, "home replica never marked down")
+
+	fl.replicas[home].Restart()
+	waitFor(t, 5*time.Second, func() bool {
+		st, _ := fl.front.Monitor().Status(home)
+		return st == StateHealthy
+	}, "restarted replica never recovered")
+
+	// The restarted replica owns its keyspace again.
+	if _, err := client.Fetch(transport.FetchOptions{Doc: doc, Caching: true}); err != nil {
+		t.Fatal(err)
+	}
+	rec := frontRecord(t, fl, doc)
+	if rec.Replica != fl.replicas[home].name {
+		t.Errorf("post-restart fetch served by %q, want recovered home %q", rec.Replica, fl.replicas[home].name)
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal(msg)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestFrontShedsOverBudget(t *testing.T) {
+	fl := startFleet(t, 2, transport.ServerOptions{}, Options{
+		Gate: GateOptions{MaxInFlight: 2, ResumeHeadroom: 1},
+	})
+	// Occupy the whole new-fetch share of the front's budget.
+	release, _, ok := fl.front.Gate().Admit(false)
+	if !ok {
+		t.Fatal("could not occupy the gate")
+	}
+	defer release()
+
+	client := fl.client(t)
+	_, err := client.Fetch(transport.FetchOptions{Doc: corpus.DraftName})
+	if !errors.Is(err, transport.ErrShed) {
+		t.Fatalf("fetch over budget returned %v, want ErrShed", err)
+	}
+	var shed *transport.ShedError
+	if !errors.As(err, &shed) {
+		t.Fatalf("shed error has no *ShedError in its chain: %v", err)
+	}
+	if shed.RetryAfter <= 0 {
+		t.Error("shed response carried no retry-after hint")
+	}
+	if got := fl.counter("front.sheds"); got != 1 {
+		t.Errorf("front.sheds = %d, want 1", got)
+	}
+	// Releasing the budget admits the retry.
+	release()
+	if _, err := client.Fetch(transport.FetchOptions{Doc: corpus.DraftName}); err != nil {
+		t.Fatalf("fetch after release failed: %v", err)
+	}
+}
+
+func TestReplicaShedRelayedThroughFront(t *testing.T) {
+	gate := NewGate(GateOptions{MaxInFlight: 1, RetryAfter: 99 * time.Millisecond})
+	fl := startFleet(t, 1, transport.ServerOptions{Admission: gate}, Options{})
+	release, _, ok := gate.Admit(true)
+	if !ok {
+		t.Fatal("could not occupy the replica gate")
+	}
+	defer release()
+
+	client := fl.client(t)
+	_, err := client.Fetch(transport.FetchOptions{Doc: corpus.DraftName})
+	if !errors.Is(err, transport.ErrShed) {
+		t.Fatalf("fetch against a shedding replica returned %v, want ErrShed", err)
+	}
+	var shed *transport.ShedError
+	if !errors.As(err, &shed) || shed.RetryAfter != 99*time.Millisecond {
+		t.Fatalf("replica's retry-after hint lost through the front: %v", err)
+	}
+}
+
+func TestFrontRoutesAroundDegradedReplica(t *testing.T) {
+	fl := startFleet(t, 2, transport.ServerOptions{}, Options{})
+	doc := corpus.DraftName
+	home := fl.home(doc)
+	fl.replicas[home].capability.Set(transport.CapSearchOnly)
+
+	client := fl.client(t)
+	res, err := client.Fetch(transport.FetchOptions{Doc: doc, Caching: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Body == nil {
+		t.Fatal("fetch around a search-only home did not reconstruct")
+	}
+	rec := frontRecord(t, fl, doc)
+	other := fl.replicas[1-home].name
+	if rec.Replica != other {
+		t.Errorf("served by %q, want the fully-capable replica %q", rec.Replica, other)
+	}
+	// The home refused exactly once, at the capability tier.
+	snap := fl.replicas[home].reg.Snapshot()
+	if got := snap.Counters["serve.degraded_refusals"]; got != 1 {
+		t.Errorf("home serve.degraded_refusals = %d, want 1", got)
+	}
+}
+
+func TestFrontAllReplicasFetchRefusedDegraded(t *testing.T) {
+	fl := startFleet(t, 2, transport.ServerOptions{}, Options{})
+	for _, r := range fl.replicas {
+		r.capability.Set(transport.CapSearchOnly)
+	}
+	client := fl.client(t)
+	_, err := client.Fetch(transport.FetchOptions{Doc: corpus.DraftName})
+	if !errors.Is(err, transport.ErrDegraded) {
+		t.Fatalf("fetch against a search-only fleet returned %v, want ErrDegraded", err)
+	}
+	// The fallback tree bottoms out at search, which still works.
+	hits, serr := client.Search("mobile web browsing", 3)
+	if serr != nil || len(hits) == 0 {
+		t.Fatalf("search against a search-only fleet failed: %v (%d hits)", serr, len(hits))
+	}
+}
+
+func TestPrefetchFallsBackToFullReplica(t *testing.T) {
+	fl := startFleet(t, 2, transport.ServerOptions{}, Options{})
+	doc := corpus.DraftName
+	home := fl.home(doc)
+	fl.replicas[home].capability.Set(transport.CapFetchDegraded)
+
+	client := fl.client(t)
+	res, err := client.Prefetch(transport.FetchOptions{Doc: doc}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Received == 0 {
+		t.Fatal("prefetch received nothing despite a fully-capable replica on the ring")
+	}
+	rec := frontRecord(t, fl, doc)
+	if rec.Replica != fl.replicas[1-home].name {
+		t.Errorf("prefetch served by %q, want the CapFull replica %q", rec.Replica, fl.replicas[1-home].name)
+	}
+}
+
+func TestDegradedGammaClampThroughFront(t *testing.T) {
+	fl := startFleet(t, 1, transport.ServerOptions{DegradedGammaMax: 1.25}, Options{})
+	fl.replicas[0].capability.Set(transport.CapFetchDegraded)
+	client := fl.client(t)
+	// Ask for far more redundancy than the degraded tier serves.
+	res, err := client.Fetch(transport.FetchOptions{Doc: corpus.DraftName, Gamma: 2.0, Caching: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Body == nil {
+		t.Fatal("degraded fetch did not reconstruct")
+	}
+	// The replica's own stream record shows the effective γ: clamped to
+	// the degraded ceiling, not the 2.0 the client asked for.
+	var rec obs.FetchRecord
+	found := false
+	for _, r := range fl.replicas[0].reg.FetchLog().Recent(0) {
+		if r.Doc == corpus.DraftName && r.Origin == "server" {
+			rec, found = r, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no server-side fetch record on the replica")
+	}
+	if rec.Gamma != 1.25 {
+		t.Errorf("replica served γ = %v, want the degraded clamp 1.25", rec.Gamma)
+	}
+}
+
+// TestRebaseAcrossReplicaSwitch covers the satellite: the serving
+// replica dies mid-stream and its successor builds a *different* layout
+// (different default γ — corpus drift). The front refuses to splice
+// mismatched geometries and cuts the client loose; the client's own
+// redial/resume path re-enters through the front, reaches the
+// survivor, and Receiver.Rebase carries the held packets across the
+// layout change — cheaper than starting over, byte-identical at the
+// end.
+func TestRebaseAcrossReplicaSwitch(t *testing.T) {
+	a := startReplica(t, "a-replica", transport.ServerOptions{
+		Defaults:    core.Config{Gamma: 1.5},
+		PacketDelay: 2 * time.Millisecond,
+	})
+	b := startReplica(t, "b-replica", transport.ServerOptions{
+		Defaults:    core.Config{Gamma: 2.0},
+		PacketDelay: 2 * time.Millisecond,
+	})
+	fl := startFrontOver(t, []*testReplica{a, b}, Options{
+		Retry: transport.RetryPolicy{Seed: 5, BaseDelay: 10 * time.Millisecond},
+	})
+	doc := corpus.DraftName
+	home := fl.home(doc)
+	survivor := fl.replicas[1-home]
+	want := singleServerBody(t, survivor, doc)
+
+	client := fl.client(t)
+	tr := obs.NewTrace(0)
+	var progress int
+	var killed sync.WaitGroup
+	res, err := client.Fetch(transport.FetchOptions{
+		Doc:        doc,
+		Caching:    true,
+		Trace:      tr,
+		OnProgress: killAt(5, fl.replicas[home], &progress, &killed),
+	})
+	killed.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Body, want) {
+		t.Fatal("rebased fetch body differs from single-server fetch")
+	}
+	// The layout mismatch forced the client through its own redial —
+	// and the resume round rebased the held packets instead of starting
+	// over.
+	if res.Reconnects < 1 {
+		t.Errorf("reconnects = %d; the layout mismatch should have cut the client loose", res.Reconnects)
+	}
+	var sawRedial, sawRebase bool
+	for _, ev := range tr.Events() {
+		switch ev.Type {
+		case obs.EventRedial:
+			sawRedial = true
+		case obs.EventRebase:
+			sawRebase = true
+			if ev.N == 0 {
+				t.Error("rebase carried zero packets across the replica switch")
+			}
+		}
+	}
+	if !sawRedial || !sawRebase {
+		t.Fatalf("trace missing redial/rebase events (redial=%v rebase=%v)", sawRedial, sawRebase)
+	}
+}
+
+// TestFrontRedialJitterDeterministic pins the satellite fix: the
+// front's failover backoff honours RetryPolicy.Seed, so two fronts
+// configured identically replay identical re-dial schedules — the
+// property chaos soaks depend on.
+func TestFrontRedialJitterDeterministic(t *testing.T) {
+	schedule := func(seed int64) []time.Duration {
+		f := &Front{opts: Options{Retry: transport.RetryPolicy{Seed: seed}}}
+		rng := f.jitter(1)
+		out := make([]time.Duration, 8)
+		for i := range out {
+			out[i] = f.opts.Retry.Backoff(i, rng)
+		}
+		return out
+	}
+	a, b := schedule(42), schedule(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("attempt %d: seeded front backoff diverged: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := schedule(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical front backoff schedules")
+	}
+	// Distinct connections under one seed get distinct (but still
+	// deterministic) schedules — no failover herd.
+	f := &Front{opts: Options{Retry: transport.RetryPolicy{Seed: 42}}}
+	r1, r2 := f.jitter(1), f.jitter(2)
+	same = true
+	for i := 0; i < 8; i++ {
+		if f.opts.Retry.Backoff(i, r1) != f.opts.Retry.Backoff(i, r2) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("two connections share one backoff schedule")
+	}
+}
+
+func TestFrontMetricsProbes(t *testing.T) {
+	fl := startFleet(t, 2, transport.ServerOptions{}, Options{})
+	fl.front.Monitor().CheckOnce(nil)
+	snap := fl.frontReg.Snapshot()
+	reps, ok := snap.Probes["replicas"].(map[string]replicaHealth)
+	if !ok {
+		t.Fatalf("replicas probe payload has type %T", snap.Probes["replicas"])
+	}
+	if len(reps) != 2 {
+		t.Fatalf("replicas probe lists %d replicas, want 2", len(reps))
+	}
+	capPayload, ok := snap.Probes["capability"].(map[string]string)
+	if !ok || capPayload["mode"] == "" {
+		t.Fatalf("capability probe payload = %v", snap.Probes["capability"])
+	}
+}

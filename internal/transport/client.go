@@ -62,6 +62,41 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	return p
 }
 
+// Backoff returns the jittered wait before redial attempt (0-based):
+// exponential growth from BaseDelay capped at MaxDelay, with full jitter
+// over the upper half of the window. rng is the caller's seeded source
+// (see JitterSource); the policy holds no state, so the shard front
+// tier's multi-address re-dial path replays the exact schedule a seeded
+// client would.
+func (p RetryPolicy) Backoff(attempt int, rng *rand.Rand) time.Duration {
+	p = p.withDefaults()
+	delay := p.BaseDelay
+	for i := 0; i < attempt && delay < p.MaxDelay; i++ {
+		delay *= 2
+	}
+	if delay > p.MaxDelay {
+		delay = p.MaxDelay
+	}
+	return jitterWait(delay, rng)
+}
+
+// JitterSource returns the seeded randomness feeding Backoff: a fixed
+// seed replays identical schedules run after run (chaos soaks, the
+// seeded load generator); zero draws a fresh per-caller seed, preserving
+// the herd-avoidance spread.
+func JitterSource(seed int64) *rand.Rand {
+	if seed == 0 {
+		//mobweb:nondet-ok fresh per-caller seed when none was given
+		seed = time.Now().UnixNano()
+	}
+	return rand.New(rand.NewSource(seed))
+}
+
+// jitterWait spreads one backoff wait over the upper half of its window.
+func jitterWait(delay time.Duration, rng *rand.Rand) time.Duration {
+	return delay/2 + time.Duration(rng.Int63n(int64(delay/2)+1))
+}
+
 const (
 	// defaultAlphaWeight is the EWMA smoothing weight for the client's
 	// channel-quality estimator when FetchOptions.AdaptGamma is set.
@@ -140,6 +175,37 @@ func Dial(addr string) (*Client, error) {
 	return c, nil
 }
 
+// DialMulti connects to the first reachable address and keeps the whole
+// list as redial targets: each redial moves to the next address
+// (wrapping), so a client pointed at a replica fleet fails over across
+// it instead of hammering a dead peer. The address rotation is
+// deterministic; only the backoff timing between attempts is randomized,
+// and RetryPolicy.Seed pins even that.
+func DialMulti(addrs ...string) (*Client, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("transport: DialMulti needs at least one address")
+	}
+	var conn net.Conn
+	var err error
+	cur := 0
+	for i := range addrs {
+		conn, err = net.Dial("tcp", addrs[i])
+		if err == nil {
+			cur = i
+			break
+		}
+	}
+	if conn == nil {
+		return nil, fmt.Errorf("transport: dial %v: %w", addrs, err)
+	}
+	c := NewClient(conn)
+	c.redial = func() (net.Conn, error) {
+		cur = (cur + 1) % len(addrs)
+		return net.Dial("tcp", addrs[cur])
+	}
+	return c, nil
+}
+
 // NewClient wraps an existing connection (e.g. a net.Pipe end in tests).
 // A client built this way cannot reconnect until SetRedial is called.
 func NewClient(conn net.Conn) *Client {
@@ -163,14 +229,9 @@ func (c *Client) Close() error { return c.conn.Close() }
 // the client's own seeded source, never the global one.
 func (c *Client) backoffWait(delay time.Duration) time.Duration {
 	if c.jitter == nil {
-		seed := c.Retry.Seed
-		if seed == 0 {
-			//mobweb:nondet-ok fresh per-client seed when the caller gave none
-			seed = time.Now().UnixNano()
-		}
-		c.jitter = rand.New(rand.NewSource(seed))
+		c.jitter = JitterSource(c.Retry.Seed)
 	}
-	return delay/2 + time.Duration(c.jitter.Int63n(int64(delay/2)+1))
+	return jitterWait(delay, c.jitter)
 }
 
 // deadline computes the per-operation I/O deadline: the read/write
@@ -217,29 +278,49 @@ func ctxErr(ctx context.Context, err error) error {
 
 // send writes one control message under a write deadline, so a wedged
 // peer (or dead link with full TCP buffers) cannot block forever.
-func (c *Client) send(ctx context.Context, req request) error {
+func (c *Client) send(ctx context.Context, req Request) error {
 	if err := c.conn.SetWriteDeadline(c.deadline(ctx)); err != nil {
 		return err
 	}
-	if err := writeJSON(c.w, req); err != nil {
+	if err := WriteJSONLine(c.w, req); err != nil {
 		return err
 	}
 	return c.w.Flush()
 }
 
-func (c *Client) readResponse(ctx context.Context) (response, error) {
+func (c *Client) readResponse(ctx context.Context) (Response, error) {
 	if err := c.conn.SetReadDeadline(c.deadline(ctx)); err != nil {
-		return response{}, err
+		return Response{}, err
 	}
 	line, err := c.r.ReadBytes('\n')
 	if err != nil {
-		return response{}, err
+		return Response{}, err
 	}
-	var resp response
+	var resp Response
 	if err := json.Unmarshal(line, &resp); err != nil {
-		return response{}, fmt.Errorf("%w: %v", ErrBadResponse, err)
+		return Response{}, fmt.Errorf("%w: %v", ErrBadResponse, err)
 	}
 	return resp, nil
+}
+
+// respRefusal maps a server refusal to its typed error: shed and
+// degraded refusals become errors matchable with errors.Is against
+// ErrShed / ErrDegraded, so callers walk the fallback tree (retry later,
+// pick another replica, drop prefetch traffic) instead of string
+// matching.
+func respRefusal(resp Response, op string) error {
+	switch {
+	case resp.Shed:
+		return &ShedError{RetryAfter: time.Duration(resp.RetryAfterMS) * time.Millisecond}
+	case resp.Degraded:
+		tier := resp.Capability
+		if tier == "" {
+			tier = "degraded"
+		}
+		return fmt.Errorf("transport: %s refused by %s replica: %w", op, tier, ErrDegraded)
+	default:
+		return fmt.Errorf("transport: %s: %s", op, resp.Error)
+	}
 }
 
 // reconnect redials after a connection failure with exponential backoff
@@ -286,7 +367,7 @@ func (c *Client) reconnect(ctx context.Context) error {
 
 // isConnError reports whether err looks like a transport/connection
 // failure worth reconnecting over, as opposed to a protocol-level error
-// (bad response, server-reported failure) that a new connection cannot
+// (bad Response, server-reported failure) that a new connection cannot
 // fix.
 func isConnError(err error) bool {
 	if err == nil {
@@ -322,7 +403,7 @@ func (c *Client) SearchContext(ctx context.Context, query string, limit int) ([]
 		return nil, fmt.Errorf("transport: interrupted: %w", err)
 	}
 	defer c.armInterrupt(ctx)()
-	if err := c.send(ctx, request{Op: "search", Query: query, Limit: limit}); err != nil {
+	if err := c.send(ctx, Request{Op: "search", Query: query, Limit: limit}); err != nil {
 		return nil, ctxErr(ctx, err)
 	}
 	resp, err := c.readResponse(ctx)
@@ -387,7 +468,7 @@ type FetchOptions struct {
 	// TargetSuccess is the per-round reconstruction probability adaptive
 	// γ aims for; zero means 0.95.
 	TargetSuccess float64
-	// RoundTimeout bounds one whole transmission round (request,
+	// RoundTimeout bounds one whole transmission round (Request,
 	// response, packet stream). A round that overruns is aborted and
 	// treated as a connection failure: the client reconnects and
 	// resumes. Zero applies only the per-operation Timeout.
@@ -423,7 +504,7 @@ type FetchResult struct {
 	InfoContent float64
 	// Rendered lists every available unit in transmission order.
 	Rendered []core.RenderedUnit
-	// Rounds is the number of transmission rounds used (every request
+	// Rounds is the number of transmission rounds used (every Request
 	// sent, including resumes after a reconnect).
 	Rounds int
 	// Reconnects counts connection failures survived by redialing.
@@ -442,6 +523,14 @@ type FetchResult struct {
 	// (0 means "server default"); under AdaptGamma later entries track
 	// the estimated channel quality.
 	GammaRequests []float64
+	// Replica names the replica identified in the final round's
+	// response header (sharded fleets); empty when the server did not
+	// identify itself. A front-tier mid-stream re-route is invisible
+	// here — the front's own fetch log records the final server.
+	Replica string
+	// Capability is the serving tier's advertised capability mode;
+	// empty means full capability.
+	Capability string
 	// Trace is the event timeline supplied in FetchOptions.Trace, echoed
 	// back so callers hold result and timeline together; nil when the
 	// fetch was untraced.
@@ -632,7 +721,7 @@ func (c *Client) fetchContext(ctx context.Context, opts FetchOptions) (*FetchRes
 // (possibly rebuilt) receiver so callers keep it across failures.
 func (c *Client) runRound(ctx context.Context, opts FetchOptions, gamma float64, rcv *core.Receiver, result *FetchResult, seen map[int]bool, noCaching bool) (*core.Receiver, bool, error) {
 	defer c.armInterrupt(ctx)()
-	req := request{Op: "fetch", Doc: opts.Doc, Query: opts.Query, Gamma: gamma}
+	req := Request{Op: "fetch", Doc: opts.Doc, Query: opts.Query, Gamma: gamma}
 	if opts.LOD != 0 {
 		req.LOD = opts.LOD.String()
 	}
@@ -656,10 +745,16 @@ func (c *Client) runRound(ctx context.Context, opts FetchOptions, gamma float64,
 		return rcv, false, err
 	}
 	if !resp.OK {
-		return rcv, false, fmt.Errorf("transport: fetch: %s", resp.Error)
+		return rcv, false, respRefusal(resp, "fetch")
 	}
 	if resp.Layout == nil {
 		return rcv, false, fmt.Errorf("%w: fetch response missing layout", ErrBadResponse)
+	}
+	if resp.Replica != "" {
+		result.Replica = resp.Replica
+	}
+	if resp.Capability != "" {
+		result.Capability = resp.Capability
 	}
 	if rcv != nil && (rcv.Layout().N() != resp.Layout.N() || rcv.Layout().BodySize != resp.Layout.BodySize) {
 		// The geometry changed. A pure γ change (adaptive redundancy)
@@ -805,13 +900,13 @@ func (c *Client) PrefetchContext(ctx context.Context, opts FetchOptions, budgetP
 	}
 }
 
-// prefetchRound streams one prefetch window: request (with the Have list
+// prefetchRound streams one prefetch window: Request (with the Have list
 // so resumes and top-ups skip held packets), layout, then frames until
 // the budget is spent, the document is reconstructible, or the stream
 // ends. It returns the (possibly rebuilt) receiver.
 func (c *Client) prefetchRound(ctx context.Context, opts FetchOptions, rcv *core.Receiver, budget int, res *PrefetchResult) (*core.Receiver, error) {
 	defer c.armInterrupt(ctx)()
-	req := request{Op: "fetch", Doc: opts.Doc, Query: opts.Query, Gamma: opts.Gamma}
+	req := Request{Op: "fetch", Doc: opts.Doc, Query: opts.Query, Gamma: opts.Gamma, Prefetch: true}
 	if opts.LOD != 0 {
 		req.LOD = opts.LOD.String()
 	}
@@ -833,7 +928,7 @@ func (c *Client) prefetchRound(ctx context.Context, opts FetchOptions, rcv *core
 		return rcv, err
 	}
 	if !resp.OK {
-		return rcv, fmt.Errorf("transport: prefetch: %s", resp.Error)
+		return rcv, respRefusal(resp, "prefetch")
 	}
 	if resp.Layout == nil {
 		return rcv, fmt.Errorf("%w: fetch response missing layout", ErrBadResponse)
@@ -859,7 +954,7 @@ func (c *Client) prefetchRound(ctx context.Context, opts FetchOptions, rcv *core
 		if err := c.conn.SetReadDeadline(c.deadline(ctx)); err != nil {
 			return rcv, err
 		}
-		frame, err := readFrameInto(c.r, frameBuf)
+		frame, err := ReadFrameInto(c.r, frameBuf)
 		if err != nil {
 			return rcv, err
 		}
@@ -876,7 +971,7 @@ func (c *Client) prefetchRound(ctx context.Context, opts FetchOptions, rcv *core
 			return rcv, err
 		}
 		if res.Received >= budget || rcv.Reconstructible() {
-			if err := c.send(ctx, request{Op: "stop"}); err != nil {
+			if err := c.send(ctx, Request{Op: "stop"}); err != nil {
 				return rcv, err
 			}
 			stopped = true
@@ -903,7 +998,7 @@ func (c *Client) consumeStream(ctx context.Context, rcv *core.Receiver, opts Fet
 		if err := c.conn.SetReadDeadline(c.deadline(ctx)); err != nil {
 			return false, err
 		}
-		frame, err := readFrameInto(c.r, frameBuf)
+		frame, err := ReadFrameInto(c.r, frameBuf)
 		if err != nil {
 			return false, err
 		}
@@ -950,7 +1045,7 @@ func (c *Client) consumeStream(ctx context.Context, rcv *core.Receiver, opts Fet
 		if intact && c.terminated(rcv, opts) {
 			// Tell the transmitter to stop, then drain to the end
 			// marker so the connection stays usable.
-			if err := c.send(ctx, request{Op: "stop"}); err != nil {
+			if err := c.send(ctx, Request{Op: "stop"}); err != nil {
 				return false, err
 			}
 			terminatedEarly = true

@@ -54,7 +54,7 @@ func FuzzRequestDecode(f *testing.F) {
 	}
 
 	f.Fuzz(func(t *testing.T, line []byte) {
-		req, err := decodeRequest(line)
+		req, err := DecodeRequest(line)
 		if err != nil {
 			return // handler drops the connection; nothing else runs
 		}

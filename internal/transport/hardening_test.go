@@ -105,34 +105,34 @@ func TestReadFrameRejectsOversizedPrefix(t *testing.T) {
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], MaxFrameSize+1)
 	buf.Write(hdr[:])
-	if _, err := readFrame(&buf); err == nil {
+	if _, err := ReadFrame(&buf); err == nil {
 		t.Error("oversized frame prefix accepted")
 	}
 }
 
 func TestWriteFrameRejectsBadSizes(t *testing.T) {
 	var buf bytes.Buffer
-	if err := writeFrame(&buf, nil); err == nil {
+	if err := WriteFrame(&buf, nil); err == nil {
 		t.Error("empty frame accepted")
 	}
-	if err := writeFrame(&buf, make([]byte, MaxFrameSize+1)); err == nil {
+	if err := WriteFrame(&buf, make([]byte, MaxFrameSize+1)); err == nil {
 		t.Error("oversized frame accepted")
 	}
 }
 
 func TestFrameRoundTripAndEOS(t *testing.T) {
 	var buf bytes.Buffer
-	if err := writeFrame(&buf, []byte{1, 2, 3}); err != nil {
+	if err := WriteFrame(&buf, []byte{1, 2, 3}); err != nil {
 		t.Fatal(err)
 	}
-	if err := writeEndOfStream(&buf); err != nil {
+	if err := WriteEndOfStream(&buf); err != nil {
 		t.Fatal(err)
 	}
-	frame, err := readFrame(&buf)
+	frame, err := ReadFrame(&buf)
 	if err != nil || !bytes.Equal(frame, []byte{1, 2, 3}) {
-		t.Fatalf("readFrame = (%v, %v)", frame, err)
+		t.Fatalf("ReadFrame = (%v, %v)", frame, err)
 	}
-	eos, err := readFrame(&buf)
+	eos, err := ReadFrame(&buf)
 	if err != nil || eos != nil {
 		t.Fatalf("end-of-stream = (%v, %v), want (nil, nil)", eos, err)
 	}
@@ -217,12 +217,12 @@ func TestServerRejectsMidStreamRequests(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	if err := writeJSON(conn, request{Op: "fetch", Doc: corpus.DraftName}); err != nil {
+	if err := WriteJSONLine(conn, Request{Op: "fetch", Doc: corpus.DraftName}); err != nil {
 		t.Fatal(err)
 	}
 	time.Sleep(20 * time.Millisecond)
 	// Violate the protocol mid-stream.
-	if err := writeJSON(conn, request{Op: "search", Query: "x"}); err != nil {
+	if err := WriteJSONLine(conn, Request{Op: "search", Query: "x"}); err != nil {
 		t.Fatal(err)
 	}
 	// The server must close the connection: reads eventually fail.

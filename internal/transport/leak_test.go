@@ -51,9 +51,9 @@ func TestNoReaderGoroutineLeak(t *testing.T) {
 		// A fetch that starts a stream, then a mid-stream protocol
 		// violation plus one more queued request, then a hard close:
 		// the handler aborts with the third request possibly parsed.
-		writeJSON(conn, request{Op: "fetch", Doc: corpus.DraftName})
-		writeJSON(conn, request{Op: "search", Query: "x"})
-		writeJSON(conn, request{Op: "search", Query: "y"})
+		WriteJSONLine(conn, Request{Op: "fetch", Doc: corpus.DraftName})
+		WriteJSONLine(conn, Request{Op: "search", Query: "x"})
+		WriteJSONLine(conn, Request{Op: "search", Query: "y"})
 		conn.Close()
 	}
 

@@ -57,6 +57,8 @@ type serverMetrics struct {
 	reqFetch      *obs.Counter
 	reqBad        *obs.Counter
 	fetchErrors   *obs.Counter
+	sheds         *obs.Counter
+	degraded      *obs.Counter
 	framesOut     *obs.Counter
 	framesDropped *obs.Counter
 	fetchLog      *obs.FetchLog
@@ -73,6 +75,8 @@ func newServerMetrics(r *obs.Registry) serverMetrics {
 		reqFetch:      r.Counter("serve.requests_fetch"),
 		reqBad:        r.Counter("serve.requests_bad"),
 		fetchErrors:   r.Counter("serve.fetch_errors"),
+		sheds:         r.Counter("serve.sheds"),
+		degraded:      r.Counter("serve.degraded_refusals"),
 		framesOut:     r.Counter("serve.frames_out"),
 		framesDropped: r.Counter("serve.frames_dropped"),
 		fetchLog:      r.FetchLog(),
@@ -96,7 +100,18 @@ func errClass(err error) string {
 		return "disconnected"
 	case errors.Is(err, ErrBadResponse):
 		return "bad-response"
+	case errors.Is(err, ErrShed):
+		return "shed"
+	case errors.Is(err, ErrDegraded):
+		return "degraded"
+	case errors.Is(err, ErrReroute):
+		return "rerouted"
 	default:
 		return "error"
 	}
 }
+
+// ErrorClass maps a terminal fetch error to its short stable class
+// ("shed", "degraded", "rerouted", "disconnected", ...) for fetch-log
+// records and traces outside this package (gateway, shard front tier).
+func ErrorClass(err error) string { return errClass(err) }

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"mobweb/internal/core"
 )
@@ -46,10 +47,41 @@ var (
 	// without reaching a §4.2 termination condition. The partial
 	// FetchResult is still returned.
 	ErrRoundsExhausted = errors.New("transport: retransmission rounds exhausted")
+	// ErrShed marks a fetch refused by admission control (server or front
+	// tier over budget). Match with errors.Is; the concrete *ShedError
+	// carries the retry-after hint.
+	ErrShed = errors.New("transport: fetch shed")
+	// ErrDegraded marks a request refused by the serving replica's
+	// capability tier (e.g. a prefetch against a fetch-degraded replica,
+	// or any fetch against a search-only one). The fallback tree, not a
+	// retry, is the recovery path.
+	ErrDegraded = errors.New("transport: capability degraded")
+	// ErrReroute marks a proxied stream the front tier could not finish on
+	// any replica despite re-routing; the client's own redial/resume path
+	// takes over from here.
+	ErrReroute = errors.New("transport: reroute failed")
 )
 
-// request is a client→server control message.
-type request struct {
+// ShedError is the typed admission-control refusal: the peer is over its
+// fetch budget and hints when to retry. It unwraps to ErrShed.
+type ShedError struct {
+	// RetryAfter is the peer's backoff hint; zero means "unspecified".
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *ShedError) Error() string {
+	if e.RetryAfter <= 0 {
+		return "transport: fetch shed by admission control"
+	}
+	return fmt.Sprintf("transport: fetch shed by admission control (retry after %v)", e.RetryAfter)
+}
+
+// Unwrap makes errors.Is(err, ErrShed) hold.
+func (e *ShedError) Unwrap() error { return ErrShed }
+
+// Request is a client→server control message.
+type Request struct {
 	// Op is "search", "fetch" or "stop".
 	Op string `json:"op"`
 	// Query is the keyword query (search: the search string; fetch: the
@@ -69,30 +101,46 @@ type request struct {
 	// intact, so the server transmits only the rest (retransmission
 	// rounds with caching).
 	Have []int `json:"have,omitempty"`
+	// Prefetch marks the stream as idle-time prefetch traffic, which a
+	// capability-degraded replica refuses before it refuses anything
+	// else.
+	Prefetch bool `json:"prefetch,omitempty"`
 }
 
-// hitSummary is one search result on the wire.
-type hitSummary struct {
+// HitSummary is one search result on the wire.
+type HitSummary struct {
 	Name  string  `json:"name"`
 	Title string  `json:"title"`
 	Score float64 `json:"score"`
 }
 
-// response is a server→client control message, sent before any packet
+// Response is a server→client control message, sent before any packet
 // stream.
-type response struct {
+type Response struct {
 	OK    bool         `json:"ok"`
 	Error string       `json:"error,omitempty"`
-	Hits  []hitSummary `json:"hits,omitempty"`
+	Hits  []HitSummary `json:"hits,omitempty"`
 	// Layout carries the transmission geometry for fetch responses.
 	Layout *core.Layout `json:"layout,omitempty"`
 	// Sending is the number of frames that will follow.
 	Sending int `json:"sending,omitempty"`
+	// Shed marks an admission-control refusal (OK is false); RetryAfterMS
+	// hints when the client should try again.
+	Shed         bool `json:"shed,omitempty"`
+	RetryAfterMS int  `json:"retry_after_ms,omitempty"`
+	// Degraded marks a capability refusal (OK is false): the replica is
+	// up but its current tier does not serve this request.
+	Degraded bool `json:"degraded,omitempty"`
+	// Replica names the serving replica and Capability its tier, so
+	// clients (and the front tier's aggregation) see who served them and
+	// at what degradation level. Empty means "unnamed" / "full".
+	Replica    string `json:"replica,omitempty"`
+	Capability string `json:"capability,omitempty"`
 }
 
-// writeFrame writes one length-prefixed packet frame.
+// WriteFrame writes one length-prefixed packet frame.
 //mobweb:hot runs once per frame on every connection
-func writeFrame(w io.Writer, frame []byte) error {
+func WriteFrame(w io.Writer, frame []byte) error {
 	if len(frame) == 0 || len(frame) > MaxFrameSize {
 		return fmt.Errorf("transport: frame size %d outside (0, %d]", len(frame), MaxFrameSize)
 	}
@@ -105,24 +153,24 @@ func writeFrame(w io.Writer, frame []byte) error {
 	return err
 }
 
-// writeEndOfStream writes the zero-length terminator.
-func writeEndOfStream(w io.Writer) error {
+// WriteEndOfStream writes the zero-length terminator.
+func WriteEndOfStream(w io.Writer) error {
 	var hdr [4]byte
 	_, err := w.Write(hdr[:])
 	return err
 }
 
-// readFrame reads one length-prefixed frame; it returns (nil, nil) at the
+// ReadFrame reads one length-prefixed frame; it returns (nil, nil) at the
 // end-of-stream marker.
-func readFrame(r io.Reader) ([]byte, error) {
-	return readFrameInto(r, nil)
+func ReadFrame(r io.Reader) ([]byte, error) {
+	return ReadFrameInto(r, nil)
 }
 
-// readFrameInto is readFrame with buffer reuse: the frame is read into
+// ReadFrameInto is ReadFrame with buffer reuse: the frame is read into
 // buf when it has the capacity, so a receive loop that hands each frame
 // to the sequence manager (which copies what it keeps) allocates only on
 // growth. It returns (nil, nil) at the end-of-stream marker.
-func readFrameInto(r io.Reader, buf []byte) ([]byte, error) {
+func ReadFrameInto(r io.Reader, buf []byte) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
@@ -146,8 +194,8 @@ func readFrameInto(r io.Reader, buf []byte) ([]byte, error) {
 	return frame, nil
 }
 
-// writeJSON writes one newline-delimited control message.
-func writeJSON(w io.Writer, v any) error {
+// WriteJSONLine writes one newline-delimited control message.
+func WriteJSONLine(w io.Writer, v any) error {
 	data, err := json.Marshal(v)
 	if err != nil {
 		return err

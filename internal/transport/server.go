@@ -43,6 +43,20 @@ type ServerOptions struct {
 	// IdleTimeout closes connections with no request activity; zero
 	// means 2 minutes.
 	IdleTimeout time.Duration
+	// Name identifies this replica in fetch responses (the Replica wire
+	// field) and fetch-log records; empty leaves responses unnamed.
+	Name string
+	// Admission, when set, gates every fetch stream: new fetches are shed
+	// (typed wire refusal with a retry-after hint) before in-flight
+	// retransmission rounds are starved. Nil admits everything.
+	Admission Admitter
+	// Capability, when set, is the replica's live degraded-operation
+	// tier; nil means CapFull. See Capability for what each tier serves.
+	Capability *CapabilityState
+	// DegradedGammaMax is the redundancy-ratio clamp applied to fetches
+	// while the capability tier is fetch-degraded or below; zero means
+	// 1.25.
+	DegradedGammaMax float64
 	// Metrics, when set, receives the transmitter's connection, request
 	// and frame counters, logs each served stream into the fetch log
 	// behind /debug/fetches, and registers the planner/erasure/core
@@ -80,6 +94,9 @@ func NewServer(engine *search.Engine, opts ServerOptions) (*Server, error) {
 	if opts.IdleTimeout == 0 {
 		opts.IdleTimeout = 2 * time.Minute
 	}
+	if opts.DegradedGammaMax == 0 {
+		opts.DegradedGammaMax = 1.25
+	}
 	pl := opts.Planner
 	if pl == nil {
 		po := opts.PlannerOptions
@@ -99,6 +116,11 @@ func NewServer(engine *search.Engine, opts ServerOptions) (*Server, error) {
 		opts.Metrics.RegisterProbe("framecache", func() any { return pl.FrameStats() })
 		opts.Metrics.RegisterProbe("erasure", erasure.MetricsProbe)
 		opts.Metrics.RegisterProbe("core", core.MetricsProbe)
+		if opts.Capability != nil {
+			// The shard front tier's health checker reads this probe off
+			// /debug/metrics to aggregate the fleet's capability tiers.
+			opts.Metrics.RegisterProbe("capability", opts.Capability.Probe)
+		}
 	}
 	return &Server{
 		engine:  engine,
@@ -196,7 +218,7 @@ func (s *Server) Close() error {
 // feeds control messages through a channel so that a "stop" arriving
 // mid-stream can abort the packet stream promptly. The handlerDone
 // channel keeps the reader from blocking forever on a send after the
-// handler has returned (e.g. a write error mid-stream with a request
+// handler has returned (e.g. a write error mid-stream with a Request
 // already parsed), which would otherwise leak one goroutine per failed
 // connection.
 func (s *Server) handle(conn net.Conn) {
@@ -204,7 +226,7 @@ func (s *Server) handle(conn net.Conn) {
 	if s.opts.InjectorFactory != nil {
 		injector = s.opts.InjectorFactory()
 	}
-	requests := make(chan request)
+	requests := make(chan Request)
 	handlerDone := make(chan struct{})
 	defer close(handlerDone)
 	go func() {
@@ -212,7 +234,7 @@ func (s *Server) handle(conn net.Conn) {
 		scan := bufio.NewScanner(conn)
 		scan.Buffer(make([]byte, 0, 4096), MaxControlLine)
 		for scan.Scan() {
-			req, err := decodeRequest(scan.Bytes())
+			req, err := DecodeRequest(scan.Bytes())
 			if err != nil {
 				return
 			}
@@ -247,7 +269,7 @@ func (s *Server) handle(conn net.Conn) {
 			continue
 		default:
 			s.sm.reqBad.Inc()
-			err = writeJSON(w, response{Error: fmt.Sprintf("unknown op %q", req.Op)})
+			err = WriteJSONLine(w, Response{Error: fmt.Sprintf("unknown op %q", req.Op)})
 			if err == nil {
 				err = w.Flush()
 			}
@@ -258,30 +280,83 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
-func (s *Server) handleSearch(w *bufio.Writer, req request) error {
+func (s *Server) handleSearch(w *bufio.Writer, req Request) error {
 	limit := req.Limit
 	if limit <= 0 {
 		limit = 10
 	}
 	hits := s.engine.Search(req.Query, limit)
-	summaries := make([]hitSummary, len(hits))
+	summaries := make([]HitSummary, len(hits))
 	for i, h := range hits {
-		summaries[i] = hitSummary{Name: h.Name, Title: h.Title, Score: h.Score}
+		summaries[i] = HitSummary{Name: h.Name, Title: h.Title, Score: h.Score}
 	}
-	if err := writeJSON(w, response{OK: true, Hits: summaries}); err != nil {
+	if err := WriteJSONLine(w, Response{OK: true, Hits: summaries}); err != nil {
 		return err
 	}
 	return w.Flush()
 }
 
-func (s *Server) handleFetch(w *bufio.Writer, req request, requests <-chan request, injector FaultInjector) error {
+// refuse writes a terminal non-OK response and flushes it.
+func (s *Server) refuse(w *bufio.Writer, resp Response) error {
+	resp.Replica = s.opts.Name
+	if err := WriteJSONLine(w, resp); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+func (s *Server) handleFetch(w *bufio.Writer, req Request, requests <-chan Request, injector FaultInjector) error {
+	// Admission control runs before any planning work: a shed request
+	// must cost the replica close to nothing. A non-empty Have list marks
+	// a retransmission/resume round of an already-admitted fetch, which
+	// draws on reserved headroom so new arrivals cannot starve it.
+	if s.opts.Admission != nil {
+		release, retryAfter, ok := s.opts.Admission.Admit(len(req.Have) > 0)
+		if !ok {
+			s.sm.sheds.Inc()
+			return s.refuse(w, Response{
+				Error:        "load shed: fetch budget exhausted",
+				Shed:         true,
+				RetryAfterMS: int(retryAfter / time.Millisecond),
+			})
+		}
+		defer release()
+	}
+
+	// Capability tiers degrade the fetch path along the fallback tree
+	// instead of failing it outright: search-only refuses streams,
+	// degraded tiers clamp γ and refuse prefetch, clear-prefix-only
+	// additionally skips parity rows below.
+	mode := s.opts.Capability.Mode()
+	if !mode.AllowsFetch() {
+		s.sm.degraded.Inc()
+		return s.refuse(w, Response{
+			Error:      fmt.Sprintf("capability %s: fetch refused", mode),
+			Degraded:   true,
+			Capability: mode.String(),
+		})
+	}
+	if req.Prefetch && !mode.AllowsPrefetch() {
+		s.sm.degraded.Inc()
+		return s.refuse(w, Response{
+			Error:      fmt.Sprintf("capability %s: prefetch refused", mode),
+			Degraded:   true,
+			Capability: mode.String(),
+		})
+	}
+	if mode.ClampsGamma() {
+		max := s.opts.DegradedGammaMax
+		if req.Gamma == 0 || req.Gamma > max {
+			// The unset default could exceed the clamp too, so pin the
+			// effective γ explicitly rather than trusting the default.
+			req.Gamma = max
+		}
+	}
+
 	resolved, errMsg := s.buildPlan(req)
 	if errMsg != "" {
 		s.sm.fetchErrors.Inc()
-		if err := writeJSON(w, response{Error: errMsg}); err != nil {
-			return err
-		}
-		return w.Flush()
+		return s.refuse(w, Response{Error: errMsg})
 	}
 	plan := resolved.Plan
 
@@ -289,14 +364,26 @@ func (s *Server) handleFetch(w *bufio.Writer, req request, requests <-chan reque
 	for _, seq := range req.Have {
 		have[seq] = true
 	}
+	layout := plan.Layout()
+	// Clear-prefix-only tiers stream just the systematic rows: every
+	// parity row is skipped, so no parity is ever encoded. A clean
+	// channel still reconstructs (M intact rows per generation); a lossy
+	// one pays extra retransmission rounds instead of failing.
+	clearOnly := mode.ClearPrefixOnly()
+	skip := func(seq int) bool {
+		return have[seq] || (clearOnly && !layout.IsClear(seq))
+	}
 	sending := 0
 	for seq := 0; seq < plan.N(); seq++ {
-		if !have[seq] {
+		if !skip(seq) {
 			sending++
 		}
 	}
-	layout := plan.Layout()
-	if err := writeJSON(w, response{OK: true, Layout: &layout, Sending: sending}); err != nil {
+	resp := Response{OK: true, Layout: &layout, Sending: sending, Replica: s.opts.Name}
+	if mode != CapFull {
+		resp.Capability = mode.String()
+	}
+	if err := WriteJSONLine(w, resp); err != nil {
 		return err
 	}
 	if err := w.Flush(); err != nil {
@@ -318,10 +405,10 @@ func (s *Server) handleFetch(w *bufio.Writer, req request, requests <-chan reque
 	sent := 0
 stream:
 	for seq := 0; seq < plan.N(); seq++ {
-		if have[seq] {
+		if skip(seq) {
 			continue
 		}
-		// A stop request aborts the stream; connection closure (reader
+		// A stop Request aborts the stream; connection closure (reader
 		// channel closed) aborts the whole handler.
 		select {
 		case req, ok := <-requests:
@@ -365,7 +452,7 @@ stream:
 				continue
 			}
 		}
-		if err := writeFrame(w, out); err != nil {
+		if err := WriteFrame(w, out); err != nil {
 			return err
 		}
 		sent++
@@ -378,23 +465,25 @@ stream:
 		}
 	}
 	s.sm.fetchLog.Record(obs.FetchRecord{
-		Doc:    req.Doc,
-		Origin: "server",
-		Sent:   sent,
-		Have:   len(req.Have),
+		Doc:     req.Doc,
+		Origin:  "server",
+		Replica: s.opts.Name,
+		Sent:    sent,
+		Have:    len(req.Have),
+		Gamma:   req.Gamma,
 	})
-	if err := writeEndOfStream(w); err != nil {
+	if err := WriteEndOfStream(w); err != nil {
 		return err
 	}
 	return w.Flush()
 }
 
-// decodeRequest parses one JSON control line. It is the single entry
+// DecodeRequest parses one JSON control line. It is the single entry
 // point for untrusted control data (see FuzzRequestDecode).
-func decodeRequest(line []byte) (request, error) {
-	var req request
+func DecodeRequest(line []byte) (Request, error) {
+	var req Request
 	if err := json.Unmarshal(line, &req); err != nil {
-		return request{}, err
+		return Request{}, err
 	}
 	return req, nil
 }
@@ -404,7 +493,7 @@ func decodeRequest(line []byte) (request, error) {
 // than an error for request-level problems. Planner errors are safe to
 // forward: request problems carry curated messages and build failures
 // match what this layer historically surfaced.
-func (s *Server) buildPlan(req request) (*planner.Resolved, string) {
+func (s *Server) buildPlan(req Request) (*planner.Resolved, string) {
 	resolved, err := s.planner.ResolveFrames(planner.Request{
 		Doc:    req.Doc,
 		Query:  req.Query,
