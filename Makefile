@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench bench-json bench-load bench-fleet cover figures paperscale fuzz lint lint-json vulncheck verify clean
+.PHONY: all build test race bench bench-json bench-load bench-fleet bench-fountain cover figures paperscale fuzz lint lint-json vulncheck verify clean
 
 all: build test
 
@@ -91,6 +91,17 @@ bench-fleet:
 		-fleet-delay 2ms -concurrency 32 -seed 1 -min-completed 0.95 \
 		-json BENCH_fleet.json -txt results/fleet-bench.txt
 
+# Rateless fountain codec vs adaptive-γ Vandermonde across a channel
+# corruption grid (α 0.05–0.4), plus the single-stream broadcast fan-out
+# work ratio at 32 subscribers. Gated: every fountain fetch must finish
+# in one round, mean reception overhead ≤ 15%, fountain must move fewer
+# bytes than Vandermonde at α ≥ 0.2, and broadcast work must stay under
+# 2× the single-subscriber cost. BENCH_fountain.json at the repo root,
+# human table under results/. See DESIGN.md §15.
+bench-fountain:
+	go run ./cmd/erasurebench -fountain -gate \
+		-json BENCH_fountain.json -txt results/fountain-bench.txt
+
 # Regenerate every table and figure at the default reduced scale.
 figures:
 	go run ./cmd/mrtfigures -exp all
@@ -105,6 +116,7 @@ fuzz:
 	go test -fuzz=FuzzParseXML -fuzztime=30s ./internal/markup
 	go test -fuzz=FuzzUnmarshal -fuzztime=30s ./internal/packet
 	go test -fuzz=FuzzRequestDecode -fuzztime=30s ./internal/transport
+	go test -fuzz=FuzzFountainRoundtrip -fuzztime=30s ./internal/fountain
 
 clean:
 	go clean ./...

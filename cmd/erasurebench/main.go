@@ -89,8 +89,22 @@ func run(args []string) error {
 	txtPath := fs.String("txt", "", "also write the text table here (stdout always gets it)")
 	iters := fs.Int("iters", 0, "fixed iterations per cell (0 auto-calibrates to -mintime)")
 	minTime := fs.Duration("mintime", 200*time.Millisecond, "per-cell measurement floor when auto-calibrating")
+	fountainMode := fs.Bool("fountain", false, "run the fountain-vs-Vandermonde fetch grid and broadcast fan-out instead of the kernel matrix")
+	parseFountain := fountainFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *fountainMode {
+		cfg, err := parseFountain()
+		if err != nil {
+			return err
+		}
+		if *jsonPath == "BENCH_erasure.json" {
+			// Fountain mode gets its own default artifact name so a codec
+			// run never clobbers the kernel benchmark.
+			*jsonPath = "BENCH_fountain.json"
+		}
+		return runFountain(cfg, *jsonPath, *txtPath)
 	}
 
 	selected := gf256.KernelName() // what calibration picked before we override

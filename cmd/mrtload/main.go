@@ -66,6 +66,7 @@ type config struct {
 	mix         []mixComponent
 	planCacheMB int64
 	frameMB     int64
+	codec       erasure.CodecID
 }
 
 // mixComponent is one (α, weight) entry of the client channel mixture.
@@ -116,6 +117,7 @@ type report struct {
 	Gamma    float64        `json:"gamma"`
 	AlphaMix []mixComponent `json:"alpha_mix"`
 	FrameMB  int64          `json:"framecache_mb"`
+	Codec    string         `json:"codec,omitempty"`
 
 	Cached   passReport `json:"cached"`
 	Baseline passReport `json:"baseline"`
@@ -149,10 +151,15 @@ func run(args []string) error {
 	fleetShedMax := fs.Int("fleet-shed-max", 0, "fleet mode: front admission budget (0 means 64, negative disables shedding)")
 	fleetDelay := fs.Duration("fleet-delay", 0, "fleet mode: per-packet pacing on each replica, so streams are long enough for the kill to land mid-stream")
 	minCompleted := fs.Float64("min-completed", 0, "fleet mode: fail unless this fraction of fetches completes (CI gate)")
+	codecFlag := fs.String("codec", "", "erasure codec clients request: vandermonde or fountain (empty = server default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	mix, err := parseMix(*alphaMix)
+	if err != nil {
+		return err
+	}
+	codec, err := erasure.ParseCodec(*codecFlag)
 	if err != nil {
 		return err
 	}
@@ -175,6 +182,7 @@ func run(args []string) error {
 		mix:         mix,
 		planCacheMB: *planMB,
 		frameMB:     *frameMB,
+		codec:       codec,
 	}
 
 	if *fleet > 0 {
@@ -208,6 +216,7 @@ func run(args []string) error {
 		Gamma:      cfg.gamma,
 		AlphaMix:   cfg.mix,
 		FrameMB:    cfg.frameMB,
+		Codec:      cfg.codec.String(),
 	}
 
 	frameBytes := cfg.frameMB << 20
@@ -402,6 +411,7 @@ func fetchOnce(addr, doc string, cfg config) bool {
 		Caching:    true,
 		AdaptGamma: cfg.adapt,
 		MaxRounds:  20,
+		Codec:      cfg.codec,
 	})
 	return err == nil && res.Body != nil
 }

@@ -22,6 +22,7 @@ import (
 	"mobweb/internal/channel"
 	"mobweb/internal/core"
 	"mobweb/internal/corpus"
+	"mobweb/internal/erasure"
 	"mobweb/internal/framecache"
 	"mobweb/internal/gateway"
 	"mobweb/internal/gf256"
@@ -65,7 +66,13 @@ func run(args []string) error {
 	capability := fs.String("capability", "", "serve at a reduced tier: full, fetch-degraded, clear-prefix or search-only")
 	shedMax := fs.Int("shed-max-inflight", 0, "admission budget: max concurrent fetch streams before shedding (0 disables)")
 	shedRetryAfter := fs.Duration("shed-retry-after", 0, "retry-after hint attached to shed refusals (0 means 250ms)")
+	codecFlag := fs.String("codec", "", "default erasure codec for fetches that don't name one: vandermonde or fountain")
+	fountainSalt := fs.Uint64("fountain-salt", 0, "salt mixed into derived fountain seeds; replicas sharing a salt emit identical streams")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	defaultCodec, err := erasure.ParseCodec(*codecFlag)
+	if err != nil {
 		return err
 	}
 	if *gfKernel != "" {
@@ -125,11 +132,16 @@ func run(args []string) error {
 		reg = obs.NewRegistry()
 	}
 	opts := transport.ServerOptions{
-		Name:        *replicaName,
-		Defaults:    core.Config{Gamma: *gamma},
-		Planner:     pl,
-		PacketDelay: *delay,
-		Metrics:     reg,
+		Name:         *replicaName,
+		Defaults:     core.Config{Gamma: *gamma},
+		Planner:      pl,
+		PacketDelay:  *delay,
+		Metrics:      reg,
+		DefaultCodec: defaultCodec,
+		FountainSalt: *fountainSalt,
+	}
+	if defaultCodec != erasure.CodecVandermonde {
+		fmt.Printf("default codec: %s\n", defaultCodec)
 	}
 	// Always expose a capability state when the server is fleet-facing
 	// (metrics scraped by a front) or explicitly tiered, so the front's
@@ -289,6 +301,14 @@ func statsLine(reg *obs.Registry) string {
 	if fc, ok := s.Probes["framecache"].(framecache.Stats); ok {
 		line += fmt.Sprintf(" fc_hit=%.1f%% fc_cooks=%d fc_entries=%d fc_mb=%.1f",
 			100*fc.HitRate(), fc.Cooks, fc.Entries, float64(fc.Bytes)/(1<<20))
+	}
+	if v := s.Counters["serve.fountain_fetches"]; v > 0 {
+		line += fmt.Sprintf(" fountain=%d bcast_subs=%d bcast_drops=%d",
+			v, s.Gauges["serve.broadcast_subscribers"], s.Counters["serve.broadcast_drops"])
+		if fm, ok := s.Probes["fountain"].(map[string]int64); ok {
+			line += fmt.Sprintf(" ft_overshoot_kb=%d ft_gauss=%d",
+				fm["overshoot_bytes"]>>10, fm["gauss_decodes"])
+		}
 	}
 	return line
 }

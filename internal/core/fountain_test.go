@@ -1,0 +1,297 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mobweb/internal/erasure"
+	"mobweb/internal/packet"
+)
+
+// fountainFetch streams plan frames into rcv under the given loss rate
+// until reconstructible, returning frames sent.
+func fountainFetch(t *testing.T, plan *Plan, rcv *Receiver, seed uint64, lossRNG *rand.Rand, alpha float64) int {
+	t.Helper()
+	sent := 0
+	seqs := make([]int, plan.Generations())
+	for !rcv.Reconstructible() {
+		if sent > 100*plan.M()+500 {
+			t.Fatalf("fetch did not complete after %d frames", sent)
+		}
+		for g := 0; g < plan.Generations(); g++ {
+			if rcv.GenerationReconstructible(g) {
+				continue
+			}
+			frame, err := plan.FountainFrame(seed, g, seqs[g])
+			if err != nil {
+				t.Fatal(err)
+			}
+			seqs[g]++
+			sent++
+			if lossRNG != nil && lossRNG.Float64() < alpha {
+				continue
+			}
+			if _, intact, err := rcv.AddFrame(frame); err != nil {
+				t.Fatal(err)
+			} else if !intact {
+				t.Fatal("uncorrupted frame reported corrupt")
+			}
+		}
+	}
+	return sent
+}
+
+func TestFountainPlanRoundtrip(t *testing.T) {
+	doc, scores := paperShapedDoc(t)
+	plan, err := NewPlanWithScores(doc, scores, Config{LOD: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const seed = 0x0dd5eed
+	layout := plan.FountainLayout(seed)
+	if err := layout.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if layout.Codec != erasure.CodecFountain || layout.Seed != seed {
+		t.Fatalf("layout codec/seed = %v/%#x", layout.Codec, layout.Seed)
+	}
+	rcv, err := NewReceiverFromLayout(layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fountainFetch(t, plan, rcv, seed, rand.New(rand.NewSource(1)), 0.3)
+	body, err := rcv.Reconstruct()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, doc.Body()) {
+		t.Fatal("reconstructed body differs from source")
+	}
+	if ic := rcv.InfoContent(); ic < 0.999 {
+		t.Fatalf("complete receiver IC = %v, want ~1", ic)
+	}
+}
+
+// TestFountainProgressiveIC checks the progressive payoff end to end:
+// with several generations in flight, early-completing generations (and
+// peeled symbols within them) accrue IC before the whole document is
+// reconstructible.
+func TestFountainProgressiveIC(t *testing.T) {
+	doc, scores := paperShapedDoc(t)
+	plan, err := NewPlanWithScores(doc, scores, Config{LOD: 4, MaxGeneration: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const seed = 77
+	rcv, err := NewReceiverFromLayout(plan.FountainLayout(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossRNG := rand.New(rand.NewSource(3))
+	sawPartial := false
+	seqs := make([]int, plan.Generations())
+	for sent := 0; !rcv.Reconstructible(); sent++ {
+		if sent > 100*plan.M() {
+			t.Fatal("no completion")
+		}
+		g := sent % plan.Generations()
+		if rcv.GenerationReconstructible(g) {
+			continue
+		}
+		frame, err := plan.FountainFrame(seed, g, seqs[g])
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqs[g]++
+		if lossRNG.Float64() < 0.2 {
+			continue
+		}
+		if _, _, err := rcv.AddFrame(frame); err != nil {
+			t.Fatal(err)
+		}
+		if ic := rcv.InfoContent(); ic > 0.05 && ic < 0.95 && !rcv.Reconstructible() {
+			sawPartial = true
+		}
+	}
+	if !sawPartial {
+		t.Fatal("IC never accrued partially; progressive recovery is not wired through")
+	}
+}
+
+func TestFountainRebasePreservesPackets(t *testing.T) {
+	doc, scores := paperShapedDoc(t)
+	plan, err := NewPlanWithScores(doc, scores, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const seed = 42
+	layout := plan.FountainLayout(seed)
+	rcv, err := NewReceiverFromLayout(layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := 0; seq < 10; seq++ {
+		frame, err := plan.FountainFrame(seed, 0, seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := rcv.AddFrame(frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	held := rcv.IntactCount()
+	reb, err := rcv.Rebase(layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reb.IntactCount() != held {
+		t.Fatalf("rebase kept %d of %d packets", reb.IntactCount(), held)
+	}
+	if len(reb.HaveList()) != held {
+		t.Fatalf("HaveList %d entries, want %d", len(reb.HaveList()), held)
+	}
+
+	// Seed or codec changes must refuse.
+	other := plan.FountainLayout(seed + 1)
+	if _, err := rcv.Rebase(other); err == nil {
+		t.Fatal("rebase across seeds accepted")
+	}
+	if _, err := rcv.Rebase(plan.Layout()); err == nil {
+		t.Fatal("rebase across codecs accepted")
+	}
+}
+
+func TestFountainPersistRoundtrip(t *testing.T) {
+	doc, scores := paperShapedDoc(t)
+	plan, err := NewPlanWithScores(doc, scores, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const seed = 99
+	rcv, err := NewReceiverFromLayout(plan.FountainLayout(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fountainFetch(t, plan, rcv, seed, rand.New(rand.NewSource(5)), 0.25)
+
+	var buf bytes.Buffer
+	if err := rcv.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadReceiver(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.Reconstructible() {
+		t.Fatal("loaded receiver lost reconstructibility")
+	}
+	want, err := rcv.Reconstruct()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.Reconstruct()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("persisted receiver reconstructed different bytes")
+	}
+}
+
+func TestFountainSeedMismatchRejected(t *testing.T) {
+	doc, scores := paperShapedDoc(t)
+	plan, err := NewPlanWithScores(doc, scores, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcv, err := NewReceiverFromLayout(plan.FountainLayout(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := plan.FountainFrame(2, 0, 0) // stream under a different seed
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := rcv.AddFrame(frame); err == nil ||
+		!strings.Contains(err.Error(), "seed") {
+		t.Fatalf("foreign-seed frame not rejected: %v", err)
+	}
+}
+
+func TestFountainFrameCorruptionDetected(t *testing.T) {
+	doc, scores := paperShapedDoc(t)
+	plan, err := NewPlanWithScores(doc, scores, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcv, err := NewReceiverFromLayout(plan.FountainLayout(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := plan.FountainFrame(5, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := append([]byte(nil), frame...)
+	packet.CorruptFrame(corrupted[1:], 12345) // keep codec byte valid
+	_, intact, err := rcv.AddFrame(corrupted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if intact {
+		t.Fatal("corrupted fountain frame accepted as intact")
+	}
+	if rcv.IntactCount() != 0 {
+		t.Fatal("corrupted frame stored")
+	}
+}
+
+// TestFountainWeightsConsistency pins the invariant the codec depends
+// on: the weights computed from a plan's own layout and from the
+// JSON-round-tripped layout a client receives are identical, so both
+// sides derive the same stream spec.
+func TestFountainWeightsConsistency(t *testing.T) {
+	doc, scores := paperShapedDoc(t)
+	plan, err := NewPlanWithScores(doc, scores, Config{LOD: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := plan.FountainLayout(11)
+	var buf bytes.Buffer
+	rcv, err := NewReceiverFromLayout(layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rcv.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadReceiver(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < plan.Generations(); g++ {
+		a, err := layout.FountainWeights(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.Layout().FountainWeights(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("gen %d: %d vs %d weights", g, len(a), len(b))
+		}
+		sum := 0.0
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("gen %d weight %d: %v != %v after JSON roundtrip", g, i, a[i], b[i])
+			}
+			sum += a[i]
+		}
+		if sum <= 0 {
+			t.Fatalf("gen %d: weights sum %v, want > 0", g, sum)
+		}
+	}
+}

@@ -49,6 +49,16 @@ type Layout struct {
 	Ranked []SegmentMeta `json:"ranked"`
 	// Accrual lists the paragraph-level accounting segments.
 	Accrual []SegmentMeta `json:"accrual"`
+	// Codec names the cooked-packet codec; the zero value is the legacy
+	// fixed-rate Vandermonde code, so layouts serialized before codecs
+	// existed keep their meaning. The server's layout is authoritative —
+	// a replica may serve a different codec than the client asked for
+	// (e.g. a clear-prefix-only capability tier cannot stream fountain).
+	Codec erasure.CodecID `json:"codec,omitempty"`
+	// Seed identifies the fountain stream when Codec is CodecFountain:
+	// both sides derive identical packet combinations from it. Zero and
+	// unused for the fixed-rate codec.
+	Seed uint64 `json:"seed,omitempty"`
 }
 
 // Layout extracts the plan's transmission geometry.
@@ -95,6 +105,12 @@ func (l Layout) Validate() error {
 	}
 	if len(l.Shapes) == 0 {
 		return fmt.Errorf("core: layout has no dispersal groups")
+	}
+	if !l.Codec.Valid() {
+		return fmt.Errorf("core: layout codec %d unknown", uint8(l.Codec))
+	}
+	if l.Codec != erasure.CodecFountain && l.Seed != 0 {
+		return fmt.Errorf("core: layout seed set for codec %s", l.Codec)
 	}
 	m := 0
 	for i, s := range l.Shapes {
@@ -172,8 +188,13 @@ func (l Layout) genBounds(seq int) (gen, rawOff, cookedOff int, err error) {
 func (l Layout) IsClear(seq int) bool { return l.clearRawIndex(seq) >= 0 }
 
 // clearRawIndex returns the global raw index carried in clear text by
-// cooked seq, or -1 for redundancy packets.
+// cooked seq, or -1 for redundancy packets. Fountain packets are always
+// GF(2^8) combinations — a rateless stream has no systematic prefix —
+// so no fountain seq is ever clear.
 func (l Layout) clearRawIndex(seq int) int {
+	if l.Codec == erasure.CodecFountain {
+		return -1
+	}
 	g, rawOff, cookedOff, err := l.genBounds(seq)
 	if err != nil {
 		return -1

@@ -9,6 +9,7 @@ import (
 	"mobweb/internal/content"
 	"mobweb/internal/document"
 	"mobweb/internal/erasure"
+	"mobweb/internal/fountain"
 	"mobweb/internal/packet"
 )
 
@@ -91,6 +92,13 @@ type Plan struct {
 
 	// parityEncodes counts generations whose parity has been encoded.
 	parityEncodes atomic.Int64
+
+	// fmu guards fenc, the lazily-built per-(generation, seed) fountain
+	// encoders. A plan is codec-neutral: the fixed-rate path uses the
+	// generations' coders, the rateless path attaches encoders here on
+	// first use (see fountain.go).
+	fmu  sync.Mutex
+	fenc map[fountainEncKey]*fountain.Encoder
 }
 
 // NewPlan ranks the document's units by the SC's scores for the query and

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"mobweb/internal/erasure"
+	"mobweb/internal/fountain"
 	"mobweb/internal/obs"
 	"mobweb/internal/packet"
 )
@@ -27,7 +28,12 @@ import (
 type Receiver struct {
 	layout Layout
 	coders []*erasure.Coder
-	intact map[int][]byte // global cooked seq → payload
+	// fdec holds the per-generation rateless decoders when the layout's
+	// codec is fountain; coders is then unused. Packets are tracked in
+	// intact under packed (gen, seq) keys so Have lists, persistence and
+	// resume stay codec-agnostic.
+	fdec   []*fountain.Decoder
+	intact map[int][]byte // global cooked seq (or packed fountain seq) → payload
 	// perGen counts intact packets per generation for O(1) stall checks.
 	perGen []int
 	// decoded memoizes each generation's decoded raw packets. Once a
@@ -56,11 +62,26 @@ func NewReceiverFromLayout(layout Layout) (*Receiver, error) {
 	}
 	r := &Receiver{
 		layout:  layout,
-		coders:  make([]*erasure.Coder, len(layout.Shapes)),
 		intact:  make(map[int][]byte),
 		perGen:  make([]int, len(layout.Shapes)),
 		decoded: make([][][]byte, len(layout.Shapes)),
 	}
+	if layout.Codec == erasure.CodecFountain {
+		r.fdec = make([]*fountain.Decoder, len(layout.Shapes))
+		for i, s := range layout.Shapes {
+			weights, err := layout.FountainWeights(i)
+			if err != nil {
+				return nil, err
+			}
+			dec, err := fountain.NewDecoder(i, layout.Seed, s.M, layout.PacketSize, weights)
+			if err != nil {
+				return nil, fmt.Errorf("generation %d: %w", i, err)
+			}
+			r.fdec[i] = dec
+		}
+		return r, nil
+	}
+	r.coders = make([]*erasure.Coder, len(layout.Shapes))
 	for i, s := range layout.Shapes {
 		coder, err := erasure.Shared(s.M, s.N)
 		if err != nil {
@@ -74,14 +95,18 @@ func NewReceiverFromLayout(layout Layout) (*Receiver, error) {
 // Layout returns the receiver's transmission geometry.
 func (r *Receiver) Layout() Layout { return r.layout }
 
-// Add records an intact cooked packet by global sequence number.
-// Duplicates are ignored. The payload is copied.
+// Add records an intact cooked packet by global sequence number — a
+// packed (gen, seq) pair under the fountain codec. Duplicates are
+// ignored. The payload is copied.
 func (r *Receiver) Add(seq int, payload []byte) error {
-	if seq < 0 || seq >= r.layout.N() {
-		return fmt.Errorf("core: seq %d outside [0, %d)", seq, r.layout.N())
-	}
 	if len(payload) != r.layout.PacketSize {
 		return fmt.Errorf("core: payload %d bytes, want %d", len(payload), r.layout.PacketSize)
+	}
+	if r.fdec != nil {
+		return r.addFountain(seq, payload)
+	}
+	if seq < 0 || seq >= r.layout.N() {
+		return fmt.Errorf("core: seq %d outside [0, %d)", seq, r.layout.N())
 	}
 	if _, dup := r.intact[seq]; dup {
 		return nil
@@ -95,11 +120,42 @@ func (r *Receiver) Add(seq int, payload []byte) error {
 	return nil
 }
 
-// AddFrame parses a wire frame, verifies its CRC, and records it when
-// intact. It returns the (claimed) sequence number and whether the packet
-// was intact. Truncated frames return an error. The frame buffer may be
-// reused by the caller: Parse only borrows it, and Add copies the payload.
+// addFountain records a rateless packet under its packed seq and feeds
+// the generation's decoder, which recovers source symbols incrementally
+// (peeling) and finishes stalled patterns via the Gaussian fallback.
+func (r *Receiver) addFountain(packed int, payload []byte) error {
+	if packed < 0 {
+		return fmt.Errorf("core: packed fountain seq %d negative", packed)
+	}
+	g, seq := packet.UnpackSeq(packed)
+	if g >= len(r.fdec) {
+		return fmt.Errorf("core: fountain generation %d of %d", g, len(r.fdec))
+	}
+	if _, dup := r.intact[packed]; dup {
+		return nil
+	}
+	own := append([]byte(nil), payload...)
+	r.intact[packed] = own
+	r.perGen[g]++
+	wasDone := r.fdec[g].Complete()
+	if _, err := r.fdec[g].Add(seq, own); err != nil {
+		return err
+	}
+	if !wasDone && r.fdec[g].Complete() {
+		r.trace.Record(obs.Event{Type: obs.EventDecode, Gen: g})
+	}
+	return nil
+}
+
+// AddFrame parses a wire frame in the layout's codec, verifies its CRC,
+// and records it when intact. It returns the (packed, for fountain)
+// sequence number and whether the packet was intact. Truncated frames
+// return an error. The frame buffer may be reused by the caller: Parse
+// only borrows it, and Add copies the payload.
 func (r *Receiver) AddFrame(frame []byte) (seq int, intact bool, err error) {
+	if r.fdec != nil {
+		return r.addFountainFrame(frame)
+	}
 	p, err := packet.Parse(frame)
 	if errors.Is(err, packet.ErrCorrupt) {
 		return p.Seq, false, nil
@@ -111,6 +167,29 @@ func (r *Receiver) AddFrame(frame []byte) (seq int, intact bool, err error) {
 		return p.Seq, false, err
 	}
 	return p.Seq, true, nil
+}
+
+// addFountainFrame parses a fountain frame. A frame carrying a seed
+// other than the layout's belongs to a different stream — it cannot be
+// decoded under this receiver's spec — and is reported as an error
+// rather than silently dropped, since it means sender and receiver
+// disagree about the fetch.
+func (r *Receiver) addFountainFrame(frame []byte) (seq int, intact bool, err error) {
+	p, err := packet.ParseFountain(frame)
+	packed := packet.PackSeq(p.Gen, p.Seq)
+	if errors.Is(err, packet.ErrCorrupt) {
+		return packed, false, nil
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	if p.Seed != r.layout.Seed {
+		return packed, false, fmt.Errorf("core: fountain seed %#x, layout has %#x", p.Seed, r.layout.Seed)
+	}
+	if err := r.Add(packed, p.Payload); err != nil {
+		return packed, false, err
+	}
+	return packed, true, nil
 }
 
 // IntactCount returns the number of distinct intact packets held.
@@ -141,11 +220,35 @@ func (r *Receiver) Rebase(newLayout Layout) (*Receiver, error) {
 			old.PacketSize, old.BodySize, len(old.Shapes),
 			newLayout.PacketSize, newLayout.BodySize, len(newLayout.Shapes))
 	}
+	if old.Codec != newLayout.Codec {
+		// Cooked payloads are codec-specific; nothing held under one
+		// codec is a valid packet of the other. The transport starts a
+		// fresh receiver instead.
+		return nil, fmt.Errorf("core: rebase codec mismatch: %s vs %s", old.Codec, newLayout.Codec)
+	}
 	for g := range old.Shapes {
 		if old.Shapes[g].M != newLayout.Shapes[g].M {
 			return nil, fmt.Errorf("core: rebase generation %d raw count %d != %d",
 				g, old.Shapes[g].M, newLayout.Shapes[g].M)
 		}
+	}
+	if old.Codec == erasure.CodecFountain {
+		if old.Seed != newLayout.Seed {
+			// A different seed is a different stream: held combinations
+			// would decode under the wrong spec.
+			return nil, fmt.Errorf("core: rebase fountain seed %#x != %#x", old.Seed, newLayout.Seed)
+		}
+		nr, err := NewReceiverFromLayout(newLayout)
+		if err != nil {
+			return nil, err
+		}
+		nr.trace = r.trace
+		for packed, payload := range r.intact {
+			if err := nr.Add(packed, payload); err != nil {
+				return nil, err
+			}
+		}
+		return nr, nil
 	}
 	nr, err := NewReceiverFromLayout(newLayout)
 	if err != nil {
@@ -184,6 +287,17 @@ func (r *Receiver) Reset() {
 	for i := range r.decoded {
 		r.decoded[i] = nil
 	}
+	for i := range r.fdec {
+		// Decoders accumulate state monotonically; a reset means a fresh
+		// decoder. Geometry was validated at construction, so rebuilding
+		// cannot fail.
+		weights, _ := r.layout.FountainWeights(i)
+		dec, err := fountain.NewDecoder(i, r.layout.Seed, r.layout.Shapes[i].M, r.layout.PacketSize, weights)
+		if err != nil {
+			panic(fmt.Sprintf("core: reset rebuilt invalid decoder: %v", err))
+		}
+		r.fdec[i] = dec
+	}
 }
 
 // decodeGeneration returns generation g's raw packets, decoding on first
@@ -197,6 +311,18 @@ func (r *Receiver) decodeGeneration(g int) ([][]byte, error) {
 		r.trace.Record(obs.Event{Type: obs.EventDecodeMemo, Gen: g})
 		return r.decoded[g], nil
 	}
+	if r.fdec != nil {
+		// The fountain decoder decoded incrementally as packets arrived;
+		// completion was checked by the caller, so collect the symbols.
+		raw := make([][]byte, r.layout.Shapes[g].M)
+		for i := range raw {
+			if raw[i] = r.fdec[g].Symbol(i); raw[i] == nil {
+				return nil, fmt.Errorf("core: generation %d symbol %d unrecovered", g, i)
+			}
+		}
+		r.decoded[g] = raw
+		return raw, nil
+	}
 	raw, err := r.coders[g].Decode(r.generationIntact(g))
 	if err != nil {
 		return nil, err
@@ -207,11 +333,16 @@ func (r *Receiver) decodeGeneration(g int) ([][]byte, error) {
 	return raw, nil
 }
 
-// GenerationReconstructible reports whether dispersal group g holds at
-// least M_g intact packets.
+// GenerationReconstructible reports whether dispersal group g can be
+// decoded: at least M_g intact packets for the fixed-rate code, or a
+// completed rateless decoder (packet count alone does not suffice —
+// random combinations can be linearly dependent).
 func (r *Receiver) GenerationReconstructible(g int) bool {
 	if g < 0 || g >= len(r.perGen) {
 		return false
+	}
+	if r.fdec != nil {
+		return r.fdec[g].Complete()
 	}
 	return r.perGen[g] >= r.layout.Shapes[g].M
 }
@@ -220,7 +351,7 @@ func (r *Receiver) GenerationReconstructible(g int) bool {
 // first termination condition of §4.2.
 func (r *Receiver) Reconstructible() bool {
 	for g := range r.perGen {
-		if r.perGen[g] < r.layout.Shapes[g].M {
+		if !r.GenerationReconstructible(g) {
 			return false
 		}
 	}
@@ -288,7 +419,16 @@ func (r *Receiver) rawAvailable() []bool {
 	avail := make([]bool, r.layout.M())
 	rawOff := 0
 	for g, shape := range r.layout.Shapes {
-		if r.GenerationReconstructible(g) {
+		switch {
+		case r.fdec != nil:
+			// The peeling decoder recovers symbols before completion;
+			// each recovered symbol's bytes are usable immediately —
+			// this is where UEP pays off, since high-IC symbols peel
+			// first.
+			for i := 0; i < shape.M; i++ {
+				avail[rawOff+i] = r.fdec[g].Recovered(i)
+			}
+		case r.GenerationReconstructible(g):
 			for i := 0; i < shape.M; i++ {
 				avail[rawOff+i] = true
 			}
@@ -377,7 +517,8 @@ func (r *Receiver) UnitText(seg SegmentMeta) (string, bool) {
 }
 
 // rawBytes returns raw packet rawIdx's bytes from clear text or a decoded
-// generation.
+// generation — or, under the fountain codec, from the generation
+// decoder's incrementally recovered symbols.
 func (r *Receiver) rawBytes(rawIdx int) ([]byte, bool) {
 	rawOff, cookedOff := 0, 0
 	for g, shape := range r.layout.Shapes {
@@ -385,6 +526,12 @@ func (r *Receiver) rawBytes(rawIdx int) ([]byte, bool) {
 			rawOff += shape.M
 			cookedOff += shape.N
 			continue
+		}
+		if r.fdec != nil {
+			if sym := r.fdec[g].Symbol(rawIdx - rawOff); sym != nil {
+				return sym, true
+			}
+			return nil, false
 		}
 		seq := cookedOff + (rawIdx - rawOff)
 		if payload, ok := r.intact[seq]; ok {
@@ -427,14 +574,31 @@ func (r *Receiver) Render() []RenderedUnit {
 }
 
 // Missing returns the sequence numbers not yet held intact, which a
-// client reports when requesting a selective retransmission.
+// client reports when requesting a selective retransmission. Under the
+// fountain codec the seq space is unbounded and "missing" is not a
+// meaningful set; it returns nil (clients report Have instead).
 func (r *Receiver) Missing() []int {
+	if r.fdec != nil {
+		return nil
+	}
 	var out []int
 	for seq := 0; seq < r.layout.N(); seq++ {
 		if _, ok := r.intact[seq]; !ok {
 			out = append(out, seq)
 		}
 	}
+	return out
+}
+
+// HaveList returns every held sequence number in ascending order — the
+// resume/retransmission Have list. It works for both codecs: fixed-rate
+// cooked seqs, or packed (gen, seq) fountain pairs.
+func (r *Receiver) HaveList() []int {
+	out := make([]int, 0, len(r.intact))
+	for seq := range r.intact {
+		out = append(out, seq)
+	}
+	sort.Ints(out)
 	return out
 }
 

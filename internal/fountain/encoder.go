@@ -1,0 +1,74 @@
+package fountain
+
+import (
+	"fmt"
+
+	"mobweb/internal/gf256"
+)
+
+// Encoder produces the rateless cooked-packet stream for one generation.
+// It is immutable after construction and safe for concurrent Payload
+// calls: every packet is a pure function of (seed, gen, seq) and the
+// source symbols, which is what makes frames cacheable and lets one
+// stream serve many broadcast subscribers.
+type Encoder struct {
+	spec *spec
+	src  [][]byte
+	size int
+}
+
+// NewEncoder builds the stream for generation gen under the given seed.
+// src holds the generation's equal-length source symbols (raw packets);
+// weights optionally carries one IC weight per symbol for UEP (nil means
+// uniform protection). The src slices are retained, not copied — callers
+// must not mutate them afterwards.
+func NewEncoder(gen int, seed uint64, src [][]byte, weights []float64) (*Encoder, error) {
+	if len(src) == 0 {
+		return nil, fmt.Errorf("fountain: no source symbols")
+	}
+	size := len(src[0])
+	if size == 0 {
+		return nil, fmt.Errorf("fountain: empty source symbols")
+	}
+	for i, s := range src {
+		if len(s) != size {
+			return nil, fmt.Errorf("fountain: symbol %d is %d bytes, want %d", i, len(s), size)
+		}
+	}
+	sp, err := newSpec(gen, seed, len(src), weights)
+	if err != nil {
+		return nil, err
+	}
+	return &Encoder{spec: sp, src: src, size: size}, nil
+}
+
+// K returns the number of source symbols.
+func (e *Encoder) K() int { return e.spec.k }
+
+// SymbolSize returns the payload size in bytes.
+func (e *Encoder) SymbolSize() int { return e.size }
+
+// Seed returns the stream seed.
+func (e *Encoder) Seed() uint64 { return e.spec.seed }
+
+// Payload cooks packet seq into a fresh slice.
+func (e *Encoder) Payload(seq int) []byte {
+	return e.AppendPayload(nil, seq)
+}
+
+// AppendPayload cooks packet seq and appends it to dst, returning the
+// extended slice. The combination is derived deterministically and the
+// GF(2^8) accumulation runs through the shared slice kernels.
+func (e *Encoder) AppendPayload(dst []byte, seq int) []byte {
+	idx, coeffs := e.spec.combination(seq)
+	off := len(dst)
+	dst = append(dst, make([]byte, e.size)...)
+	out := dst[off:]
+	rows := make([][]byte, len(idx))
+	for i, j := range idx {
+		rows[i] = e.src[j]
+	}
+	gf256.MulAddRows(coeffs, out, rows)
+	fountainMetrics.packetsGenerated.Inc()
+	return dst
+}

@@ -1,0 +1,194 @@
+package fountain
+
+import (
+	"encoding/binary"
+	"sort"
+	"sync"
+
+	"mobweb/internal/gf256"
+	"mobweb/internal/matrix"
+)
+
+// invCacheCap bounds the shared inverse cache. Broadcast is the workload
+// it exists for: every clean-channel subscriber of one stream sees the
+// identical seq prefix, so after the first subscriber pays for Gaussian
+// elimination the rest decode with one cache lookup. A few dozen loss
+// patterns cover a fleet's live streams.
+const invCacheCap = 32
+
+// invEntry memoizes one solved residual system: which pending rows
+// (identified by their stream seqs, one per unknown in column order)
+// formed the invertible submatrix, and that submatrix's inverse. Both
+// are immutable once published.
+type invEntry struct {
+	seqs []int
+	inv  *matrix.Matrix
+}
+
+// invCache is the package-wide LRU keyed by loss pattern. Unlike the
+// Vandermonde coder's per-coder cache, this one is shared: the key
+// embeds (seed, gen, k), so distinct streams never collide, and
+// identical loss patterns across decoders — the broadcast case — share
+// an inversion.
+type invCache struct {
+	mu      sync.Mutex
+	entries map[string]*invEntry
+	order   []string // LRU order: least recent first
+}
+
+var sharedInv invCache
+
+// key derives the cache key for a decoder's current residual system.
+// The residual equations are fully determined by the stream identity
+// (seed, gen, k), the set of consumed seqs, and the recovered-symbol
+// set, so those three are the key. Sorting is unnecessary: seen seqs
+// are emitted in ascending order and the recovered set as a bitmap.
+func (ic *invCache) key(sp *spec, seen map[int]bool, recovered [][]byte) string {
+	buf := make([]byte, 0, 24+len(seen)*3+len(recovered)/8)
+	buf = binary.BigEndian.AppendUint64(buf, sp.seed)
+	buf = binary.BigEndian.AppendUint64(buf, sp.wsig)
+	buf = binary.AppendUvarint(buf, uint64(sp.gen))
+	buf = binary.AppendUvarint(buf, uint64(sp.k))
+	// Bit positions via a mask table: this is a bitmap, not field
+	// arithmetic, and the table keeps shift operators out of a package
+	// the gfarith analyzer watches for unreduced doubling.
+	masks := [8]byte{1, 2, 4, 8, 16, 32, 64, 128}
+	bitmap := make([]byte, (sp.k+7)/8)
+	for j, sym := range recovered {
+		if sym != nil {
+			bitmap[j/8] |= masks[j%8]
+		}
+	}
+	buf = append(buf, bitmap...)
+	seqs := make([]int, 0, len(seen))
+	for s := range seen {
+		seqs = append(seqs, s)
+	}
+	// Insertion-order independence: emit ascending.
+	sort.Ints(seqs)
+	for _, s := range seqs {
+		buf = binary.AppendUvarint(buf, uint64(s))
+	}
+	return string(buf)
+}
+
+// lookup returns the memoized entry for the decoder's residual system,
+// or nil on miss.
+func (ic *invCache) lookup(sp *spec, seen map[int]bool, recovered [][]byte) *invEntry {
+	k := ic.key(sp, seen, recovered)
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
+	if e, ok := ic.entries[k]; ok {
+		ic.touch(k)
+		fountainMetrics.invHits.Inc()
+		return e
+	}
+	fountainMetrics.invMisses.Inc()
+	return nil
+}
+
+// store publishes a solved system under the decoder's current key,
+// evicting the least-recent entry beyond capacity.
+func (ic *invCache) store(sp *spec, seen map[int]bool, recovered [][]byte, e *invEntry) {
+	k := ic.key(sp, seen, recovered)
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
+	if ic.entries == nil {
+		ic.entries = make(map[string]*invEntry, invCacheCap)
+	}
+	if _, ok := ic.entries[k]; !ok {
+		ic.order = append(ic.order, k)
+	}
+	ic.entries[k] = e
+	for len(ic.entries) > invCacheCap {
+		oldest := ic.order[0]
+		ic.order = ic.order[1:]
+		delete(ic.entries, oldest)
+	}
+}
+
+// touch moves key to the most-recent end. Caller holds mu.
+func (ic *invCache) touch(k string) {
+	for i, o := range ic.order {
+		if o == k {
+			copy(ic.order[i:], ic.order[i+1:])
+			ic.order[len(ic.order)-1] = k
+			return
+		}
+	}
+}
+
+// solveDense runs GF(2^8) Gaussian elimination over the dense residual
+// rows (one column per unknown) to select an invertible square
+// submatrix. It returns the chosen row indices (one per column, in
+// column order) and the inverse of the submatrix they form, or
+// (nil, nil) if the rows do not span the unknowns yet.
+func solveDense(dense [][]byte) ([]int, *matrix.Matrix) {
+	if len(dense) == 0 {
+		return nil, nil
+	}
+	u := len(dense[0])
+	if len(dense) < u {
+		return nil, nil
+	}
+	work := make([][]byte, len(dense))
+	perm := make([]int, len(dense))
+	for i, r := range dense {
+		work[i] = append([]byte(nil), r...)
+		perm[i] = i
+	}
+	for c := 0; c < u; c++ {
+		p := -1
+		for r := c; r < len(work); r++ {
+			if work[r][c] != 0 {
+				p = r
+				break
+			}
+		}
+		if p < 0 {
+			return nil, nil // column uncovered: rank-deficient, need more packets
+		}
+		work[c], work[p] = work[p], work[c]
+		perm[c], perm[p] = perm[p], perm[c]
+		pivInv := gf256.Inv(work[c][c])
+		for r := c + 1; r < len(work); r++ {
+			if f := work[r][c]; f != 0 {
+				gf256.MulAddSlice(gf256.Mul(f, pivInv), work[r], work[c])
+			}
+		}
+	}
+	rows := make([][]byte, u)
+	sel := make([]int, u)
+	for c := 0; c < u; c++ {
+		sel[c] = perm[c]
+		rows[c] = append([]byte(nil), dense[perm[c]]...)
+	}
+	sq, err := matrix.NewFromRows(rows)
+	if err != nil {
+		return nil, nil
+	}
+	inv, err := sq.Invert()
+	if err != nil {
+		return nil, nil
+	}
+	return sel, inv
+}
+
+// InvCacheStats is a point-in-time snapshot of the shared inverse cache.
+type InvCacheStats struct {
+	Hits    int64
+	Misses  int64
+	Entries int
+}
+
+// SharedInvCacheStats reports the shared cache's counters.
+func SharedInvCacheStats() InvCacheStats {
+	sharedInv.mu.Lock()
+	n := len(sharedInv.entries)
+	sharedInv.mu.Unlock()
+	return InvCacheStats{
+		Hits:    fountainMetrics.invHits.Value(),
+		Misses:  fountainMetrics.invMisses.Value(),
+		Entries: n,
+	}
+}

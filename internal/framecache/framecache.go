@@ -47,12 +47,21 @@ const entryOverhead = 160
 // hash, plus a document-version token), Gamma repeats the redundancy
 // ratio explicitly so operators can reason about the γ dimension, and
 // Gen/Row locate the frame inside the plan's dispersal groups (Row is
-// the global cooked sequence number's index within its generation).
+// the global cooked sequence number's index within its generation, or
+// the stream seq for rateless codecs).
+//
+// Codec and Seed complete the identity for multi-codec plans: a
+// fixed-rate Vandermonde frame and a fountain frame of the same plan
+// must never collide, nor may two fountain streams under different
+// seeds. Both are zero for the legacy fixed-rate codec, so pre-codec
+// keys are unchanged.
 type Key struct {
 	Plan  string
 	Gamma float64
 	Gen   int
 	Row   int
+	Codec uint8
+	Seed  uint64
 }
 
 // Options tunes a Cache.

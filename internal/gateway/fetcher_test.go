@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"mobweb/internal/erasure"
 	"mobweb/internal/obs"
 	"mobweb/internal/transport"
 )
@@ -155,5 +156,59 @@ func TestRetryAfterSeconds(t *testing.T) {
 		if got := retryAfterSeconds(c.d); got != c.want {
 			t.Errorf("retryAfterSeconds(%v) = %d, want %d", c.d, got, c.want)
 		}
+	}
+}
+
+// recordingFetcher additionally captures the options each fetch received.
+type recordingFetcher struct {
+	stubFetcher
+	got []transport.FetchOptions
+}
+
+func (r *recordingFetcher) Fetch(opts transport.FetchOptions) (*transport.FetchResult, error) {
+	r.got = append(r.got, opts)
+	return r.stubFetcher.Fetch(opts)
+}
+
+func TestDocRemoteCodecQueryAndHeader(t *testing.T) {
+	f := &recordingFetcher{stubFetcher: stubFetcher{res: &transport.FetchResult{
+		Body:  []byte("rateless body"),
+		Codec: "fountain",
+	}}}
+	h, _ := newRemoteGateway(t, f)
+	rec := get(t, h, "/doc/the-draft.xml?codec=fountain")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200", rec.Code)
+	}
+	if got := rec.Header().Get("X-Mobweb-Codec"); got != "fountain" {
+		t.Errorf("X-Mobweb-Codec = %q, want fountain", got)
+	}
+	if len(f.got) != 1 || f.got[0].Codec != erasure.CodecFountain {
+		t.Errorf("fetch options = %+v, want fountain codec requested", f.got)
+	}
+}
+
+func TestDocRemoteBadCodecRejectedBeforeFetch(t *testing.T) {
+	f := &recordingFetcher{stubFetcher: stubFetcher{res: &transport.FetchResult{Body: []byte("x")}}}
+	h, _ := newRemoteGateway(t, f)
+	rec := get(t, h, "/doc/the-draft.xml?codec=bogus")
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad codec status = %d, want 400", rec.Code)
+	}
+	if len(f.got) != 0 {
+		t.Errorf("fetch ran %d times despite bad codec", len(f.got))
+	}
+}
+
+func TestDocRemoteCodecHeaderReflectsServedCodec(t *testing.T) {
+	// A degraded replica may answer a fountain request with the fixed-rate
+	// codec; the header must report what was served, not what was asked.
+	h, _ := newRemoteGateway(t, &stubFetcher{res: &transport.FetchResult{
+		Body:  []byte("x"),
+		Codec: "vandermonde",
+	}})
+	rec := get(t, h, "/doc/the-draft.xml?codec=fountain")
+	if got := rec.Header().Get("X-Mobweb-Codec"); got != "vandermonde" {
+		t.Errorf("X-Mobweb-Codec = %q, want vandermonde", got)
 	}
 }

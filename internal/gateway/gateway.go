@@ -28,6 +28,7 @@ import (
 	"mobweb/internal/content"
 	"mobweb/internal/core"
 	"mobweb/internal/document"
+	"mobweb/internal/erasure"
 	"mobweb/internal/obs"
 	"mobweb/internal/planner"
 	"mobweb/internal/search"
@@ -231,6 +232,36 @@ func (h *Handler) handleLayout(w http.ResponseWriter, r *http.Request) {
 		}
 		req.Gamma = g
 	}
+	codec := erasure.CodecVandermonde
+	if s := query.Get("codec"); s != "" {
+		c, err := erasure.ParseCodec(s)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		codec = c
+	}
+	if codec == erasure.CodecFountain {
+		// The fountain layout carries the stream seed: explicit via
+		// ?seed=, otherwise derived from the canonical plan key so every
+		// gateway replica hands out the same geometry.
+		resolved, err := h.planner.ResolveFrames(req)
+		if err != nil {
+			writePlanError(w, err)
+			return
+		}
+		seed := resolved.FountainSeed(0)
+		if s := query.Get("seed"); s != "" {
+			v, perr := strconv.ParseUint(s, 10, 64)
+			if perr != nil || v == 0 {
+				http.Error(w, "seed must be a positive integer", http.StatusBadRequest)
+				return
+			}
+			seed = v
+		}
+		writeJSON(w, resolved.Plan.FountainLayout(seed))
+		return
+	}
 	plan, err := h.planner.Resolve(req)
 	if err != nil {
 		writePlanError(w, err)
@@ -347,6 +378,14 @@ func (h *Handler) handleDocRemote(w http.ResponseWriter, r *http.Request) {
 		Query:   query.Get("q"),
 		Caching: true,
 	}
+	if s := query.Get("codec"); s != "" {
+		codec, err := erasure.ParseCodec(s)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		opts.Codec = codec
+	}
 	if s := query.Get("lod"); s != "" {
 		lod, err := planner.ParseLOD(s)
 		if err != nil {
@@ -386,6 +425,11 @@ func (h *Handler) handleDocRemote(w http.ResponseWriter, r *http.Request) {
 		capability = transport.CapFull.String()
 	}
 	w.Header().Set("X-Mobweb-Capability", capability)
+	if res.Codec != "" {
+		// The codec the fetch tier actually served with — a degraded
+		// replica may answer a fountain request with the fixed-rate codec.
+		w.Header().Set("X-Mobweb-Codec", res.Codec)
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.Write(res.Body)
 }

@@ -11,6 +11,7 @@ import (
 
 	"mobweb/internal/core"
 	"mobweb/internal/corpus"
+	"mobweb/internal/erasure"
 	"mobweb/internal/search"
 	"mobweb/internal/textproc"
 )
@@ -242,5 +243,50 @@ func TestDocEndpointHonorsRequestContext(t *testing.T) {
 	// tens of units; a cancelled request gets none.
 	if body := rec.Body.String(); strings.Contains(body, "── ") {
 		t.Errorf("cancelled request still streamed units:\n%.200s", body)
+	}
+}
+
+func TestLayoutEndpointFountain(t *testing.T) {
+	h := newGateway(t)
+	rec := get(t, h, "/layout/"+corpus.DraftName+"?q=mobile&codec=fountain")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var layout core.Layout
+	if err := json.NewDecoder(rec.Body).Decode(&layout); err != nil {
+		t.Fatal(err)
+	}
+	if err := layout.Validate(); err != nil {
+		t.Fatalf("served fountain layout invalid: %v", err)
+	}
+	if layout.Codec != erasure.CodecFountain {
+		t.Errorf("layout codec = %v, want fountain", layout.Codec)
+	}
+	if layout.Seed == 0 {
+		t.Error("fountain layout has zero seed")
+	}
+	// Same plan, same derived seed: replicas agree without coordination.
+	rec2 := get(t, h, "/layout/"+corpus.DraftName+"?q=mobile&codec=fountain")
+	var layout2 core.Layout
+	if err := json.NewDecoder(rec2.Body).Decode(&layout2); err != nil {
+		t.Fatal(err)
+	}
+	if layout2.Seed != layout.Seed {
+		t.Errorf("derived seed unstable across requests: %d vs %d", layout.Seed, layout2.Seed)
+	}
+	// An explicit seed overrides the derived one.
+	rec3 := get(t, h, "/layout/"+corpus.DraftName+"?q=mobile&codec=fountain&seed=42")
+	var layout3 core.Layout
+	if err := json.NewDecoder(rec3.Body).Decode(&layout3); err != nil {
+		t.Fatal(err)
+	}
+	if layout3.Seed != 42 {
+		t.Errorf("explicit seed = %d, want 42", layout3.Seed)
+	}
+	if rec4 := get(t, h, "/layout/"+corpus.DraftName+"?codec=fountain&seed=0"); rec4.Code != http.StatusBadRequest {
+		t.Errorf("seed=0 status %d, want 400", rec4.Code)
+	}
+	if rec5 := get(t, h, "/layout/"+corpus.DraftName+"?codec=bogus"); rec5.Code != http.StatusBadRequest {
+		t.Errorf("bad codec status %d, want 400", rec5.Code)
 	}
 }

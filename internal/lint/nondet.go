@@ -18,6 +18,7 @@ var NondetPackages = []string{
 	"mobweb/internal/crc",
 	"mobweb/internal/erasure",
 	"mobweb/internal/ewma",
+	"mobweb/internal/fountain",
 	"mobweb/internal/framecache",
 	"mobweb/internal/gf256",
 	"mobweb/internal/nbinom",

@@ -18,11 +18,13 @@ var (
 	// cached plan, so it is covered too.
 	planOwnerTypes = map[string]bool{"Plan": true, "generation": true}
 	// planConstructorAllowed marks owner-package functions that may write
-	// plan fields: constructors, and the mutex-guarded lazy parity row
-	// encode (the one sanctioned post-construction write).
+	// plan fields: constructors, the mutex-guarded lazy parity row
+	// encode, and the equally mutex-guarded lazy fountain encoder
+	// memoization (the sanctioned post-construction writes).
 	planConstructorAllowed = func(name string) bool {
 		return strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new") ||
-			name == "ensureParity" || name == "ensureParityRow"
+			name == "ensureParity" || name == "ensureParityRow" ||
+			name == "fountainEncoder"
 	}
 	// SharedPlanAccessors return slices that alias cache-owned plan
 	// state. Their results must be treated as read-only; writing through

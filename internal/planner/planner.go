@@ -35,6 +35,7 @@ import (
 
 	"mobweb/internal/content"
 	"mobweb/internal/core"
+	"mobweb/internal/erasure"
 	"mobweb/internal/framecache"
 	"mobweb/internal/gf256"
 	"mobweb/internal/search"
@@ -215,8 +216,13 @@ type Resolved struct {
 	// Key is the frame-cache plan key: the canonical plan key plus a
 	// document-version token, so frames of a re-indexed document never
 	// collide with frames of its replacement.
-	Key     string
-	planner *Planner
+	Key string
+	// canonKey is the canonical plan key without the document-version
+	// token: identical across replicas resolving the same request, which
+	// is what FountainSeed needs so a rerouted fetch continues the same
+	// stream byte-identically on another replica.
+	canonKey string
+	planner  *Planner
 }
 
 // Cached reports whether frame caching is active. When false, Frame
@@ -258,7 +264,56 @@ func (p *Planner) ResolveFrames(req Request) (*Resolved, error) {
 	p.mu.Lock()
 	frameKey := key + "\x00" + p.scTokenLocked(sc)
 	p.mu.Unlock()
-	return &Resolved{Plan: plan, Key: frameKey, planner: p}, nil
+	return &Resolved{Plan: plan, Key: frameKey, canonKey: key, planner: p}, nil
+}
+
+// FountainSeed derives the fountain stream seed for this plan under a
+// server-wide salt. It is a pure function of (canonical plan key, salt),
+// so every replica configured with the same salt streams byte-identical
+// fountain packets for the same request — the property broadcast fan-out
+// and mid-fetch re-routing rely on. The result is never zero (zero means
+// "derive for me" in the transport request).
+func (r *Resolved) FountainSeed(salt uint64) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(r.canonKey))
+	s := h.Sum64() ^ salt
+	// splitmix64 finalizer: smear the salt across all bits.
+	s = (s ^ (s >> 30)) * 0xbf58476d1ce4e5b9
+	s = (s ^ (s >> 27)) * 0x94d049bb133111eb
+	s ^= s >> 31
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
+// FountainFrame returns the cooked fountain wire frame for (seed, gen,
+// seq), serving it from the shared frame cache when enabled. Fountain
+// frames are cacheable for the same reason fixed-rate ones are — the
+// stream is a pure function of (plan, codec, seed, gen, seq) — and the
+// cache key carries codec and seed so the two codecs' frames can never
+// collide on one plan. The returned slice is shared and immutable when
+// Cached().
+func (r *Resolved) FountainFrame(seed uint64, gen, seq int) ([]byte, error) {
+	fc := r.planner.frames
+	if fc == nil {
+		return r.Plan.FountainFrame(seed, gen, seq)
+	}
+	k := framecache.Key{
+		Plan:  r.Key,
+		Gamma: r.Plan.Config().Gamma,
+		Gen:   gen,
+		Row:   seq,
+		Codec: uint8(erasure.CodecFountain),
+		Seed:  seed,
+	}
+	if frame, ok := fc.Get(k); ok {
+		return frame, nil
+	}
+	plan := r.Plan
+	return fc.GetOrCook(k, func() ([]byte, error) {
+		return plan.FountainFrame(seed, gen, seq)
+	})
 }
 
 // FrameStats returns a snapshot of the frame cache's counters (zero when

@@ -407,3 +407,81 @@ func TestCachedPlanFrameStress(t *testing.T) {
 		t.Fatalf("stress encoded %d generations, want exactly %d", got, gens)
 	}
 }
+
+// TestBothCodecsOneDoc is the cross-codec collision regression: a
+// Vandermonde frame and fountain frames (under two seeds) of the SAME
+// plan share numeric (gen, row) coordinates, so only the codec id and
+// seed in the cache key keep them apart. Each must cook and cache
+// independently, and repeat lookups must hit their own entry.
+func TestBothCodecsOneDoc(t *testing.T) {
+	p, _ := newTestPlanner(t, Options{}, "a.xml")
+	r, err := p.ResolveFrames(baseReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seedA := r.FountainSeed(1)
+	seedB := r.FountainSeed(2)
+	if seedA == 0 || seedB == 0 {
+		t.Fatal("derived fountain seed is zero")
+	}
+	if seedA == seedB {
+		t.Fatal("different salts derived the same seed")
+	}
+	if again := r.FountainSeed(1); again != seedA {
+		t.Fatalf("FountainSeed not deterministic: %#x vs %#x", again, seedA)
+	}
+	// The seed must survive a re-resolve (cache hit path) unchanged: it
+	// is a pure function of the canonical key, not of the handle.
+	r2, err := p.ResolveFrames(baseReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.FountainSeed(1) != seedA {
+		t.Fatal("re-resolved handle derived a different fountain seed")
+	}
+
+	// Global seq 0 is generation 0, row 0 — numerically identical
+	// coordinates to fountain (gen 0, seq 0) under both seeds.
+	vand, err := r.Frame(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ftnA, err := r.FountainFrame(seedA, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ftnB, err := r.FountainFrame(seedB, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(vand, ftnA) || bytes.Equal(vand, ftnB) {
+		t.Fatal("fountain frame identical to Vandermonde frame at the same coordinates")
+	}
+	if bytes.Equal(ftnA, ftnB) {
+		t.Fatal("fountain frames under different seeds are identical")
+	}
+
+	cooked := p.FrameStats().Cooks
+	if cooked != 3 {
+		t.Fatalf("cooked %d frames, want 3 (one per codec/seed identity)", cooked)
+	}
+	// Repeat fetches of all three must be pure cache hits.
+	for i := 0; i < 2; i++ {
+		if f, err := r.Frame(0); err != nil || !bytes.Equal(f, vand) {
+			t.Fatalf("repeat Vandermonde frame: %v", err)
+		}
+		if f, err := r.FountainFrame(seedA, 0, 0); err != nil || !bytes.Equal(f, ftnA) {
+			t.Fatalf("repeat fountain frame (seed A): %v", err)
+		}
+		if f, err := r.FountainFrame(seedB, 0, 0); err != nil || !bytes.Equal(f, ftnB) {
+			t.Fatalf("repeat fountain frame (seed B): %v", err)
+		}
+	}
+	if st := p.FrameStats(); st.Cooks != cooked {
+		t.Fatalf("repeat lookups cooked %d extra frames", st.Cooks-cooked)
+	}
+	if st := p.FrameStats(); st.Entries != 3 {
+		t.Fatalf("cache holds %d entries, want 3 distinct", st.Entries)
+	}
+}

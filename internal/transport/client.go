@@ -15,8 +15,10 @@ import (
 	"mobweb/internal/content"
 	"mobweb/internal/core"
 	"mobweb/internal/document"
+	"mobweb/internal/erasure"
 	"mobweb/internal/ewma"
 	"mobweb/internal/obs"
+	"mobweb/internal/packet"
 )
 
 // RetryPolicy bounds the client's reconnection behaviour after a
@@ -468,6 +470,19 @@ type FetchOptions struct {
 	// TargetSuccess is the per-round reconstruction probability adaptive
 	// γ aims for; zero means 0.95.
 	TargetSuccess float64
+	// Codec selects the erasure codec. The zero value asks for the
+	// server's default; name fountain explicitly (erasure.CodecFountain)
+	// for a rateless open-loop fetch. The layout the server answers with
+	// is authoritative — a degraded replica may serve fixed-rate anyway.
+	Codec erasure.CodecID
+	// FountainSeed pins the fountain stream seed; zero lets the server
+	// derive it from the canonical plan key, which every replica sharing
+	// a salt derives identically (resume-on-reroute).
+	FountainSeed uint64
+	// Broadcast joins the server's shared fan-out stream for this plan
+	// instead of a private one (fountain only). Frames a slow link
+	// misses are ordinary loss to the rateless decoder.
+	Broadcast bool
 	// RoundTimeout bounds one whole transmission round (Request,
 	// response, packet stream). A round that overruns is aborted and
 	// treated as a connection failure: the client reconnects and
@@ -486,7 +501,7 @@ type FetchOptions struct {
 // fetchShape fingerprints the plan-affecting fetch options; a prefetched
 // receiver is only reusable under the same shape.
 func fetchShape(opts FetchOptions) string {
-	return fmt.Sprintf("%s|%s|%d|%d|%g", opts.Doc, opts.Query, opts.LOD, opts.Notion, opts.Gamma)
+	return fmt.Sprintf("%s|%s|%d|%d|%g|%d|%d", opts.Doc, opts.Query, opts.LOD, opts.Notion, opts.Gamma, opts.Codec, opts.FountainSeed)
 }
 
 // FetchResult summarizes a download. On a terminal error (disconnect,
@@ -512,6 +527,10 @@ type FetchResult struct {
 	// PacketsReceived and PacketsCorrupted count frames seen on the
 	// wire.
 	PacketsReceived, PacketsCorrupted int
+	// BytesReceived sums the frame payload bytes seen on the wire
+	// (corrupt frames included — the radio spent the air time either
+	// way), so codecs with different framing compare on equal terms.
+	BytesReceived int
 	// HeldPackets is the number of intact packets held at the end.
 	HeldPackets int
 	// Stalled reports whether any round ended without termination.
@@ -531,6 +550,10 @@ type FetchResult struct {
 	// Capability is the serving tier's advertised capability mode;
 	// empty means full capability.
 	Capability string
+	// Codec names the erasure codec of the final round's layout — what
+	// the server actually served, which may differ from the request on a
+	// degraded replica. Empty until a layout was received.
+	Codec string
 	// Trace is the event timeline supplied in FetchOptions.Trace, echoed
 	// back so callers hold result and timeline together; nil when the
 	// fetch was untraced.
@@ -675,7 +698,10 @@ func (c *Client) fetchContext(ctx context.Context, opts FetchOptions) (*FetchRes
 					result.AlphaEstimates = append(result.AlphaEstimates, a)
 					tr.Record(obs.Event{Type: obs.EventAlpha, Round: result.Rounds, Value: a})
 					cm.alpha.Set(a)
-					if rcv != nil {
+					// γ sizes fixed-rate redundancy; a rateless stream
+					// adapts by construction, so only the α estimate is
+					// kept (it still informs later fixed-rate fetches).
+					if rcv != nil && rcv.Layout().Codec != erasure.CodecFountain {
 						if g, ok := adaptiveGamma(rcv.Layout(), a, opts.TargetSuccess); ok {
 							if g != gamma {
 								tr.Record(obs.Event{Type: obs.EventGamma, Round: result.Rounds, Value: g})
@@ -728,11 +754,21 @@ func (c *Client) runRound(ctx context.Context, opts FetchOptions, gamma float64,
 	if opts.Notion != 0 {
 		req.Notion = opts.Notion.String()
 	}
+	if opts.Codec != 0 {
+		req.Codec = opts.Codec.String()
+	}
+	req.Seed = opts.FountainSeed
+	req.Broadcast = opts.Broadcast
 	if rcv != nil && opts.Caching {
-		for seq := 0; seq < rcv.Layout().N(); seq++ {
-			if rcv.Held(seq) {
-				req.Have = append(req.Have, seq)
-			}
+		// HaveList covers both codecs: cooked sequence numbers for the
+		// fixed-rate codec, packed (gen, seq) pairs for fountain — the
+		// same identifiers AddFrame keyed the packets by.
+		req.Have = rcv.HaveList()
+		if lo := rcv.Layout(); lo.Codec == erasure.CodecFountain && req.Seed == 0 {
+			// Pin the resumed stream to the seed already decoded against,
+			// so held fountain packets stay valid across the resume even
+			// if the serving replica's salt would derive differently.
+			req.Seed = lo.Seed
 		}
 	}
 	result.GammaRequests = append(result.GammaRequests, gamma)
@@ -756,12 +792,15 @@ func (c *Client) runRound(ctx context.Context, opts FetchOptions, gamma float64,
 	if resp.Capability != "" {
 		result.Capability = resp.Capability
 	}
-	if rcv != nil && (rcv.Layout().N() != resp.Layout.N() || rcv.Layout().BodySize != resp.Layout.BodySize) {
+	result.Codec = resp.Layout.Codec.String()
+	if lo := rcvLayout(rcv); rcv != nil && (lo.N() != resp.Layout.N() || lo.BodySize != resp.Layout.BodySize ||
+		lo.Codec != resp.Layout.Codec || lo.Seed != resp.Layout.Seed) {
 		// The geometry changed. A pure γ change (adaptive redundancy)
 		// keeps every held cooked packet valid — systematic dispersal
 		// rows are independent of N — so rebase onto the new layout;
-		// anything else means the document changed server-side and the
-		// cache is useless.
+		// anything else (document changed server-side, codec switched,
+		// fountain seed changed) makes Rebase refuse and the cache is
+		// useless.
 		rebased, rerr := rcv.Rebase(*resp.Layout)
 		if rerr != nil {
 			rcv = nil
@@ -782,6 +821,15 @@ func (c *Client) runRound(ctx context.Context, opts FetchOptions, gamma float64,
 	}
 	done, err := c.consumeStream(ctx, rcv, opts, result, seen)
 	return rcv, done, err
+}
+
+// rcvLayout is the nil-safe layout accessor behind the round loops'
+// geometry comparisons.
+func rcvLayout(rcv *core.Receiver) core.Layout {
+	if rcv == nil {
+		return core.Layout{}
+	}
+	return rcv.Layout()
 }
 
 // alphaEstimator lazily creates the client's channel-quality estimator.
@@ -913,11 +961,15 @@ func (c *Client) prefetchRound(ctx context.Context, opts FetchOptions, rcv *core
 	if opts.Notion != 0 {
 		req.Notion = opts.Notion.String()
 	}
+	if opts.Codec != 0 {
+		req.Codec = opts.Codec.String()
+	}
+	req.Seed = opts.FountainSeed
+	req.Broadcast = opts.Broadcast
 	if rcv != nil {
-		for seq := 0; seq < rcv.Layout().N(); seq++ {
-			if rcv.Held(seq) {
-				req.Have = append(req.Have, seq)
-			}
+		req.Have = rcv.HaveList()
+		if lo := rcv.Layout(); lo.Codec == erasure.CodecFountain && req.Seed == 0 {
+			req.Seed = lo.Seed
 		}
 	}
 	if err := c.send(ctx, req); err != nil {
@@ -933,7 +985,8 @@ func (c *Client) prefetchRound(ctx context.Context, opts FetchOptions, rcv *core
 	if resp.Layout == nil {
 		return rcv, fmt.Errorf("%w: fetch response missing layout", ErrBadResponse)
 	}
-	if rcv != nil && (rcv.Layout().N() != resp.Layout.N() || rcv.Layout().BodySize != resp.Layout.BodySize) {
+	if lo := rcvLayout(rcv); rcv != nil && (lo.N() != resp.Layout.N() || lo.BodySize != resp.Layout.BodySize ||
+		lo.Codec != resp.Layout.Codec || lo.Seed != resp.Layout.Seed) {
 		rebased, rerr := rcv.Rebase(*resp.Layout)
 		if rerr != nil {
 			rcv = nil
@@ -993,6 +1046,14 @@ func (c *Client) primeReceiver(doc, shape string, rcv *core.Receiver) {
 func (c *Client) consumeStream(ctx context.Context, rcv *core.Receiver, opts FetchOptions, result *FetchResult, seen map[int]bool) (bool, error) {
 	terminatedEarly := false
 	cm := c.metrics()
+	// On a fountain stream the client closes the loop per generation: the
+	// moment one decodes, a stopgen tells the open-loop transmitter to
+	// spend no more air time on it.
+	fountainMode := rcv.Layout().Codec == erasure.CodecFountain
+	var genStopped map[int]bool
+	if fountainMode {
+		genStopped = make(map[int]bool)
+	}
 	var frameBuf []byte // reused across frames; AddFrame copies what it keeps
 	for {
 		if err := c.conn.SetReadDeadline(c.deadline(ctx)); err != nil {
@@ -1010,6 +1071,7 @@ func (c *Client) consumeStream(ctx context.Context, rcv *core.Receiver, opts Fet
 			continue // draining after stop
 		}
 		result.PacketsReceived++
+		result.BytesReceived += len(frame)
 		cm.packetsIn.Inc()
 		seq, intact, err := rcv.AddFrame(frame)
 		if err != nil {
@@ -1050,6 +1112,13 @@ func (c *Client) consumeStream(ctx context.Context, rcv *core.Receiver, opts Fet
 			}
 			terminatedEarly = true
 			opts.Trace.Record(obs.Event{Type: obs.EventStop, Round: result.Rounds, Seq: seq})
+		} else if intact && fountainMode {
+			if g, _ := packet.UnpackSeq(seq); !genStopped[g] && rcv.GenerationReconstructible(g) {
+				if err := c.send(ctx, Request{Op: "stopgen", Gen: g}); err != nil {
+					return false, err
+				}
+				genStopped[g] = true
+			}
 		}
 	}
 }

@@ -1,0 +1,436 @@
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"mobweb/internal/core"
+	"mobweb/internal/obs"
+	"mobweb/internal/packet"
+	"mobweb/internal/planner"
+)
+
+// This file is the transmitter's rateless mode: the open-loop fountain
+// stream for private fetches, and the broadcast hub that fans one cooked
+// fountain stream to any number of subscribers with zero-copy shared
+// frames. Both run until the client reports decoded generations
+// ("stopgen") or stops outright — the §4.2 retransmission rounds
+// collapse into continuous packet generation with client feedback.
+
+// broadcastSubBuffer is each subscriber's frame-queue depth. A slow
+// subscriber whose queue fills simply misses packets — for a rateless
+// code that is indistinguishable from channel loss, so the producer
+// never blocks on the slowest socket.
+const broadcastSubBuffer = 64
+
+// broadcastPaceBacklog is the per-subscriber queue occupancy above which
+// the producer considers that subscriber well fed. When every subscriber
+// is well fed the producer sleeps instead of cooking further ahead,
+// bounding wasted encode work to ~this many frames per subscriber.
+const broadcastPaceBacklog = 8
+
+// fountainOvershootCap bounds the packets a fountain stream sends for
+// one generation of M source symbols before giving up on feedback:
+// enough for decode at severe loss (4M covers α beyond 0.7), with a
+// floor for tiny generations whose soliton overhead is proportionally
+// larger.
+func fountainOvershootCap(m int) int {
+	if c := 4 * m; c > m+64 {
+		return c
+	}
+	return m + 64
+}
+
+// handleFountainFetch answers a fetch with the rateless codec: derive
+// (or honor) the stream seed, advertise the fountain layout, then
+// stream open-loop. Sending stays zero in the response — an open-loop
+// stream has no predetermined frame count.
+func (s *Server) handleFountainFetch(w *bufio.Writer, req Request, resolved *planner.Resolved, requests <-chan Request, injector FaultInjector) error {
+	seed := req.Seed
+	if seed == 0 {
+		seed = resolved.FountainSeed(s.opts.FountainSalt)
+	}
+	layout := resolved.Plan.FountainLayout(seed)
+	resp := Response{OK: true, Layout: &layout, Replica: s.opts.Name}
+	if mode := s.opts.Capability.Mode(); mode != CapFull {
+		resp.Capability = mode.String()
+	}
+	if err := WriteJSONLine(w, resp); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if req.Broadcast {
+		return s.streamBroadcast(w, req, resolved, seed, layout, requests, injector)
+	}
+	return s.streamFountain(w, req, resolved, seed, layout, requests, injector)
+}
+
+// fountainStreamState is the per-connection bookkeeping shared by the
+// private and broadcast stream loops.
+type fountainStreamState struct {
+	have    map[int]bool // packed (gen, seq) the client already holds
+	stopped []bool
+	sent    []int
+	caps    []int
+	active  int
+}
+
+func newFountainStreamState(req Request, layout core.Layout) *fountainStreamState {
+	gens := len(layout.Shapes)
+	st := &fountainStreamState{
+		have:    make(map[int]bool, len(req.Have)),
+		stopped: make([]bool, gens),
+		sent:    make([]int, gens),
+		caps:    make([]int, gens),
+		active:  gens,
+	}
+	for _, packed := range req.Have {
+		st.have[packed] = true
+	}
+	for g, shape := range layout.Shapes {
+		st.caps[g] = fountainOvershootCap(shape.M)
+	}
+	return st
+}
+
+// stopGen marks one generation done (client decoded it, or the
+// overshoot cap fired).
+func (st *fountainStreamState) stopGen(g int) {
+	if g >= 0 && g < len(st.stopped) && !st.stopped[g] {
+		st.stopped[g] = true
+		st.active--
+	}
+}
+
+// streamFountain runs a private open-loop fountain stream: round-robin
+// over generations the client has not yet decoded, skipping packets the
+// Have list says it already holds. Each frame is flushed immediately —
+// the stream only terminates through client feedback, so frames must
+// reach the decoder promptly rather than sit in the write buffer.
+func (s *Server) streamFountain(w *bufio.Writer, req Request, resolved *planner.Resolved, seed uint64, layout core.Layout, requests <-chan Request, injector FaultInjector) error {
+	plan := resolved.Plan
+	st := newFountainStreamState(req, layout)
+	cursor := make([]int, len(layout.Shapes))
+	_, cleanChannel := injector.(NopInjector)
+	useCache := resolved.Cached()
+	var frameBuf []byte
+	totalSent := 0
+stream:
+	for st.active > 0 {
+		for g := range cursor {
+			if st.stopped[g] {
+				continue
+			}
+			select {
+			case creq, ok := <-requests:
+				if !ok {
+					return io.EOF
+				}
+				switch creq.Op {
+				case "stop":
+					break stream
+				case "stopgen":
+					st.stopGen(creq.Gen)
+				default:
+					return fmt.Errorf("transport: %q request during stream", creq.Op)
+				}
+				if st.stopped[g] {
+					continue
+				}
+			default:
+			}
+			if st.sent[g] >= st.caps[g] {
+				st.stopGen(g)
+				continue
+			}
+			seq := cursor[g]
+			cursor[g]++
+			if st.have[packet.PackSeq(g, seq)] {
+				continue
+			}
+			var out []byte
+			if useCache {
+				frame, err := resolved.FountainFrame(seed, g, seq)
+				if err != nil {
+					return err
+				}
+				if cleanChannel {
+					out = frame // shared, immutable; written verbatim
+				} else {
+					frameBuf = append(frameBuf[:0], frame...)
+					var send bool
+					out, send = injector.Inject(frameBuf, packet.PackSeq(g, seq))
+					if !send {
+						st.sent[g]++
+						s.sm.framesDropped.Inc()
+						continue
+					}
+				}
+			} else {
+				var err error
+				frameBuf, err = plan.AppendFountainFrame(frameBuf[:0], seed, g, seq)
+				if err != nil {
+					return err
+				}
+				var send bool
+				out, send = injector.Inject(frameBuf, packet.PackSeq(g, seq))
+				if !send {
+					st.sent[g]++
+					s.sm.framesDropped.Inc()
+					continue
+				}
+			}
+			if err := WriteFrame(w, out); err != nil {
+				return err
+			}
+			if err := w.Flush(); err != nil {
+				return err
+			}
+			st.sent[g]++
+			totalSent++
+			s.sm.framesOut.Inc()
+			s.sm.fountainFrames.Inc()
+			if s.opts.PacketDelay > 0 {
+				time.Sleep(s.opts.PacketDelay)
+			}
+		}
+	}
+	s.sm.fetchLog.Record(obs.FetchRecord{
+		Doc:     req.Doc,
+		Origin:  "server",
+		Replica: s.opts.Name,
+		Sent:    totalSent,
+		Have:    len(req.Have),
+		Gamma:   req.Gamma,
+	})
+	if err := WriteEndOfStream(w); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// broadcastKey identifies one shared fan-out stream: the version-scoped
+// plan key plus the fountain seed. Subscribers of the same plan under
+// the same seed share one producer; a re-indexed document or a
+// different seed is a different stream.
+type broadcastKey struct {
+	plan string
+	seed uint64
+}
+
+// broadcastFrame is one cooked frame in flight from producer to
+// subscriber. The frame bytes are shared and immutable (framecache
+// slices); subscribers that must mutate (fault injection) copy first.
+type broadcastFrame struct {
+	gen, seq int
+	frame    []byte
+}
+
+// broadcastStream is one live fan-out: a producer goroutine plus its
+// subscriber set. Field access is guarded by the hub mutex.
+type broadcastStream struct {
+	key  broadcastKey
+	subs map[*broadcastSub]bool
+}
+
+// broadcastSub is one subscriber's queue. Only the producer closes ch
+// (on a cook failure tearing the stream down), at most once, under the
+// hub lock.
+type broadcastSub struct {
+	ch chan broadcastFrame
+}
+
+// broadcastHub indexes the live fan-out streams.
+type broadcastHub struct {
+	mu      sync.Mutex
+	streams map[broadcastKey]*broadcastStream
+}
+
+// subscribeBroadcast joins (creating on first subscriber) the shared
+// stream for (plan, seed).
+func (s *Server) subscribeBroadcast(resolved *planner.Resolved, seed uint64, layout core.Layout) *broadcastSub {
+	key := broadcastKey{plan: resolved.Key, seed: seed}
+	sub := &broadcastSub{ch: make(chan broadcastFrame, broadcastSubBuffer)}
+	h := &s.bcast
+	h.mu.Lock()
+	st, ok := h.streams[key]
+	if !ok {
+		st = &broadcastStream{key: key, subs: make(map[*broadcastSub]bool)}
+		h.streams[key] = st
+		s.sm.broadcastStreams.Add(1)
+		go s.produceBroadcast(st, resolved, seed, len(layout.Shapes))
+	}
+	st.subs[sub] = true
+	h.mu.Unlock()
+	s.sm.broadcastSubs.Add(1)
+	return sub
+}
+
+// unsubscribeBroadcast detaches one subscriber; the producer notices an
+// empty subscriber set and deregisters itself.
+func (s *Server) unsubscribeBroadcast(key broadcastKey, sub *broadcastSub) {
+	h := &s.bcast
+	h.mu.Lock()
+	if st := h.streams[key]; st != nil {
+		delete(st.subs, sub)
+	}
+	h.mu.Unlock()
+	s.sm.broadcastSubs.Add(-1)
+}
+
+// produceBroadcast is the single producer of one fan-out stream: it
+// cooks fountain frames round-robin across generations and offers each
+// to every subscriber without blocking — a full queue drops the frame
+// for that subscriber only. It exits (and deregisters the stream) when
+// the subscriber set empties, or tears the stream down by closing every
+// queue if a frame fails to cook.
+func (s *Server) produceBroadcast(st *broadcastStream, resolved *planner.Resolved, seed uint64, gens int) {
+	h := &s.bcast
+	cursor := make([]int, gens)
+	var subs []*broadcastSub
+	for {
+		for g := 0; g < gens; g++ {
+			seq := cursor[g]
+			cursor[g]++
+			frame, err := resolved.FountainFrame(seed, g, seq)
+
+			h.mu.Lock()
+			if len(st.subs) == 0 {
+				delete(h.streams, st.key)
+				h.mu.Unlock()
+				s.sm.broadcastStreams.Add(-1)
+				return
+			}
+			if err != nil {
+				// Cook failure (plan invalidated mid-stream): tear down;
+				// subscribers see a closed queue and end their streams.
+				for sub := range st.subs { //mobweb:nondet-ok teardown closes every queue; order is immaterial
+					close(sub.ch)
+				}
+				st.subs = make(map[*broadcastSub]bool)
+				delete(h.streams, st.key)
+				h.mu.Unlock()
+				s.sm.broadcastStreams.Add(-1)
+				return
+			}
+			subs = subs[:0]
+			for sub := range st.subs { //mobweb:nondet-ok per-subscriber queues; delivery order across subscribers is immaterial
+				subs = append(subs, sub)
+			}
+			h.mu.Unlock()
+
+			bf := broadcastFrame{gen: g, seq: seq, frame: frame}
+			delivered, pace := false, true
+			for _, sub := range subs {
+				select {
+				case sub.ch <- bf:
+					delivered = true
+					s.sm.broadcastFrames.Inc()
+				default:
+					s.sm.broadcastDrops.Inc()
+				}
+				if len(sub.ch) < broadcastPaceBacklog {
+					pace = false
+				}
+			}
+			if pace || !delivered {
+				// Every subscriber already holds a healthy backlog (or
+				// some queue is outright full): the sockets are the
+				// bottleneck, not the cook loop. Pace cooking to
+				// consumption — one cooked stream only amortizes the
+				// fan-out when the producer tracks its slowest consumer
+				// instead of free-running on the wall clock.
+				//mobweb:nondet-ok pacing sleep; frame content is unaffected
+				time.Sleep(200 * time.Microsecond)
+			}
+			if d := s.opts.PacketDelay; d > 0 {
+				// The carousel is paced to the emulated broadcast link
+				// rate, like the unicast stream paths: the air interface,
+				// not the CPU, decides how fast new symbols appear.
+				//mobweb:nondet-ok pacing sleep; frame content is unaffected
+				time.Sleep(d)
+			}
+		}
+	}
+}
+
+// streamBroadcast serves one subscriber of the shared fan-out: forward
+// frames from the producer's queue, filtering generations the client
+// decoded (stopgen) or already holds (Have), until every generation is
+// done or the client stops. The select blocks on queue and control
+// channel together, so feedback is handled the moment it arrives.
+func (s *Server) streamBroadcast(w *bufio.Writer, req Request, resolved *planner.Resolved, seed uint64, layout core.Layout, requests <-chan Request, injector FaultInjector) error {
+	st := newFountainStreamState(req, layout)
+	sub := s.subscribeBroadcast(resolved, seed, layout)
+	defer s.unsubscribeBroadcast(broadcastKey{plan: resolved.Key, seed: seed}, sub)
+	_, cleanChannel := injector.(NopInjector)
+	var frameBuf []byte
+	totalSent := 0
+stream:
+	for st.active > 0 {
+		select {
+		case creq, ok := <-requests:
+			if !ok {
+				return io.EOF
+			}
+			switch creq.Op {
+			case "stop":
+				break stream
+			case "stopgen":
+				st.stopGen(creq.Gen)
+			default:
+				return fmt.Errorf("transport: %q request during stream", creq.Op)
+			}
+		case bf, ok := <-sub.ch:
+			if !ok {
+				break stream // producer tore the stream down
+			}
+			g := bf.gen
+			if st.stopped[g] || st.have[packet.PackSeq(g, bf.seq)] {
+				continue
+			}
+			if st.sent[g] >= st.caps[g] {
+				st.stopGen(g)
+				continue
+			}
+			out := bf.frame
+			if !cleanChannel {
+				frameBuf = append(frameBuf[:0], bf.frame...)
+				var send bool
+				out, send = injector.Inject(frameBuf, packet.PackSeq(g, bf.seq))
+				if !send {
+					st.sent[g]++
+					s.sm.framesDropped.Inc()
+					continue
+				}
+			}
+			if err := WriteFrame(w, out); err != nil {
+				return err
+			}
+			if err := w.Flush(); err != nil {
+				return err
+			}
+			st.sent[g]++
+			totalSent++
+			s.sm.framesOut.Inc()
+			s.sm.fountainFrames.Inc()
+		}
+	}
+	s.sm.fetchLog.Record(obs.FetchRecord{
+		Doc:     req.Doc,
+		Origin:  "server",
+		Replica: s.opts.Name,
+		Sent:    totalSent,
+		Have:    len(req.Have),
+		Gamma:   req.Gamma,
+	})
+	if err := WriteEndOfStream(w); err != nil {
+		return err
+	}
+	return w.Flush()
+}

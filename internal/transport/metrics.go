@@ -62,6 +62,16 @@ type serverMetrics struct {
 	framesOut     *obs.Counter
 	framesDropped *obs.Counter
 	fetchLog      *obs.FetchLog
+
+	// Rateless-mode counters: fountain fetches served, fountain frames
+	// written, and the broadcast fan-out's stream/subscriber gauges plus
+	// delivered/dropped queue offers.
+	fountainFetches  *obs.Counter
+	fountainFrames   *obs.Counter
+	broadcastStreams *obs.Gauge
+	broadcastSubs    *obs.Gauge
+	broadcastFrames  *obs.Counter
+	broadcastDrops   *obs.Counter
 }
 
 func newServerMetrics(r *obs.Registry) serverMetrics {
@@ -80,6 +90,13 @@ func newServerMetrics(r *obs.Registry) serverMetrics {
 		framesOut:     r.Counter("serve.frames_out"),
 		framesDropped: r.Counter("serve.frames_dropped"),
 		fetchLog:      r.FetchLog(),
+
+		fountainFetches:  r.Counter("serve.fountain_fetches"),
+		fountainFrames:   r.Counter("serve.fountain_frames_out"),
+		broadcastStreams: r.Gauge("serve.broadcast_streams"),
+		broadcastSubs:    r.Gauge("serve.broadcast_subscribers"),
+		broadcastFrames:  r.Counter("serve.broadcast_frames"),
+		broadcastDrops:   r.Counter("serve.broadcast_drops"),
 	}
 }
 

@@ -82,7 +82,10 @@ func (e *ShedError) Unwrap() error { return ErrShed }
 
 // Request is a client→server control message.
 type Request struct {
-	// Op is "search", "fetch" or "stop".
+	// Op is "search", "fetch", "stop" or "stopgen". A stopgen arrives
+	// mid-stream on a fountain fetch and tells the transmitter to stop
+	// sending packets of generation Gen — the client decoded it; the
+	// open-loop stream keeps flowing for the rest.
 	Op string `json:"op"`
 	// Query is the keyword query (search: the search string; fetch: the
 	// query whose QIC orders units).
@@ -105,6 +108,21 @@ type Request struct {
 	// capability-degraded replica refuses before it refuses anything
 	// else.
 	Prefetch bool `json:"prefetch,omitempty"`
+	// Codec selects the erasure codec ("vandermonde" or "fountain");
+	// empty uses the server default. The layout in the response is
+	// authoritative — a degraded replica may serve fixed-rate even when
+	// fountain was asked for.
+	Codec string `json:"codec,omitempty"`
+	// Seed pins the fountain stream seed; zero lets the server derive it
+	// from the canonical plan key (identical across replicas sharing a
+	// salt, which is what resume-on-another-replica needs).
+	Seed uint64 `json:"seed,omitempty"`
+	// Gen is the generation a stopgen refers to.
+	Gen int `json:"gen,omitempty"`
+	// Broadcast asks to join the server's shared fan-out stream for this
+	// plan instead of a private one: one cooked fountain stream serves
+	// every subscriber, and a slow subscriber sees drops, not backpressure.
+	Broadcast bool `json:"broadcast,omitempty"`
 }
 
 // HitSummary is one search result on the wire.

@@ -11,6 +11,7 @@ import (
 
 	"mobweb/internal/core"
 	"mobweb/internal/erasure"
+	"mobweb/internal/fountain"
 	"mobweb/internal/framecache"
 	"mobweb/internal/obs"
 	"mobweb/internal/planner"
@@ -62,6 +63,14 @@ type ServerOptions struct {
 	// behind /debug/fetches, and registers the planner/erasure/core
 	// scrape-time probes. Nil disables server metrics at near-zero cost.
 	Metrics *obs.Registry
+	// DefaultCodec is the erasure codec applied when a fetch request does
+	// not name one; the zero value is the fixed-rate Vandermonde codec.
+	DefaultCodec erasure.CodecID
+	// FountainSalt perturbs the fountain seeds derived from canonical
+	// plan keys. Replicas configured with the same salt derive the same
+	// seed for the same request, so a mid-fetch re-route continues the
+	// identical stream; distinct salts make independent streams.
+	FountainSalt uint64
 }
 
 // Server is the database gateway plus document transmitter of Figure 1:
@@ -75,6 +84,7 @@ type Server struct {
 	planner *planner.Planner
 	opts    ServerOptions
 	sm      serverMetrics
+	bcast   broadcastHub
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -115,6 +125,7 @@ func NewServer(engine *search.Engine, opts ServerOptions) (*Server, error) {
 		opts.Metrics.RegisterProbe("planner", func() any { return pl.Stats() })
 		opts.Metrics.RegisterProbe("framecache", func() any { return pl.FrameStats() })
 		opts.Metrics.RegisterProbe("erasure", erasure.MetricsProbe)
+		opts.Metrics.RegisterProbe("fountain", fountain.MetricsProbe)
 		opts.Metrics.RegisterProbe("core", core.MetricsProbe)
 		if opts.Capability != nil {
 			// The shard front tier's health checker reads this probe off
@@ -127,6 +138,7 @@ func NewServer(engine *search.Engine, opts ServerOptions) (*Server, error) {
 		planner: pl,
 		opts:    opts,
 		sm:      newServerMetrics(opts.Metrics),
+		bcast:   broadcastHub{streams: make(map[broadcastKey]*broadcastStream)},
 		conns:   make(map[net.Conn]bool),
 	}, nil
 }
@@ -264,8 +276,9 @@ func (s *Server) handle(conn net.Conn) {
 		case "fetch":
 			s.sm.reqFetch.Inc()
 			err = s.handleFetch(w, req, requests, injector)
-		case "stop":
-			// A stale stop from a stream that already ended; ignore.
+		case "stop", "stopgen":
+			// A stale stop/stopgen from a stream that already ended (e.g.
+			// feedback racing the end-of-stream marker); ignore.
 			continue
 		default:
 			s.sm.reqBad.Inc()
@@ -353,12 +366,34 @@ func (s *Server) handleFetch(w *bufio.Writer, req Request, requests <-chan Reque
 		}
 	}
 
+	codec := s.opts.DefaultCodec
+	if req.Codec != "" {
+		parsed, perr := erasure.ParseCodec(req.Codec)
+		if perr != nil {
+			s.sm.fetchErrors.Inc()
+			return s.refuse(w, Response{Error: perr.Error()})
+		}
+		codec = parsed
+	}
+	// Clear-prefix-only tiers have no rateless mode: every fountain
+	// packet is coded, so the tier serves the fixed-rate codec whose
+	// systematic prefix streams without any parity encoding. The layout
+	// in the response tells the client which codec it actually got.
+	if mode.ClearPrefixOnly() {
+		codec = erasure.CodecVandermonde
+	}
+
 	resolved, errMsg := s.buildPlan(req)
 	if errMsg != "" {
 		s.sm.fetchErrors.Inc()
 		return s.refuse(w, Response{Error: errMsg})
 	}
 	plan := resolved.Plan
+
+	if codec == erasure.CodecFountain {
+		s.sm.fountainFetches.Inc()
+		return s.handleFountainFetch(w, req, resolved, requests, injector)
+	}
 
 	have := make(map[int]bool, len(req.Have))
 	for _, seq := range req.Have {
