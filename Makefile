@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench bench-json bench-load bench-fleet bench-fountain cover figures paperscale fuzz lint lint-json vulncheck verify clean
+.PHONY: all build test race bench bench-json bench-load bench-fleet bench-fountain bench-replay cover figures paperscale fuzz lint lint-json vulncheck verify clean
 
 all: build test
 
@@ -102,6 +102,16 @@ bench-fountain:
 	go run ./cmd/erasurebench -fountain -gate \
 		-json BENCH_fountain.json -txt results/fountain-bench.txt
 
+# Deterministic session-replay harness for the persistent packet store
+# and the speculative prefetcher: scripted browse/skim/idle/kill-restart
+# sessions replayed twice (store+prefetch off vs on) over the identical
+# seeded workload. Gates: zero packets refetched after restart, zero
+# resume bytes for fully-read documents, byte-identical bodies, and
+# foreground p99 parity (on ≤ 1.10× off). BENCH_replay.json at the repo
+# root, the generated trace under results/. See DESIGN.md §16.
+bench-replay:
+	go run ./cmd/mrtreplay -json BENCH_replay.json -trace-out results/replay-trace.json
+
 # Regenerate every table and figure at the default reduced scale.
 figures:
 	go run ./cmd/mrtfigures -exp all
@@ -117,6 +127,7 @@ fuzz:
 	go test -fuzz=FuzzUnmarshal -fuzztime=30s ./internal/packet
 	go test -fuzz=FuzzRequestDecode -fuzztime=30s ./internal/transport
 	go test -fuzz=FuzzFountainRoundtrip -fuzztime=30s ./internal/fountain
+	go test -fuzz=FuzzStoreRecover -fuzztime=30s ./internal/store
 
 clean:
 	go clean ./...

@@ -19,6 +19,7 @@ import (
 
 	"mobweb/internal/content"
 	"mobweb/internal/document"
+	"mobweb/internal/store"
 	"mobweb/internal/transport"
 )
 
@@ -49,6 +50,9 @@ func run(w io.Writer, args []string, stdin io.Reader) error {
 	quiet := fs.Bool("quiet", false, "suppress progressive rendering")
 	repl := fs.Bool("repl", false, "interactive session (search/skim/read/discard with profile feedback)")
 	think := fs.Float64("think", 0, "REPL think-time seconds per interaction, spent prefetching")
+	storeDir := fs.String("store-dir", "", "persistent packet store directory; fetches resume across process lives")
+	storeMB := fs.Int64("store-mb", 64, "packet store byte budget in MiB (with -store-dir)")
+	prefetchTopK := fs.Int("prefetch-topk", 0, "cap REPL think-time prefetching to the top-k predicted hits (0 = all hits)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -62,9 +66,17 @@ func run(w io.Writer, args []string, stdin io.Reader) error {
 	}
 	defer client.Close()
 	client.Retry = transport.RetryPolicy{MaxAttempts: *retries, BaseDelay: *retryBase}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, store.Options{MaxBytes: *storeMB << 20})
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		client.Store = st
+	}
 
 	if *repl {
-		return runREPL(w, stdin, client, replOptions(*stopAt, *think))
+		return runREPL(w, stdin, client, replOptions(*stopAt, *think, *prefetchTopK))
 	}
 
 	if *searchQuery != "" {
@@ -135,6 +147,10 @@ func run(w io.Writer, args []string, stdin io.Reader) error {
 	}
 	fmt.Fprintf(w, "\nfetch complete: IC %.3f, %d rounds, %d packets (%d corrupted), stalled=%v\n",
 		res.InfoContent, res.Rounds, res.PacketsReceived, res.PacketsCorrupted, res.Stalled)
+	if res.StoredPackets > 0 || res.RefetchedPackets > 0 {
+		fmt.Fprintf(w, "store resume: %d records restored, %d packets refetched\n",
+			res.StoredPackets, res.RefetchedPackets)
+	}
 	if res.Reconnects > 0 {
 		fmt.Fprintf(w, "survived %d disconnects\n", res.Reconnects)
 	}

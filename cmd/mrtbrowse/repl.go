@@ -146,8 +146,8 @@ func runREPL(w io.Writer, stdin io.Reader, client *transport.Client, opts sessio
 }
 
 // replOptions derives session options from the browse flags.
-func replOptions(stopAt float64, thinkSeconds float64) session.Options {
-	opts := session.Options{ProfileBlend: 0.4}
+func replOptions(stopAt float64, thinkSeconds float64, prefetchTopK int) session.Options {
+	opts := session.Options{ProfileBlend: 0.4, PrefetchTopK: prefetchTopK}
 	if stopAt > 0 {
 		opts.RelevanceThreshold = stopAt
 	}

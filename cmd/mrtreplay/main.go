@@ -1,0 +1,347 @@
+// Command mrtreplay is the deterministic session-replay harness for the
+// persistent client packet store and the profile-driven speculative
+// prefetcher. It generates a seeded workload of scripted browsing
+// sessions — search, read, skim, idle prefetch window, process kill,
+// resume — and replays the identical trace twice against an in-process
+// transmission server: once with the store and prefetcher disabled (the
+// stock client) and once enabled.
+//
+// The comparison is the harness's verdict, and the gates encode the
+// paper's §6 claims for a weakly-connected client that dies and comes
+// back:
+//
+//   - zero refetched packets: nothing the radio already delivered in a
+//     previous process life crosses the wire again (-max-refetched);
+//   - byte-identical bodies: a resumed document equals its pre-kill
+//     reference exactly;
+//   - foreground parity: speculative prefetch must not tax foreground
+//     latency (p99 ratio bounded by -max-p99-ratio plus -p99-slack-ms);
+//   - restart responsiveness: post-kill time-to-first-useful-unit with
+//     the store is bounded by the stock client's (-max-ttfu-ratio).
+//
+// The generated event trace (not the timings) is the golden artifact:
+// main_test.go pins its exact bytes under testdata/, so the workload a
+// CI run gates on is the workload reviewed in the diff.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"mobweb/internal/document"
+	"mobweb/internal/erasure"
+	"mobweb/internal/search"
+	"mobweb/internal/textproc"
+)
+
+type config struct {
+	sessions    int
+	docs        int
+	docKB       int
+	zipfS       float64
+	seed        int64
+	alpha       float64
+	gamma       float64
+	topk        int
+	idleBudget  int
+	idleMs      int
+	storeMB     int64
+	packetDelay time.Duration
+	concurrency int
+	torn        bool
+	codec       erasure.CodecID
+
+	jsonPath string
+	traceOut string
+
+	maxRefetched int
+	maxP99Ratio  float64
+	p99SlackMs   float64
+	maxTTFURatio float64
+}
+
+// passReport is one pass's half of the emitted BENCH_replay.json.
+type passReport struct {
+	Name              string  `json:"name"`
+	Foreground        int     `json:"foreground_fetches"`
+	Failures          int     `json:"failures"`
+	P50Ms             float64 `json:"p50_ms"`
+	P99Ms             float64 `json:"p99_ms"`
+	PostRestartTTFUMs float64 `json:"post_restart_ttfu_ms"`
+	RefetchedPackets  int     `json:"refetched_packets"`
+	ResumeBytes       int     `json:"resume_bytes_refetched"`
+	StoredPackets     int     `json:"stored_packets"`
+	PrefetchFrames    int     `json:"prefetch_frames"`
+	BodyMismatches    int     `json:"body_mismatches"`
+	Seconds           float64 `json:"seconds"`
+}
+
+type report struct {
+	Sessions      int     `json:"sessions"`
+	Docs          int     `json:"docs"`
+	DocKB         int     `json:"doc_kb"`
+	ZipfS         float64 `json:"zipf_s"`
+	Seed          int64   `json:"seed"`
+	Alpha         float64 `json:"alpha"`
+	TopK          int     `json:"prefetch_topk"`
+	IdleBudget    int     `json:"idle_budget"`
+	PacketDelayUs int64   `json:"packet_delay_us"`
+	Codec         string  `json:"codec"`
+	GOOS          string  `json:"goos"`
+	GOARCH        string  `json:"goarch"`
+	NumCPU        int     `json:"num_cpu"`
+
+	Off passReport `json:"off"`
+	On  passReport `json:"on"`
+
+	// P99Ratio is on/off foreground p99 — the parity headline.
+	P99Ratio float64 `json:"p99_ratio"`
+	// TTFURatio is on/off mean post-restart time-to-first-useful-unit.
+	TTFURatio float64 `json:"ttfu_ratio"`
+	// SampleErrors holds the first few failure messages, if any.
+	SampleErrors []string `json:"sample_errors,omitempty"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mrtreplay:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mrtreplay", flag.ContinueOnError)
+	cfg := config{}
+	fs.IntVar(&cfg.sessions, "sessions", 8, "scripted browsing sessions to replay")
+	fs.IntVar(&cfg.docs, "docs", 48, "corpus size")
+	fs.IntVar(&cfg.docKB, "doc-kb", 4, "approximate document size in KiB")
+	fs.Float64Var(&cfg.zipfS, "zipf", 1.3, "zipf skew of document popularity")
+	fs.Int64Var(&cfg.seed, "seed", 1, "workload seed (trace, channels, kill points)")
+	fs.Float64Var(&cfg.alpha, "alpha", 0.05, "channel corruption probability (0 = clean)")
+	fs.Float64Var(&cfg.gamma, "gamma", 1.5, "server default redundancy ratio")
+	fs.IntVar(&cfg.topk, "prefetch-topk", 3, "profile predictions prefetched per idle window")
+	fs.IntVar(&cfg.idleBudget, "idle-budget", 24, "idle-window prefetch budget in frames")
+	fs.IntVar(&cfg.idleMs, "idle-ms", 400, "idle-window duration cap in milliseconds")
+	fs.Int64Var(&cfg.storeMB, "store-mb", 16, "per-session store byte budget in MiB")
+	fs.DurationVar(&cfg.packetDelay, "packet-delay", 300*time.Microsecond, "server per-frame pacing (the emulated air interface)")
+	fs.IntVar(&cfg.concurrency, "concurrency", 4, "sessions replayed in parallel")
+	fs.BoolVar(&cfg.torn, "torn", true, "tear the store's newest segment on each kill")
+	codecName := fs.String("codec", "", "erasure codec (empty = server default, or vandermonde|fountain)")
+	fs.StringVar(&cfg.jsonPath, "json", "", "write the JSON report here")
+	fs.StringVar(&cfg.traceOut, "trace-out", "", "write the generated event trace here")
+	fs.IntVar(&cfg.maxRefetched, "max-refetched", 0, "fail if the store pass refetches more packets than this (negative disables)")
+	fs.Float64Var(&cfg.maxP99Ratio, "max-p99-ratio", 1.10, "fail if on/off foreground p99 exceeds this (0 disables)")
+	fs.Float64Var(&cfg.p99SlackMs, "p99-slack-ms", 10, "absolute slack added to the p99 gate")
+	fs.Float64Var(&cfg.maxTTFURatio, "max-ttfu-ratio", 1.10, "fail if on/off post-restart TTFU exceeds this (0 disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if cfg.sessions < 1 || cfg.docs < 2 || cfg.docKB < 1 {
+		return fmt.Errorf("need at least 1 session, 2 docs, 1 KiB documents")
+	}
+	if cfg.concurrency < 1 {
+		cfg.concurrency = 1
+	}
+	if *codecName != "" {
+		id, err := erasure.ParseCodec(*codecName)
+		if err != nil {
+			return err
+		}
+		cfg.codec = id
+	}
+
+	tr := generateTrace(cfg)
+	if cfg.traceOut != "" {
+		data, err := encodeTrace(tr)
+		if err != nil {
+			return err
+		}
+		if err := writeFileMkdir(cfg.traceOut, data); err != nil {
+			return err
+		}
+	}
+
+	off, err := runPass(cfg, tr, passMode{name: "off"})
+	if err != nil {
+		return fmt.Errorf("off pass: %w", err)
+	}
+	on, err := runPass(cfg, tr, passMode{name: "on", store: true, prefetch: true})
+	if err != nil {
+		return fmt.Errorf("on pass: %w", err)
+	}
+
+	rep := report{
+		Sessions: cfg.sessions, Docs: cfg.docs, DocKB: cfg.docKB,
+		ZipfS: cfg.zipfS, Seed: cfg.seed, Alpha: cfg.alpha,
+		TopK: cfg.topk, IdleBudget: cfg.idleBudget,
+		PacketDelayUs: cfg.packetDelay.Microseconds(),
+		Codec:         cfg.codec.String(),
+		GOOS:          runtime.GOOS, GOARCH: runtime.GOARCH, NumCPU: runtime.NumCPU(),
+		Off: summarizePass("off", off),
+		On:  summarizePass("on", on),
+	}
+	rep.SampleErrors = append(rep.SampleErrors, off.errs...)
+	rep.SampleErrors = append(rep.SampleErrors, on.errs...)
+	if rep.Off.P99Ms > 0 {
+		rep.P99Ratio = rep.On.P99Ms / rep.Off.P99Ms
+	}
+	if rep.Off.PostRestartTTFUMs > 0 {
+		rep.TTFURatio = rep.On.PostRestartTTFUMs / rep.Off.PostRestartTTFUMs
+	}
+
+	fmt.Print(summarize(rep))
+	if cfg.jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := writeFileMkdir(cfg.jsonPath, append(data, '\n')); err != nil {
+			return err
+		}
+	}
+	return gate(cfg, rep)
+}
+
+// gate enforces the harness's acceptance criteria on the finished
+// report; any violation is a non-zero exit for CI.
+func gate(cfg config, rep report) error {
+	if rep.Off.Failures > 0 || rep.On.Failures > 0 {
+		return fmt.Errorf("replay had failures: off=%d on=%d (e.g. %s)",
+			rep.Off.Failures, rep.On.Failures, strings.Join(rep.SampleErrors, "; "))
+	}
+	if rep.Off.BodyMismatches > 0 || rep.On.BodyMismatches > 0 {
+		return fmt.Errorf("post-kill bodies differ from their pre-kill reference: off=%d on=%d",
+			rep.Off.BodyMismatches, rep.On.BodyMismatches)
+	}
+	if cfg.maxRefetched >= 0 {
+		if rep.On.RefetchedPackets > cfg.maxRefetched {
+			return fmt.Errorf("store pass refetched %d packets the client already held (max %d)",
+				rep.On.RefetchedPackets, cfg.maxRefetched)
+		}
+		if rep.On.ResumeBytes > 0 {
+			return fmt.Errorf("store pass spent %d wire bytes re-reading fully-read documents after restart, want 0",
+				rep.On.ResumeBytes)
+		}
+		if rep.On.StoredPackets == 0 {
+			return fmt.Errorf("store pass restored 0 packets from the store — persistence is not engaging")
+		}
+	}
+	if cfg.maxP99Ratio > 0 && rep.On.P99Ms > rep.Off.P99Ms*cfg.maxP99Ratio+cfg.p99SlackMs {
+		return fmt.Errorf("foreground p99 %.2fms with prefetch on exceeds %.2fms×%.2f+%.0fms off",
+			rep.On.P99Ms, rep.Off.P99Ms, cfg.maxP99Ratio, cfg.p99SlackMs)
+	}
+	if cfg.maxTTFURatio > 0 && rep.On.PostRestartTTFUMs > rep.Off.PostRestartTTFUMs*cfg.maxTTFURatio+cfg.p99SlackMs {
+		return fmt.Errorf("post-restart TTFU %.2fms with the store exceeds %.2fms×%.2f+%.0fms without",
+			rep.On.PostRestartTTFUMs, rep.Off.PostRestartTTFUMs, cfg.maxTTFURatio, cfg.p99SlackMs)
+	}
+	return nil
+}
+
+func summarizePass(name string, o passOutcome) passReport {
+	p := passReport{
+		Name:             name,
+		Foreground:       len(o.foreground),
+		Failures:         o.failures,
+		RefetchedPackets: o.refetched,
+		ResumeBytes:      o.resumeBytes,
+		StoredPackets:    o.stored,
+		PrefetchFrames:   o.prefetchRx,
+		BodyMismatches:   o.mismatches,
+		Seconds:          o.seconds,
+	}
+	if len(o.foreground) > 0 {
+		p.P50Ms = percentile(o.foreground, 0.50)
+		p.P99Ms = percentile(o.foreground, 0.99)
+	}
+	if len(o.postTTFU) > 0 {
+		p.PostRestartTTFUMs = meanMs(o.postTTFU)
+	}
+	return p
+}
+
+// summarize renders the human-readable table.
+func summarize(rep report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mrtreplay: %d sessions, %d docs (~%d KiB), zipf %.2f, seed %d, alpha %g, codec %s, %s/%s %d cpu\n",
+		rep.Sessions, rep.Docs, rep.DocKB, rep.ZipfS, rep.Seed, rep.Alpha, rep.Codec,
+		rep.GOOS, rep.GOARCH, rep.NumCPU)
+	w := func(p passReport) {
+		fmt.Fprintf(&b, "%-4s %4d foreground (%d failed) in %6.2fs   p50 %7.2fms  p99 %7.2fms  post-kill TTFU %7.2fms\n",
+			p.Name, p.Foreground, p.Failures, p.Seconds, p.P50Ms, p.P99Ms, p.PostRestartTTFUMs)
+		fmt.Fprintf(&b, "     refetched %d pkts, resume bytes %d, stored %d pkts, prefetch frames %d, body mismatches %d\n",
+			p.RefetchedPackets, p.ResumeBytes, p.StoredPackets, p.PrefetchFrames, p.BodyMismatches)
+	}
+	w(rep.Off)
+	w(rep.On)
+	fmt.Fprintf(&b, "p99 ratio (on/off) %.3f   post-restart TTFU ratio %.3f\n", rep.P99Ratio, rep.TTFURatio)
+	return b.String()
+}
+
+// newSeededRand is the one sanctioned randomness source: everything in
+// this harness draws from explicitly-seeded generators.
+func newSeededRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// buildCorpus synthesizes the document set (same construction as
+// cmd/mrtload, so packet counts stay comparable across harnesses).
+func buildCorpus(cfg config) (*search.Engine, error) {
+	engine := search.NewEngine(textproc.Options{})
+	for d := 0; d < cfg.docs; d++ {
+		b := document.NewBuilder()
+		paras := cfg.docKB * 2 // ~512 B per paragraph
+		perSection := 4
+		for p := 0; p < paras; p++ {
+			if p%perSection == 0 {
+				if p > 0 {
+					b.Close()
+				}
+				b.Open(document.LODSection, fmt.Sprintf("%d", p/perSection+1), fmt.Sprintf("Section %d", p/perSection+1))
+			}
+			b.Paragraph(fmt.Sprintf("document %d paragraph %d mobile web weakly connected %s",
+				d, p, strings.Repeat(fmt.Sprintf("w%dp%d ", d, p), 60)))
+		}
+		if paras > 0 {
+			b.Close()
+		}
+		doc, err := b.Build(docName(d), fmt.Sprintf("Synthetic %d", d))
+		if err != nil {
+			return nil, err
+		}
+		if err := engine.Add(doc); err != nil {
+			return nil, err
+		}
+	}
+	return engine, nil
+}
+
+func docName(i int) string { return fmt.Sprintf("doc-%03d.xml", i) }
+
+func percentile(latencies []time.Duration, p float64) float64 {
+	sorted := append([]time.Duration(nil), latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p * float64(len(sorted)-1))
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}
+
+func meanMs(latencies []time.Duration) float64 {
+	var total time.Duration
+	for _, l := range latencies {
+		total += l
+	}
+	return float64(total) / float64(len(latencies)) / float64(time.Millisecond)
+}
+
+func writeFileMkdir(path string, data []byte) error {
+	if idx := strings.LastIndexByte(path, '/'); idx > 0 {
+		if err := os.MkdirAll(path[:idx], 0o755); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, data, 0o644)
+}

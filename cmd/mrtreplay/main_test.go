@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden replay trace")
+
+// goldenConfig pins every knob the trace generator reads. Changing any
+// of them (or the generator itself) must show up as a golden diff.
+func goldenConfig() config {
+	return config{
+		sessions:   4,
+		docs:       32,
+		docKB:      4,
+		zipfS:      1.3,
+		seed:       7,
+		idleBudget: 24,
+		torn:       true,
+	}
+}
+
+// TestGoldenTrace pins the generated session trace byte-for-byte: the
+// workload CI gates on is exactly the workload reviewed in the diff, and
+// any drift in the generator (zipf draws, event order, kill points) is a
+// visible change, not a silent one.
+func TestGoldenTrace(t *testing.T) {
+	got, err := encodeTrace(generateTrace(goldenConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "replay_trace.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, len(got))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden trace (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("generated trace drifted from %s; regenerate with -update and review the diff\n got %d bytes, want %d",
+			golden, len(got), len(want))
+	}
+}
+
+// TestTraceIsDeterministic is the property behind the golden file: two
+// generations under the same config are identical, and a different seed
+// actually changes the workload.
+func TestTraceIsDeterministic(t *testing.T) {
+	cfg := goldenConfig()
+	a, err := encodeTrace(generateTrace(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := encodeTrace(generateTrace(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("same config generated two different traces")
+	}
+	cfg.seed++
+	c, err := encodeTrace(generateTrace(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, c) {
+		t.Fatal("seed change did not change the trace")
+	}
+}
+
+// TestReplaySmoke runs the full two-pass harness at a tiny scale and
+// lets its own gates judge the result: zero refetched packets after the
+// kill, byte-identical bodies, bounded foreground p99.
+func TestReplaySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replay smoke runs real passes")
+	}
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_replay.json")
+	err := run([]string{
+		"-sessions", "2", "-docs", "8", "-doc-kb", "2",
+		"-packet-delay", "200us", "-idle-ms", "150", "-concurrency", "2",
+		"-json", jsonPath,
+	})
+	if err != nil {
+		t.Fatalf("replay gates failed: %v", err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.On.StoredPackets == 0 {
+		t.Error("store pass restored nothing from the persistent store")
+	}
+	if rep.On.RefetchedPackets != 0 || rep.On.ResumeBytes != 0 {
+		t.Errorf("store pass refetched: %d packets, %d resume bytes",
+			rep.On.RefetchedPackets, rep.On.ResumeBytes)
+	}
+	if rep.Off.ResumeBytes == 0 {
+		t.Error("baseline pass refetched nothing after the kill — the comparison is vacuous")
+	}
+	if rep.On.PrefetchFrames == 0 {
+		t.Error("no idle-window prefetch traffic in the on pass")
+	}
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+)
+
+// This file generates the deterministic session-event trace both replay
+// passes execute. The trace is a pure function of the workload config —
+// no wall clock, no global randomness — which is what makes the golden
+// trace test meaningful: the same seed must produce the same byte
+// stream forever.
+
+// Event kinds. Each session is a scripted browsing episode built from
+// these; the kill event is the one this harness exists for.
+const (
+	evSearch = "search" // keyword query; hits feed the prefetch predictor
+	evRead   = "read"   // foreground fetch to completion (relevant)
+	evSkim   = "skim"   // foreground fetch stopped at StopAtIC (discarded)
+	evIdle   = "idle"   // idle link window: speculative prefetch runs
+	evKill   = "kill"   // process death: client + store handles drop, then reopen
+)
+
+// sessionEvent is one scripted step.
+type sessionEvent struct {
+	Kind string `json:"kind"`
+	// Doc names the document for read/skim.
+	Doc string `json:"doc,omitempty"`
+	// Query is the search string for search events.
+	Query string `json:"query,omitempty"`
+	// StopAtIC is the skim's relevance-judgment threshold.
+	StopAtIC float64 `json:"stop_at_ic,omitempty"`
+	// Budget is the idle window's prefetch budget in frames.
+	Budget int `json:"budget,omitempty"`
+	// TornBytes, on a kill, truncates the store's newest segment by
+	// this many bytes first — the mid-append torn write a real crash
+	// leaves behind. Zero kills cleanly.
+	TornBytes int `json:"torn_bytes,omitempty"`
+}
+
+// sessionTrace is one client's scripted episode.
+type sessionTrace struct {
+	ID     int            `json:"id"`
+	Events []sessionEvent `json:"events"`
+}
+
+// replayTrace is the full generated workload, the golden-test artifact.
+type replayTrace struct {
+	Seed     int64          `json:"seed"`
+	Sessions []sessionTrace `json:"sessions"`
+}
+
+// generateTrace builds the scripted workload: each session searches,
+// reads one document fully, skims another, prefetches through an idle
+// window, dies mid-session, and — in its next process life — re-reads
+// both documents. The post-kill reads are where the store must prove
+// that nothing already delivered is refetched.
+func generateTrace(cfg config) replayTrace {
+	tr := replayTrace{Seed: cfg.seed}
+	queries := []string{
+		"mobile web weakly connected",
+		"document paragraph content",
+		"wireless browsing",
+	}
+	for i := 0; i < cfg.sessions; i++ {
+		rng := rand.New(rand.NewSource(cfg.seed + int64(i)*1_000_003))
+		zipf := rand.NewZipf(rng, cfg.zipfS, 1, uint64(cfg.docs-1))
+		docA := docName(int(zipf.Uint64()))
+		docB := docName(int(zipf.Uint64()))
+		for docB == docA {
+			docB = docName(int(zipf.Uint64()))
+		}
+		torn := 0
+		if cfg.torn {
+			torn = 1 + rng.Intn(7)
+		}
+		sess := sessionTrace{ID: i}
+		sess.Events = []sessionEvent{
+			{Kind: evSearch, Query: queries[rng.Intn(len(queries))]},
+			{Kind: evRead, Doc: docA},
+			{Kind: evSkim, Doc: docB, StopAtIC: 0.25 + 0.2*rng.Float64()},
+			{Kind: evIdle, Budget: cfg.idleBudget},
+			{Kind: evKill, TornBytes: torn},
+			{Kind: evRead, Doc: docA}, // full store resume: zero network expected
+			{Kind: evRead, Doc: docB}, // partial resume: only the missing rows
+		}
+		tr.Sessions = append(tr.Sessions, sess)
+	}
+	return tr
+}
+
+// encodeTrace renders the trace as stable, indented JSON — the exact
+// bytes the golden test compares.
+func encodeTrace(tr replayTrace) ([]byte, error) {
+	data, err := json.MarshalIndent(tr, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("encode trace: %w", err)
+	}
+	return append(data, '\n'), nil
+}

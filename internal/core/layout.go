@@ -181,6 +181,31 @@ func (l Layout) genBounds(seq int) (gen, rawOff, cookedOff int, err error) {
 	return 0, 0, 0, fmt.Errorf("core: seq %d outside [0, %d)", seq, l.N())
 }
 
+// CookedGeneration returns the generation a global cooked sequence
+// number belongs to, and that generation's local offset within it.
+// Persistence layers key packets by (generation, local seq) so stored
+// state survives γ-only layout changes that shift global offsets.
+func (l Layout) CookedGeneration(seq int) (gen, local int, err error) {
+	g, _, cookedOff, err := l.genBounds(seq)
+	if err != nil {
+		return 0, 0, err
+	}
+	return g, seq - cookedOff, nil
+}
+
+// CookedOffset returns the global cooked sequence number of generation
+// g's first row — the inverse of CookedGeneration.
+func (l Layout) CookedOffset(g int) (int, error) {
+	if g < 0 || g >= len(l.Shapes) {
+		return 0, fmt.Errorf("core: generation %d of %d", g, len(l.Shapes))
+	}
+	off := 0
+	for i := 0; i < g; i++ {
+		off += l.Shapes[i].N
+	}
+	return off, nil
+}
+
 // IsClear reports whether cooked seq carries a clear-text (systematic)
 // row rather than parity. A clear-prefix-only replica streams only these
 // rows: clean channels still reconstruct from the M intact data rows of

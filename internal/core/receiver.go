@@ -41,6 +41,11 @@ type Receiver struct {
 	// packets can only re-derive the same raw bytes — so the memo is
 	// never invalidated by Add, only by Reset.
 	decoded [][][]byte
+	// seeded marks fountain generations installed wholesale from a
+	// persistent store (SeedDecodedGeneration): their raw symbols are in
+	// decoded but no wire packets back them, so reconstructibility is
+	// answered here rather than by the decoder. Nil until first used.
+	seeded []bool
 	// trace, when attached via SetTrace, records decode events into the
 	// owning fetch's timeline.
 	trace *obs.Trace
@@ -287,6 +292,9 @@ func (r *Receiver) Reset() {
 	for i := range r.decoded {
 		r.decoded[i] = nil
 	}
+	for i := range r.seeded {
+		r.seeded[i] = false
+	}
 	for i := range r.fdec {
 		// Decoders accumulate state monotonically; a reset means a fresh
 		// decoder. Geometry was validated at construction, so rebuilding
@@ -342,7 +350,7 @@ func (r *Receiver) GenerationReconstructible(g int) bool {
 		return false
 	}
 	if r.fdec != nil {
-		return r.fdec[g].Complete()
+		return r.seededGen(g) || r.fdec[g].Complete()
 	}
 	return r.perGen[g] >= r.layout.Shapes[g].M
 }
@@ -420,6 +428,11 @@ func (r *Receiver) rawAvailable() []bool {
 	rawOff := 0
 	for g, shape := range r.layout.Shapes {
 		switch {
+		case r.fdec != nil && r.seededGen(g):
+			// Store-seeded fountain generation: every symbol restored.
+			for i := 0; i < shape.M; i++ {
+				avail[rawOff+i] = true
+			}
 		case r.fdec != nil:
 			// The peeling decoder recovers symbols before completion;
 			// each recovered symbol's bytes are usable immediately —
@@ -528,6 +541,9 @@ func (r *Receiver) rawBytes(rawIdx int) ([]byte, bool) {
 			continue
 		}
 		if r.fdec != nil {
+			if r.seededGen(g) {
+				return r.decoded[g][rawIdx-rawOff], true
+			}
 			if sym := r.fdec[g].Symbol(rawIdx - rawOff); sym != nil {
 				return sym, true
 			}

@@ -25,8 +25,11 @@ var NondetPackages = []string{
 	"mobweb/internal/obs",
 	"mobweb/internal/packet",
 	"mobweb/internal/planner",
+	"mobweb/internal/prefetch",
+	"mobweb/internal/profile",
 	"mobweb/internal/shard",
 	"mobweb/internal/sim",
+	"mobweb/internal/store",
 	"mobweb/internal/trace",
 	"mobweb/internal/transport",
 }

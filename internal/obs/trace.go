@@ -39,6 +39,9 @@ const (
 	// EventPrefetch seeds the fetch with N packets primed by an earlier
 	// Prefetch of the same document.
 	EventPrefetch = "prefetch"
+	// EventStoreSeed seeds the fetch with N records restored from the
+	// persistent packet store — the resume-after-restart path.
+	EventStoreSeed = "store-seed"
 	// EventStop is the client telling the transmitter to stop early
 	// (relevance threshold reached).
 	EventStop = "stop"

@@ -1,0 +1,69 @@
+package profile
+
+import "sort"
+
+// This file is the prediction side of the profile: turning the learned
+// interest vector into a ranked prefetch shortlist. §6 names
+// "intelligent prefetching based on information content and
+// user-profiling" as the natural extension of the paper's system — the
+// speculative scheduler in internal/prefetch consumes exactly this
+// ranking during idle link time.
+
+// Prediction is one ranked prefetch candidate.
+type Prediction struct {
+	// Name identifies the document.
+	Name string
+	// Score is the profile's interest estimate for it (cosine to the
+	// profile vector, possibly blended with a search score upstream).
+	Score float64
+}
+
+// Candidate is one scorable document offered to PredictTopK. Score is
+// supplied by the caller — typically Profile.Score(sc) server-side or
+// Profile.ScoreText client-side, optionally Blend-ed — so the ranking
+// itself has no opinion about where interest estimates come from.
+type Candidate struct {
+	Name  string
+	Score float64
+}
+
+// PredictTopK returns the k highest-scoring candidates in descending
+// score order. The ranking is deterministic under any input order:
+// equal scores break ties on the document name, so two runs over the
+// same candidate set — however shuffled — produce the same shortlist
+// in the same order. Candidates with non-positive scores are excluded:
+// the profile has no evidence of interest, and speculative air time
+// must not be spent on them. k <= 0 or an empty field returns nil.
+func PredictTopK(cands []Candidate, k int) []Prediction {
+	if k <= 0 {
+		return nil
+	}
+	kept := make([]Prediction, 0, len(cands))
+	for _, c := range cands {
+		if c.Score > 0 && c.Name != "" {
+			kept = append(kept, Prediction{Name: c.Name, Score: c.Score})
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		if kept[i].Score != kept[j].Score {
+			return kept[i].Score > kept[j].Score
+		}
+		return kept[i].Name < kept[j].Name
+	})
+	// Duplicate names keep only their best-scored entry, so a caller
+	// merging several candidate sources cannot inflate one document's
+	// presence in the shortlist.
+	out := kept[:0]
+	seen := make(map[string]bool, len(kept))
+	for _, p := range kept {
+		if seen[p.Name] {
+			continue
+		}
+		seen[p.Name] = true
+		out = append(out, p)
+		if len(out) == k {
+			break
+		}
+	}
+	return append([]Prediction(nil), out...)
+}

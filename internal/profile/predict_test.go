@@ -1,0 +1,121 @@
+package profile
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestPredictTopKStableUnderShuffle is the determinism property: the
+// top-k shortlist must be identical for every permutation of the
+// candidate set, including ties that only the name tie-break can order.
+func TestPredictTopKStableUnderShuffle(t *testing.T) {
+	var cands []Candidate
+	for i := 0; i < 30; i++ {
+		// Buckets of deliberately equal scores force the tie-break.
+		cands = append(cands, Candidate{
+			Name:  fmt.Sprintf("doc-%02d.xml", i),
+			Score: float64(1+i%5) * 0.1,
+		})
+	}
+	want := PredictTopK(cands, 10)
+	if len(want) != 10 {
+		t.Fatalf("top-10 of 30 positives returned %d", len(want))
+	}
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 50; trial++ {
+		shuffled := append([]Candidate(nil), cands...)
+		rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		got := PredictTopK(shuffled, 10)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d results, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: rank %d = %+v, want %+v (input order leaked into ranking)",
+					trial, i, got[i], want[i])
+			}
+		}
+	}
+	// The ordering invariants themselves.
+	for i := 1; i < len(want); i++ {
+		if want[i].Score > want[i-1].Score {
+			t.Fatal("ranking not descending by score")
+		}
+		if want[i].Score == want[i-1].Score && want[i].Name <= want[i-1].Name {
+			t.Fatal("tie not broken ascending by name")
+		}
+	}
+}
+
+func TestPredictTopKFiltersAndDedupes(t *testing.T) {
+	cands := []Candidate{
+		{Name: "a.xml", Score: 0.5},
+		{Name: "a.xml", Score: 0.9}, // duplicate: best score wins, once
+		{Name: "b.xml", Score: 0},   // no evidence: excluded
+		{Name: "c.xml", Score: -0.2},
+		{Name: "", Score: 0.8}, // unnamed: excluded
+		{Name: "d.xml", Score: 0.7},
+	}
+	got := PredictTopK(cands, 10)
+	if len(got) != 2 || got[0] != (Prediction{Name: "a.xml", Score: 0.9}) || got[1] != (Prediction{Name: "d.xml", Score: 0.7}) {
+		t.Fatalf("got %+v", got)
+	}
+	if PredictTopK(cands, 0) != nil || PredictTopK(nil, 5) != nil {
+		t.Fatal("degenerate inputs must return nil")
+	}
+	if got := PredictTopK(cands, 1); len(got) != 1 {
+		t.Fatalf("k=1 returned %d", len(got))
+	}
+}
+
+// TestProfileScoresAreReproducible rebuilds a profile from the same
+// feedback history and demands bit-identical scores: the sorted-key
+// accumulation means no map-iteration ULP drift reaches the ranking.
+func TestProfileScoresAreReproducible(t *testing.T) {
+	docs := make([]string, 8)
+	for i := range docs {
+		var sb strings.Builder
+		for j := 0; j < 40; j++ {
+			fmt.Fprintf(&sb, "term%d wireless browsing document content mobile %d ", (i*7+j*3)%23, j)
+		}
+		docs[i] = sb.String()
+	}
+	build := func() *Profile {
+		p, err := New(Config{MaxTerms: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, d := range docs {
+			p.ObserveText(d, "wireless browsing", i%3 != 0, 0.8)
+		}
+		return p
+	}
+	a, b := build(), build()
+	for _, d := range docs {
+		sa, sb := a.ScoreText(d), b.ScoreText(d)
+		if sa != sb {
+			t.Fatalf("identical histories scored %v vs %v", sa, sb)
+		}
+	}
+	// The same equality must hold for the shortlist built from them.
+	mk := func(p *Profile) []Prediction {
+		var cands []Candidate
+		for i, d := range docs {
+			cands = append(cands, Candidate{Name: fmt.Sprintf("d%d", i), Score: p.ScoreText(d)})
+		}
+		return PredictTopK(cands, 4)
+	}
+	pa, pb := mk(a), mk(b)
+	if len(pa) != len(pb) {
+		t.Fatalf("shortlists differ in length: %d vs %d", len(pa), len(pb))
+	}
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("shortlist rank %d: %+v vs %+v", i, pa[i], pb[i])
+		}
+	}
+}

@@ -140,6 +140,21 @@ func (p *Profile) ObserveText(text, query string, relevant bool, fractionRead fl
 	p.apply(terms, query, relevant, fractionRead)
 }
 
+// sortedKeys returns a map's keys in ascending order. Every float
+// accumulation in this package iterates sorted keys: float addition is
+// not associative, so summing in map order would make scores (and the
+// top-k prediction ranking built on them) vary run to run at the ULP
+// level — the nondeterminism the lint analyzer holds this package
+// against.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 // apply runs the Rocchio-style update with an L2-normalized term vector
 // so long documents don't dominate.
 func (p *Profile) apply(terms map[string]float64, query string, relevant bool, fractionRead float64) {
@@ -152,8 +167,8 @@ func (p *Profile) apply(terms map[string]float64, query string, relevant bool, f
 		rate = -p.cfg.NegativeRate * strength
 	}
 	var norm float64
-	for _, v := range terms {
-		norm += v * v
+	for _, w := range sortedKeys(terms) {
+		norm += terms[w] * terms[w]
 	}
 	norm = math.Sqrt(norm)
 	if norm == 0 {
@@ -195,15 +210,15 @@ func (p *Profile) ScoreText(text string) float64 {
 		return 0
 	}
 	var dot, docNorm, profNorm float64
-	for w, c := range occ {
-		v := float64(c) * weights[w]
+	for _, w := range sortedKeys(occ) {
+		v := float64(occ[w]) * weights[w]
 		docNorm += v * v
 		if pw, ok := p.weights[w]; ok {
 			dot += pw * v
 		}
 	}
-	for _, pw := range p.weights {
-		profNorm += pw * pw
+	for _, w := range sortedKeys(p.weights) {
+		profNorm += p.weights[w] * p.weights[w]
 	}
 	if dot == 0 || docNorm == 0 || profNorm == 0 {
 		return 0
@@ -212,9 +227,12 @@ func (p *Profile) ScoreText(text string) float64 {
 }
 
 // evictLocked trims the vocabulary to MaxTerms by absolute weight and
-// drops near-zero terms.
+// drops near-zero terms. Eviction ties break on the term name so equal
+// weights evict the same terms whatever order the map yielded them —
+// the surviving vocabulary (and every prediction built from it) is a
+// pure function of the feedback history.
 func (p *Profile) evictLocked() {
-	for w, v := range p.weights {
+	for w, v := range p.weights { //mobweb:nondet-ok delete-by-predicate; surviving set is order-independent
 		if math.Abs(v) < 1e-9 {
 			delete(p.weights, w)
 		}
@@ -227,10 +245,15 @@ func (p *Profile) evictLocked() {
 		v float64
 	}
 	all := make([]term, 0, len(p.weights))
-	for w, v := range p.weights {
+	for w, v := range p.weights { //mobweb:nondet-ok sorted below with a total order
 		all = append(all, term{w, math.Abs(v)})
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i].v > all[j].v })
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].v != all[j].v {
+			return all[i].v > all[j].v
+		}
+		return all[i].w < all[j].w
+	})
 	for _, t := range all[p.cfg.MaxTerms:] {
 		delete(p.weights, t.w)
 	}
@@ -281,15 +304,15 @@ func (p *Profile) Score(sc *content.SC) float64 {
 	}
 	idx := sc.Index()
 	var dot, docNorm, profNorm float64
-	for w, c := range idx.Doc {
-		v := float64(c) * sc.Weight(w)
+	for _, w := range sortedKeys(idx.Doc) {
+		v := float64(idx.Doc[w]) * sc.Weight(w)
 		docNorm += v * v
 		if pw, ok := p.weights[w]; ok {
 			dot += pw * v
 		}
 	}
-	for _, pw := range p.weights {
-		profNorm += pw * pw
+	for _, w := range sortedKeys(p.weights) {
+		profNorm += p.weights[w] * p.weights[w]
 	}
 	if dot == 0 || docNorm == 0 || profNorm == 0 {
 		return 0

@@ -46,6 +46,10 @@ type Options struct {
 	FrameBytes int
 	// MaxRounds caps retransmission rounds per fetch; zero means 20.
 	MaxRounds int
+	// PrefetchTopK caps how many ranked hits the think-time window
+	// speculates on (profile.PredictTopK over the blended scores); zero
+	// keeps every hit in the plan.
+	PrefetchTopK int
 }
 
 func (o Options) withDefaults() Options {
@@ -172,8 +176,29 @@ func (s *Session) prefetchHits(ctx context.Context) error {
 	if budget == 0 {
 		return nil
 	}
-	cands := make([]prefetch.Candidate, len(s.hits))
-	for i, h := range s.hits {
+	hits := s.hits
+	if k := s.opts.PrefetchTopK; k > 0 && len(hits) > k {
+		// Shortlist deterministically by blended score before planning —
+		// the speculative budget goes to the documents the profile says
+		// the user opens next, not to the whole hit list.
+		pc := make([]profile.Candidate, len(hits))
+		for i, h := range hits {
+			pc[i] = profile.Candidate{Name: h.Name, Score: h.Blended + 1e-9}
+		}
+		keep := make(map[string]bool, k)
+		for _, p := range profile.PredictTopK(pc, k) {
+			keep[p.Name] = true
+		}
+		short := make([]RankedHit, 0, k)
+		for _, h := range hits {
+			if keep[h.Name] {
+				short = append(short, h)
+			}
+		}
+		hits = short
+	}
+	cands := make([]prefetch.Candidate, len(hits))
+	for i, h := range hits {
 		// Packet counts are unknown before the first header exchange;
 		// budget generously and let the server's stream end early.
 		cands[i] = prefetch.Candidate{

@@ -1,0 +1,36 @@
+package store
+
+import "mobweb/internal/obs"
+
+// Package-wide store counters, following the erasure/core pattern:
+// zero-valued obs metrics with no registration step, because stores are
+// created by whatever layer owns the client. Front ends expose them by
+// registering MetricsProbe under "store".
+var storeMetrics struct {
+	// appends counts records written; bytesAppended their total size.
+	appends, bytesAppended obs.Counter
+	// recovered counts records readmitted by recovery scans; tornTails
+	// counts segments truncated at a bad record.
+	recovered, tornTails obs.Counter
+	// evictions counts whole segments dropped by the byte budget; drops
+	// counts plan-key tombstones.
+	evictions, drops obs.Counter
+	// readErrors counts records failing re-verification on read;
+	// writeErrors counts failed appends.
+	readErrors, writeErrors obs.Counter
+}
+
+// MetricsProbe returns the package-wide store counters in snapshot
+// form, for obs.Registry.RegisterProbe.
+func MetricsProbe() any {
+	return map[string]int64{
+		"appends":        storeMetrics.appends.Value(),
+		"bytes_appended": storeMetrics.bytesAppended.Value(),
+		"recovered":      storeMetrics.recovered.Value(),
+		"torn_tails":     storeMetrics.tornTails.Value(),
+		"evictions":      storeMetrics.evictions.Value(),
+		"drops":          storeMetrics.drops.Value(),
+		"read_errors":    storeMetrics.readErrors.Value(),
+		"write_errors":   storeMetrics.writeErrors.Value(),
+	}
+}

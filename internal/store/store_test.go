@@ -1,0 +1,278 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mobweb/internal/core"
+	"mobweb/internal/document"
+	"mobweb/internal/erasure"
+)
+
+// testLayout builds a small valid layout for layout-record tests.
+func testLayout(t *testing.T) core.Layout { return testLayoutN(t, 6) }
+
+// testLayoutN varies the document size so tests can produce genuinely
+// different (but valid) layouts.
+func testLayoutN(t *testing.T, paras int) core.Layout {
+	t.Helper()
+	b := document.NewBuilder()
+	b.Open(document.LODSection, "1", "Section 1")
+	for p := 0; p < paras; p++ {
+		b.Paragraph(fmt.Sprintf("store test paragraph %d mobile web weakly connected browsing", p))
+	}
+	b.Close()
+	doc, err := b.Build("store-test.xml", "Store Test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := core.NewPlanWithScores(doc, nil, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan.Layout()
+}
+
+func payload(seed byte, n int) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = seed + byte(i)
+	}
+	return p
+}
+
+func TestStoreRoundtripAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := testLayout(t)
+	const plan = "doc-a|q|1|2|1.5|0|0"
+	if err := s.PutLayout(plan, lo); err != nil {
+		t.Fatal(err)
+	}
+	for seq := 0; seq < 5; seq++ {
+		if err := s.PutPacket(plan, erasure.CodecVandermonde, 0, seq, payload(byte(seq), 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw := [][]byte{payload(100, 32), payload(101, 32), payload(102, 32)}
+	if err := s.PutGeneration(plan, erasure.CodecVandermonde, 1, raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got, ok := s2.Layout(plan)
+	if !ok || got.BodySize != lo.BodySize || got.N() != lo.N() {
+		t.Fatalf("layout lost across reopen: ok=%v", ok)
+	}
+	pkts := s2.Packets(plan, erasure.CodecVandermonde)
+	if len(pkts) != 5 {
+		t.Fatalf("packets = %d, want 5", len(pkts))
+	}
+	for i, p := range pkts {
+		if p.Gen != 0 || p.Seq != i || !bytes.Equal(p.Payload, payload(byte(i), 64)) {
+			t.Fatalf("packet %d = (%d,%d) %x", i, p.Gen, p.Seq, p.Payload[:4])
+		}
+	}
+	gens := s2.Generations(plan, erasure.CodecVandermonde)
+	if len(gens) != 1 || gens[0].Gen != 1 || len(gens[0].Raw) != 3 {
+		t.Fatalf("generations = %+v", gens)
+	}
+	for i, r := range gens[0].Raw {
+		if !bytes.Equal(r, raw[i]) {
+			t.Fatalf("generation raw %d mismatch", i)
+		}
+	}
+	if st := s2.Stats(); st.RecoveredRecords != 7 || st.TornTails != 0 {
+		t.Fatalf("recovery stats = %+v, want 7 records, 0 torn tails", st)
+	}
+}
+
+func TestStoreDuplicatePutsAreSkipped(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	before := s.Stats().Bytes
+	if err := s.PutPacket("p", 0, 0, 3, payload(1, 16)); err != nil {
+		t.Fatal(err)
+	}
+	after1 := s.Stats().Bytes
+	if after1 == before {
+		t.Fatal("first put wrote nothing")
+	}
+	// Same key again: skipped, even with different bytes (cooked rows
+	// are immutable — the first write wins).
+	if err := s.PutPacket("p", 0, 0, 3, payload(9, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().Bytes != after1 {
+		t.Fatal("duplicate put appended")
+	}
+	pkts := s.Packets("p", 0)
+	if len(pkts) != 1 || !bytes.Equal(pkts[0].Payload, payload(1, 16)) {
+		t.Fatal("duplicate put changed stored bytes")
+	}
+}
+
+func TestStoreDropTombstoneSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutPacket("doomed", 0, 0, 0, payload(1, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutPacket("kept", 0, 0, 0, payload(2, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Drop("doomed"); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(s.Packets("doomed", 0)); n != 0 {
+		t.Fatalf("dropped plan still has %d packets", n)
+	}
+	s.Close()
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if n := len(s2.Packets("doomed", 0)); n != 0 {
+		t.Fatalf("tombstone forgotten on reopen: %d packets", n)
+	}
+	if n := len(s2.Packets("kept", 0)); n != 1 {
+		t.Fatalf("tombstone took innocent plan: %d packets", n)
+	}
+	if plans := s2.Plans(); len(plans) != 1 || plans[0] != "kept" {
+		t.Fatalf("plans = %v", plans)
+	}
+}
+
+func TestStoreByteBudgetEvictsOldestSegments(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments so several rotate; budget holds about two of them.
+	s, err := Open(dir, Options{MaxBytes: 2048, SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for seq := 0; seq < 40; seq++ {
+		if err := s.PutPacket("p", 0, 0, seq, payload(byte(seq), 128)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Bytes > 2048+512+200 {
+		t.Fatalf("store bytes %d far exceed budget", st.Bytes)
+	}
+	pkts := s.Packets("p", 0)
+	if len(pkts) == 0 || len(pkts) == 40 {
+		t.Fatalf("eviction kept %d/40 packets, want some but not all", len(pkts))
+	}
+	// The newest packets must survive (oldest segments evict first).
+	last := pkts[len(pkts)-1]
+	if last.Seq != 39 {
+		t.Fatalf("newest packet evicted: last seq %d", last.Seq)
+	}
+	// Every surviving record still reads back intact.
+	for _, p := range pkts {
+		if !bytes.Equal(p.Payload, payload(byte(p.Seq), 128)) {
+			t.Fatalf("surviving packet %d corrupted", p.Seq)
+		}
+	}
+}
+
+func TestStoreLayoutChangeShadowsOld(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := testLayout(t)
+	if err := s.PutLayout("p", lo); err != nil {
+		t.Fatal(err)
+	}
+	b1 := s.Stats().Bytes
+	// Identical layout: skipped.
+	if err := s.PutLayout("p", lo); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().Bytes != b1 {
+		t.Fatal("identical layout re-appended")
+	}
+	// Changed layout: appended and authoritative, across reopen too.
+	lo2 := testLayoutN(t, 14)
+	if lo2.BodySize == lo.BodySize {
+		t.Fatal("test layouts did not differ")
+	}
+	if err := s.PutLayout("p", lo2); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Layout("p")
+	if !ok || got.BodySize != lo2.BodySize {
+		t.Fatalf("layout body = %d ok=%v, want %d", got.BodySize, ok, lo2.BodySize)
+	}
+	s.Close()
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got, ok := s2.Layout("p"); !ok || got.BodySize != lo2.BodySize {
+		t.Fatalf("reopened layout body = %d ok=%v, want %d", got.BodySize, ok, lo2.BodySize)
+	}
+}
+
+func TestStoreCorruptRecordDroppedOnRead(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutPacket("p", 0, 0, 0, payload(5, 64)); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte on disk behind the index's back.
+	seg := filepath.Join(dir, "seg-00000000.log")
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[recHeaderLen+len("p")+10] ^= 0xff
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The read-side CRC re-check must refuse the record, not return it.
+	if pkts := s.Packets("p", 0); len(pkts) != 0 {
+		t.Fatalf("CRC-failing packet returned: %d packets", len(pkts))
+	}
+	s.Close()
+}
+
+func TestStoreMetricsProbe(t *testing.T) {
+	probe, ok := MetricsProbe().(map[string]int64)
+	if !ok {
+		t.Fatal("probe shape changed")
+	}
+	for _, k := range []string{"appends", "recovered", "torn_tails", "evictions"} {
+		if _, ok := probe[k]; !ok {
+			t.Fatalf("probe missing %q", k)
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"mobweb/internal/ewma"
 	"mobweb/internal/obs"
 	"mobweb/internal/packet"
+	"mobweb/internal/store"
 )
 
 // RetryPolicy bounds the client's reconnection behaviour after a
@@ -155,6 +156,12 @@ type Client struct {
 	// prefetched holds receivers primed by Prefetch, consumed by the
 	// next Fetch of the same document.
 	prefetched map[string]*prefetchedDoc
+	// Store, when set, persists cooked packets and decoded generations
+	// across process lives: caching fetches seed from it before touching
+	// the wire and drain back to it after every round, so a restarted
+	// client resumes with its Have/DoneGens lists instead of refetching
+	// bytes the radio already delivered. Nil disables persistence.
+	Store *store.Store
 }
 
 // prefetchedDoc is a primed receiver plus the fetch shape it was primed
@@ -512,6 +519,15 @@ type FetchResult struct {
 	// PrefetchedPackets counts intact packets contributed by an earlier
 	// Prefetch of this document.
 	PrefetchedPackets int
+	// StoredPackets counts records restored from the persistent packet
+	// store before the first round — held packets plus decoded
+	// generations a previous process life already paid for.
+	StoredPackets int
+	// RefetchedPackets counts intact frames that contributed nothing:
+	// packets already held, or belonging to a generation that was
+	// already reconstructible when the round started. A resumed fetch
+	// whose Have/DoneGens feedback works keeps this at zero.
+	RefetchedPackets int
 	// Body is the reconstructed document body, nil when the fetch
 	// stopped early at StopAtIC or ended on an error.
 	Body []byte
@@ -647,12 +663,30 @@ func (c *Client) fetchContext(ctx context.Context, opts FetchOptions) (*FetchRes
 		}
 	}
 
+	// The persistent store is the cross-process prefetch: a caching
+	// fetch with no primed receiver resumes from whatever a previous
+	// process life stored — possibly the whole document.
+	if rcv == nil && opts.Caching && c.Store != nil {
+		if seeded, n := c.storeSeed(shape); seeded != nil {
+			rcv = seeded
+			result.StoredPackets = n
+			rcv.SetTrace(tr)
+			tr.Record(obs.Event{Type: obs.EventStoreSeed, N: n})
+			if c.terminated(rcv, opts) {
+				return c.finish(rcv, opts, result)
+			}
+		}
+	}
+
 	// fail ends the fetch with a terminal error but still returns the
 	// partial result; a receiver consumed from a Prefetch is re-primed
 	// so a retry keeps the prefetch benefit.
 	fail := func(err error) (*FetchResult, error) {
 		if fromPrefetch && rcv != nil {
 			c.primeReceiver(opts.Doc, shape, rcv)
+		}
+		if opts.Caching {
+			c.persistReceiver(shape, rcv)
 		}
 		partial, ferr := c.finish(rcv, opts, result)
 		if ferr != nil {
@@ -681,6 +715,11 @@ func (c *Client) fetchContext(ctx context.Context, opts FetchOptions) (*FetchRes
 		newRcv, done, err := c.runRound(rctx, opts, gamma, rcv, result, seen, noCaching)
 		cancel()
 		rcv = newRcv
+		// Drain the round's packets to the store whatever happened next:
+		// a crash between rounds then costs nothing already received.
+		if opts.Caching {
+			c.persistReceiver(shape, rcv)
+		}
 		tr.Record(obs.Event{
 			Type:    obs.EventRoundEnd,
 			Round:   result.Rounds,
@@ -762,8 +801,11 @@ func (c *Client) runRound(ctx context.Context, opts FetchOptions, gamma float64,
 	if rcv != nil && opts.Caching {
 		// HaveList covers both codecs: cooked sequence numbers for the
 		// fixed-rate codec, packed (gen, seq) pairs for fountain — the
-		// same identifiers AddFrame keyed the packets by.
+		// same identifiers AddFrame keyed the packets by. DoneGens covers
+		// what Have cannot: a reconstructed generation's unheld parity
+		// rows (or, store-seeded under fountain, all its symbols).
 		req.Have = rcv.HaveList()
+		req.DoneGens = rcv.DoneGenerations()
 		if lo := rcv.Layout(); lo.Codec == erasure.CodecFountain && req.Seed == 0 {
 			// Pin the resumed stream to the seed already decoded against,
 			// so held fountain packets stay valid across the resume even
@@ -919,12 +961,22 @@ func (c *Client) PrefetchContext(ctx context.Context, opts FetchOptions, budgetP
 	if pre, ok := c.prefetched[opts.Doc]; ok && pre.shape == shape {
 		rcv = pre.rcv
 	}
+	// Seed from the persistent store like a caching fetch does: an idle
+	// window must not spend air time on rows a previous process life (or
+	// a foreground skim) already banked.
+	if rcv == nil && c.Store != nil {
+		if seeded, _ := c.storeSeed(shape); seeded != nil {
+			rcv = seeded
+		}
+	}
 	// save primes whatever was received — even a partial window on the
-	// error path — for the next Fetch.
+	// error path — for the next Fetch, and drains it to the persistent
+	// store so a kill mid-window costs nothing already received.
 	save := func() {
 		if rcv != nil {
 			c.primeReceiver(opts.Doc, shape, rcv)
 			res.Intact = rcv.IntactCount()
+			c.persistReceiver(shape, rcv)
 		}
 	}
 	// Resumes are bounded by the retry budget: each reconnect already
@@ -968,6 +1020,7 @@ func (c *Client) prefetchRound(ctx context.Context, opts FetchOptions, rcv *core
 	req.Broadcast = opts.Broadcast
 	if rcv != nil {
 		req.Have = rcv.HaveList()
+		req.DoneGens = rcv.DoneGenerations()
 		if lo := rcv.Layout(); lo.Codec == erasure.CodecFountain && req.Seed == 0 {
 			req.Seed = lo.Seed
 		}
@@ -1054,6 +1107,14 @@ func (c *Client) consumeStream(ctx context.Context, rcv *core.Receiver, opts Fet
 	if fountainMode {
 		genStopped = make(map[int]bool)
 	}
+	// Refetch accounting: an intact frame the receiver already held, or
+	// one for a generation reconstructible before this round started, is
+	// air time the Have/DoneGens feedback should have saved.
+	lo := rcv.Layout()
+	doneAtStart := make([]bool, len(lo.Shapes))
+	for g := range doneAtStart {
+		doneAtStart[g] = rcv.GenerationReconstructible(g)
+	}
 	var frameBuf []byte // reused across frames; AddFrame copies what it keeps
 	for {
 		if err := c.conn.SetReadDeadline(c.deadline(ctx)); err != nil {
@@ -1073,6 +1134,7 @@ func (c *Client) consumeStream(ctx context.Context, rcv *core.Receiver, opts Fet
 		result.PacketsReceived++
 		result.BytesReceived += len(frame)
 		cm.packetsIn.Inc()
+		heldBefore := rcv.IntactCount()
 		seq, intact, err := rcv.AddFrame(frame)
 		if err != nil {
 			return false, err
@@ -1080,6 +1142,10 @@ func (c *Client) consumeStream(ctx context.Context, rcv *core.Receiver, opts Fet
 		if !intact {
 			result.PacketsCorrupted++
 			cm.packetsCorrupt.Inc()
+		} else if rcv.IntactCount() == heldBefore {
+			result.RefetchedPackets++
+		} else if g, ok := frameGen(lo, seq); ok && g < len(doneAtStart) && doneAtStart[g] {
+			result.RefetchedPackets++
 		}
 		// Per-frame trace events are guarded rather than relying on the
 		// nil-safe Record alone: the guard spares the untraced hot path

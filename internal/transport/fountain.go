@@ -95,6 +95,11 @@ func newFountainStreamState(req Request, layout core.Layout) *fountainStreamStat
 	for g, shape := range layout.Shapes {
 		st.caps[g] = fountainOvershootCap(shape.M)
 	}
+	// Generations the client reports done are stopped before the first
+	// frame — a stopgen that arrived with the request itself.
+	for _, g := range req.DoneGens {
+		st.stopGen(g)
+	}
 	return st
 }
 

@@ -104,6 +104,13 @@ type Request struct {
 	// intact, so the server transmits only the rest (retransmission
 	// rounds with caching).
 	Have []int `json:"have,omitempty"`
+	// DoneGens lists generations the client can already reconstruct
+	// (decoded in a previous round, or restored from a persistent store
+	// after a restart), so the server spends no air time on any of their
+	// packets — including parity rows the Have list alone would not
+	// cover. On a fountain stream each listed generation is stopped
+	// before the first frame, exactly as if a stopgen had arrived.
+	DoneGens []int `json:"done_gens,omitempty"`
 	// Prefetch marks the stream as idle-time prefetch traffic, which a
 	// capability-degraded replica refuses before it refuses anything
 	// else.

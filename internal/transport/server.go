@@ -405,8 +405,27 @@ func (s *Server) handleFetch(w *bufio.Writer, req Request, requests <-chan Reque
 	// channel still reconstructs (M intact rows per generation); a lossy
 	// one pays extra retransmission rounds instead of failing.
 	clearOnly := mode.ClearPrefixOnly()
+	// Reconstructible generations reported by the client keep all their
+	// rows off the air — parity included, which Have alone cannot say.
+	var doneSeq []bool
+	if len(req.DoneGens) > 0 {
+		doneSeq = make([]bool, plan.N())
+		doneGen := make(map[int]bool, len(req.DoneGens))
+		for _, g := range req.DoneGens {
+			doneGen[g] = true
+		}
+		off := 0
+		for g, shape := range layout.Shapes {
+			if doneGen[g] {
+				for i := 0; i < shape.N; i++ {
+					doneSeq[off+i] = true
+				}
+			}
+			off += shape.N
+		}
+	}
 	skip := func(seq int) bool {
-		return have[seq] || (clearOnly && !layout.IsClear(seq))
+		return have[seq] || (doneSeq != nil && doneSeq[seq]) || (clearOnly && !layout.IsClear(seq))
 	}
 	sending := 0
 	for seq := 0; seq < plan.N(); seq++ {

@@ -1,0 +1,178 @@
+package transport
+
+import (
+	"mobweb/internal/core"
+	"mobweb/internal/erasure"
+	"mobweb/internal/packet"
+)
+
+// This file glues the client to the persistent packet store: seeding a
+// fresh receiver from stored state before touching the wire (the
+// restart path), and draining receiver state back to disk after each
+// round so a crash costs at most the round in flight. The store is
+// keyed by the canonical fetch shape (fetchShape), the same identity a
+// prefetched receiver is reusable under.
+
+// storeCompatible reports whether a stored layout and a live one agree
+// on everything that gives stored records their identity. A γ-only
+// change (per-generation N grew or shrank) keeps every record valid —
+// cooked rows are independent of N and the store keys packets by
+// generation-local seq — so only the reconstruction-relevant geometry
+// is compared: body size, packet size, codec, seed, and each
+// generation's source count.
+func storeCompatible(a, b core.Layout) bool {
+	if a.BodySize != b.BodySize || a.PacketSize != b.PacketSize ||
+		a.Codec != b.Codec || a.Seed != b.Seed || len(a.Shapes) != len(b.Shapes) {
+		return false
+	}
+	for g := range a.Shapes {
+		if a.Shapes[g].M != b.Shapes[g].M {
+			return false
+		}
+	}
+	return true
+}
+
+// storeSeed builds a receiver from the store's state for one plan key:
+// decoded generations are installed wholesale, then loose packets of
+// the still-incomplete generations are re-added under the stored
+// layout. It returns (nil, 0) when the store holds nothing usable.
+// Records the store refuses (CRC re-check) or the receiver rejects are
+// simply skipped — seeding is best-effort by design; anything skipped
+// is refetched.
+func (c *Client) storeSeed(plan string) (*core.Receiver, int) {
+	if c.Store == nil {
+		return nil, 0
+	}
+	lo, ok := c.Store.Layout(plan)
+	if !ok {
+		return nil, 0
+	}
+	rcv, err := core.NewReceiverFromLayout(lo)
+	if err != nil {
+		return nil, 0
+	}
+	seeded := 0
+	for _, g := range c.Store.Generations(plan, lo.Codec) {
+		if g.Gen < 0 || g.Gen >= len(lo.Shapes) {
+			continue
+		}
+		if err := rcv.SeedDecodedGeneration(g.Gen, g.Raw); err != nil {
+			continue
+		}
+		seeded++
+	}
+	for _, p := range c.Store.Packets(plan, lo.Codec) {
+		if p.Gen < 0 || p.Gen >= len(lo.Shapes) {
+			continue
+		}
+		if rcv.GenerationReconstructible(p.Gen) {
+			continue
+		}
+		seq, ok := wireSeq(lo, p.Gen, p.Seq)
+		if !ok {
+			continue
+		}
+		if err := rcv.Add(seq, p.Payload); err != nil {
+			continue
+		}
+		seeded++
+	}
+	if seeded == 0 {
+		return nil, 0
+	}
+	return rcv, seeded
+}
+
+// persistReceiver drains a receiver's state to the store under one plan
+// key: the layout, each reconstructible generation's decoded raw
+// packets, and the loose held packets of generations still in flight.
+// Duplicate records are skipped by the store, so calling this after
+// every round costs only the round's new packets. An incompatible
+// layout change drops the plan's stale records first. It returns the
+// records newly written; write errors are swallowed — the store is a
+// cache, and a fetch must not fail because the disk did.
+func (c *Client) persistReceiver(plan string, rcv *core.Receiver) int {
+	if c.Store == nil || rcv == nil {
+		return 0
+	}
+	lo := rcv.Layout()
+	if stored, ok := c.Store.Layout(plan); ok && !storeCompatible(stored, lo) {
+		c.Store.Drop(plan)
+	}
+	if err := c.Store.PutLayout(plan, lo); err != nil {
+		return 0
+	}
+	wrote := 0
+	for g := range lo.Shapes {
+		if !rcv.GenerationReconstructible(g) {
+			continue
+		}
+		if c.Store.HasGeneration(plan, lo.Codec, g) {
+			continue
+		}
+		raw, err := rcv.DecodedGeneration(g)
+		if err != nil {
+			continue
+		}
+		if c.Store.PutGeneration(plan, lo.Codec, g, raw) == nil {
+			wrote++
+		}
+	}
+	for _, seq := range rcv.HaveList() {
+		gen, local, ok := storeKeySeq(lo, seq)
+		if !ok || rcv.GenerationReconstructible(gen) {
+			continue
+		}
+		if c.Store.HasPacket(plan, lo.Codec, gen, local) {
+			continue
+		}
+		payload, ok := rcv.Packet(seq)
+		if !ok {
+			continue
+		}
+		if c.Store.PutPacket(plan, lo.Codec, gen, local, payload) == nil {
+			wrote++
+		}
+	}
+	return wrote
+}
+
+// wireSeq maps a store key (generation, generation-local seq) to the
+// wire sequence number AddFrame keys packets by: the packed (gen, seq)
+// pair under the fountain codec, the global cooked offset otherwise.
+func wireSeq(lo core.Layout, gen, local int) (int, bool) {
+	if lo.Codec == erasure.CodecFountain {
+		return packet.PackSeq(gen, local), true
+	}
+	off, err := lo.CookedOffset(gen)
+	if err != nil || local < 0 || local >= lo.Shapes[gen].N {
+		return 0, false
+	}
+	return off + local, true
+}
+
+// storeKeySeq is the inverse of wireSeq: wire sequence number to
+// (generation, generation-local seq) store key.
+func storeKeySeq(lo core.Layout, seq int) (gen, local int, ok bool) {
+	if lo.Codec == erasure.CodecFountain {
+		g, s := packet.UnpackSeq(seq)
+		if g < 0 || g >= len(lo.Shapes) {
+			return 0, 0, false
+		}
+		return g, s, true
+	}
+	g, l, err := lo.CookedGeneration(seq)
+	if err != nil {
+		return 0, 0, false
+	}
+	return g, l, true
+}
+
+// frameGen resolves the generation a just-received wire seq belongs to,
+// for the refetch accounting in consumeStream. ok=false for seqs the
+// layout cannot place.
+func frameGen(lo core.Layout, seq int) (int, bool) {
+	g, _, ok := storeKeySeq(lo, seq)
+	return g, ok
+}

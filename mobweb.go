@@ -58,6 +58,7 @@ import (
 	"mobweb/internal/search"
 	"mobweb/internal/session"
 	"mobweb/internal/sim"
+	"mobweb/internal/store"
 	"mobweb/internal/textproc"
 	"mobweb/internal/trace"
 	"mobweb/internal/transport"
@@ -166,6 +167,33 @@ type (
 	PrefetchCandidate = prefetch.Candidate
 	// PrefetchAllocation assigns idle budget to a candidate.
 	PrefetchAllocation = prefetch.Allocation
+	// PrefetchGate subordinates speculative windows to foreground
+	// fetches: every open window's context is canceled the moment a
+	// foreground fetch starts.
+	PrefetchGate = prefetch.Gate
+	// PrefetchScheduler spends idle-link budgets on predicted documents
+	// through a transport-shaped fetch function, keeping partial windows
+	// on the books across cancellations.
+	PrefetchScheduler = prefetch.Scheduler
+	// PrefetchTracker carries per-document prefetch progress across
+	// scheduler windows.
+	PrefetchTracker = prefetch.Tracker
+	// PrefetchWindowResult accounts one scheduler window.
+	PrefetchWindowResult = prefetch.WindowResult
+	// ProfileCandidate is a scored document offered to PredictTopK.
+	ProfileCandidate = profile.Candidate
+	// ProfilePrediction is one entry of a top-k prefetch shortlist.
+	ProfilePrediction = profile.Prediction
+	// Store is the crash-safe persistent packet store: cooked packets
+	// and decoded generations survive process death, so a restarted
+	// client resumes with its Have/DoneGens lists (attach via
+	// Client.Store).
+	Store = store.Store
+	// StoreOptions bounds the store's segment log.
+	StoreOptions = store.Options
+	// StoreStats snapshots the store's segment, byte and recovery
+	// counters.
+	StoreStats = store.Stats
 	// TransferStrategy is a baseline transfer scheme for comparisons.
 	TransferStrategy = baseline.Strategy
 	// Cluster groups hierarchically linked pages into the paper's larger
@@ -363,6 +391,20 @@ func PlanPrefetch(candidates []PrefetchCandidate, budgetPackets int) ([]Prefetch
 // PrefetchBudget converts idle time into a packet budget.
 func PrefetchBudget(idleSeconds, bandwidthBPS float64, frameBytes int) int {
 	return prefetch.Budget(idleSeconds, bandwidthBPS, frameBytes)
+}
+
+// PredictTopK ranks scored candidates into a deterministic top-k
+// prefetch shortlist: descending score, ties broken by name, duplicates
+// collapsed to their best score.
+func PredictTopK(cands []ProfileCandidate, k int) []ProfilePrediction {
+	return profile.PredictTopK(cands, k)
+}
+
+// OpenStore opens (or recovers) a persistent packet store rooted at dir.
+// Attach it via Client.Store; a caching fetch then seeds from it before
+// touching the wire and drains back to it after every round.
+func OpenStore(dir string, opts StoreOptions) (*Store, error) {
+	return store.Open(dir, opts)
 }
 
 // AlphaEstimator tracks the observed channel failure probability with an
